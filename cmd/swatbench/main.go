@@ -1,0 +1,74 @@
+// Command swatbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	swatbench -list
+//	swatbench -exp fig5a              # one experiment, quick scale
+//	swatbench -exp all -scale paper   # everything at paper scale
+//
+// Each experiment prints the rows/series of the corresponding figure of
+// "SWAT: Hierarchical Stream Summarization in Large Networks" (Bulut &
+// Singh, ICDE 2003) plus a note comparing the measured outcome to the
+// paper's claim. See EXPERIMENTS.md for a recorded run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/streamsum/swat/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (e.g. fig4a), or 'all'")
+		scale  = flag.String("scale", "quick", "workload scale: quick | paper")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		timing = flag.Bool("time", true, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "swatbench: -exp required (or -list); e.g. -exp fig4a or -exp all")
+		os.Exit(2)
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "paper":
+		sc = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "swatbench: unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		result, err := experiments.Run(strings.TrimSpace(id), sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swatbench: %v\n", err)
+			os.Exit(1)
+		}
+		result.Fprint(os.Stdout)
+		if *timing {
+			fmt.Printf("  [%s in %v at %s scale]\n", id, time.Since(start).Round(time.Millisecond), sc)
+		}
+	}
+}

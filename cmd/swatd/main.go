@@ -1,0 +1,135 @@
+// Command swatd serves a SWAT stream summary over TCP.
+//
+// Usage:
+//
+//	swatd -addr 127.0.0.1:7467 -window 1024
+//	swatd -addr :7467 -window 256 -source weather -rate 100
+//
+// With -source set, the server generates its own stream at the given
+// rate; otherwise it summarizes only the values clients feed it with
+// data frames. Query with cmd/swatquery or any client speaking the
+// length-prefixed JSON protocol of internal/wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/stream"
+	"github.com/streamsum/swat/internal/wire"
+)
+
+// loadCheckpoint restores the server tree from a snapshot file if one
+// exists; a missing file is not an error (first start).
+func loadCheckpoint(srv *wire.Server, path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := srv.RestoreTree(data); err != nil {
+		return fmt.Errorf("restoring %s: %w", path, err)
+	}
+	log.Printf("swatd: restored checkpoint from %s (%d bytes)", path, len(data))
+	return nil
+}
+
+// saveCheckpoint snapshots the tree atomically (write + rename).
+func saveCheckpoint(srv *wire.Server, path string) error {
+	data, err := srv.SnapshotTree()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7467", "listen address")
+		window   = flag.Int("window", 1024, "sliding-window size N (power of two)")
+		coeffs   = flag.Int("coeffs", 1, "wavelet coefficients per tree node (power of two)")
+		minLevel = flag.Int("minlevel", 0, "drop tree levels below this (space/precision trade-off)")
+		source   = flag.String("source", "", "self-generated stream: weather | uniform | walk (empty: clients feed data)")
+		rate     = flag.Float64("rate", 10, "self-generated values per second")
+		seed     = flag.Int64("seed", 1, "seed for the self-generated stream")
+		ckpt     = flag.String("checkpoint", "", "snapshot file: restored at startup, saved periodically")
+		ckptSec  = flag.Float64("checkpoint-interval", 30, "seconds between checkpoint saves")
+	)
+	flag.Parse()
+
+	srv, err := wire.NewServer(core.Options{
+		WindowSize:   *window,
+		Coefficients: *coeffs,
+		MinLevel:     *minLevel,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+		os.Exit(2)
+	}
+	if *ckpt != "" {
+		if err := loadCheckpoint(srv, *ckpt); err != nil {
+			fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+			os.Exit(1)
+		}
+		if *ckptSec <= 0 {
+			fmt.Fprintln(os.Stderr, "swatd: -checkpoint-interval must be positive")
+			os.Exit(2)
+		}
+		go func() {
+			ticker := time.NewTicker(time.Duration(*ckptSec * float64(time.Second)))
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := saveCheckpoint(srv, *ckpt); err != nil {
+					log.Printf("swatd: checkpoint: %v", err)
+				}
+			}
+		}()
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("swatd: serving N=%d k=%d minLevel=%d on %s", *window, *coeffs, *minLevel, bound)
+
+	if *source != "" {
+		var src stream.Source
+		switch *source {
+		case "weather":
+			src = stream.Weather(*seed)
+		case "uniform":
+			src = stream.Uniform(*seed)
+		case "walk":
+			src = stream.RandomWalk(*seed, 50, 2, 0, 100)
+		default:
+			fmt.Fprintf(os.Stderr, "swatd: unknown source %q\n", *source)
+			os.Exit(2)
+		}
+		if *rate <= 0 {
+			fmt.Fprintln(os.Stderr, "swatd: -rate must be positive")
+			os.Exit(2)
+		}
+		go func() {
+			ticker := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer ticker.Stop()
+			for range ticker.C {
+				srv.Feed(src.Next())
+			}
+		}()
+		log.Printf("swatd: generating %s stream at %.1f values/s", *source, *rate)
+	}
+
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("swatd: %v", err)
+	}
+}

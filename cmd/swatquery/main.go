@@ -1,0 +1,128 @@
+// Command swatquery queries a running swatd server.
+//
+// Usage:
+//
+//	swatquery -addr 127.0.0.1:7467 stats
+//	swatquery point -age 3
+//	swatquery ip -kind exponential -start 0 -len 16
+//	swatquery range -center 22 -radius 3 -from 0 -to 63
+//	swatquery feed -value 17.5
+//
+// The subcommand selects the operation; flags after it configure it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/wire"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: swatquery [-addr host:port] <stats|point|ip|range|feed> [flags]
+  stats                                  show server tree state
+  point -age N                           point query
+  ip    -kind exponential|linear -start A -len M [-precision D]
+  range -center C -radius R -from A -to B
+  feed  -value V                         push one stream value`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7467", "swatd address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("window=%d nodes=%d arrivals=%d ready=%v\n", st.Window, st.Nodes, st.Arrivals, st.Ready)
+	case "point":
+		fs := flag.NewFlagSet("point", flag.ExitOnError)
+		age := fs.Int("age", 0, "age of the value (0 = most recent)")
+		parse(fs, args)
+		v, err := c.Point(*age)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%g\n", v)
+	case "ip":
+		fs := flag.NewFlagSet("ip", flag.ExitOnError)
+		kindName := fs.String("kind", "exponential", "weight family: exponential | linear")
+		start := fs.Int("start", 0, "starting age")
+		length := fs.Int("len", 8, "query length")
+		precision := fs.Float64("precision", 0, "precision requirement δ")
+		parse(fs, args)
+		var kind query.Kind
+		switch *kindName {
+		case "exponential":
+			kind = query.Exponential
+		case "linear":
+			kind = query.Linear
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kindName))
+		}
+		q, err := query.New(kind, *start, *length, *precision)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := c.Query(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%g\n", v)
+	case "range":
+		fs := flag.NewFlagSet("range", flag.ExitOnError)
+		center := fs.Float64("center", 0, "value center")
+		radius := fs.Float64("radius", 1, "value radius")
+		from := fs.Int("from", 0, "newest age")
+		to := fs.Int("to", 0, "oldest age")
+		parse(fs, args)
+		matches, err := c.Range(*center, *radius, *from, *to)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range matches {
+			fmt.Printf("age=%d value=%g\n", m.Age, m.Value)
+		}
+		fmt.Fprintf(os.Stderr, "%d match(es)\n", len(matches))
+	case "feed":
+		fs := flag.NewFlagSet("feed", flag.ExitOnError)
+		value := fs.Float64("value", 0, "stream value to push")
+		parse(fs, args)
+		n, err := c.Feed(*value)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("arrivals=%d\n", n)
+	default:
+		usage()
+	}
+}
+
+func parse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "swatquery: %v\n", err)
+	os.Exit(1)
+}

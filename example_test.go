@@ -1,0 +1,130 @@
+package swat_test
+
+import (
+	"fmt"
+
+	swat "github.com/streamsum/swat"
+)
+
+// ExampleNewTree summarizes a short stream and reads a recent value back.
+func ExampleNewTree() {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		tree.Update(v)
+	}
+	v, err := tree.PointQuery(0) // the most recent value's approximation
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("N=%d nodes=%d d0≈%.1f\n", tree.WindowSize(), tree.NumNodes(), v)
+	// Output: N=8 nodes=7 d0≈9.5
+}
+
+// ExampleNewQuery builds the paper's §2.1 example exponential query
+// ([0,1,2,3], [8,4,2,1], 20) up to weight normalization.
+func ExampleNewQuery() {
+	q, err := swat.NewQuery(swat.Exponential, 0, 4, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Ages, q.Weights, q.Precision)
+	// Output: [0 1 2 3] [1 0.5 0.25 0.125] 20
+}
+
+// ExampleTree_RangeQuery finds recent points near a target value.
+func ExampleTree_RangeQuery() {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range []float64{10, 10, 50, 50, 10, 10, 50, 50, 10, 10, 50, 50, 10, 10, 50, 50} {
+		tree.Update(v)
+	}
+	// The two most recent 50s are at full resolution; older ones blur
+	// into coarser averages — SWAT's recency bias at work.
+	matches, err := tree.RangeQuery(50, 5, 0, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d points near 50\n", len(matches))
+	// Output: 2 points near 50
+}
+
+// ExampleNewReplication runs a two-node SWAT-ASR deployment through one
+// query and one adaptation phase.
+func ExampleNewReplication() {
+	top, err := swat.Chain(2) // source — client
+	if err != nil {
+		panic(err)
+	}
+	sys, err := swat.NewReplication(top, 16)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 16; i++ {
+		sys.OnData(20)
+	}
+	sys.OnPhaseEnd() // end warm-up
+
+	q, err := swat.NewQuery(swat.Point, 0, 1, 5)
+	if err != nil {
+		panic(err)
+	}
+	v, err := sys.OnQuery(swat.NodeID(1), q) // miss: forwarded to source
+	if err != nil {
+		panic(err)
+	}
+	sys.OnPhaseEnd() // expansion: the client receives a replica
+	if _, err := sys.OnQuery(swat.NodeID(1), q); err != nil {
+		panic(err) // hit: answered from the local cache
+	}
+	fmt.Printf("answer=%.0f messages=%d cached=%v\n",
+		v, sys.Messages().Total(), sys.Caches(1, 0))
+	// Output: answer=20 messages=3 cached=true
+}
+
+// ExampleForecastEWMA predicts the next reading of a steady stream.
+func ExampleForecastEWMA() {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 32})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 96; i++ {
+		tree.Update(21.5)
+	}
+	fc, err := swat.ForecastEWMA(tree, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("next≈%.1f\n", fc)
+	// Output: next≈21.5
+}
+
+// ExampleNewMonitor correlates two synchronized streams from their
+// summaries.
+func ExampleNewMonitor() {
+	mon, err := swat.NewMonitor(swat.MonitorOptions{WindowSize: 16})
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range []string{"a", "b"} {
+		if err := mon.Add(n); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		v := float64(i % 7)
+		if err := mon.ObserveAll([]float64{v, 2 * v}); err != nil {
+			panic(err)
+		}
+	}
+	r, err := mon.Correlation("a", "b", 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r=%.2f\n", r)
+	// Output: r=1.00
+}

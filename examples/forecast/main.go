@@ -1,0 +1,77 @@
+// Forecast: the paper's banner-hits motivation — gauge the popularity of
+// an advertisement from the immediate past and predict the next
+// readings, all from the O(log N) SWAT summary.
+//
+//	go run ./examples/forecast
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	swat "github.com/streamsum/swat"
+)
+
+// bannerHits simulates hits-per-minute on an ad banner: a slow daily
+// cycle, a popularity decay as the campaign ages, and Poisson-ish noise.
+func bannerHits(minute int, rng *rand.Rand) float64 {
+	daily := 1 + 0.4*math.Sin(2*math.Pi*float64(minute%1440)/1440)
+	decay := math.Exp(-float64(minute) / 6000)
+	base := 220 * daily * decay
+	return math.Max(0, base+rng.NormFloat64()*math.Sqrt(base))
+}
+
+func main() {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 512, Coefficients: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	var ewma, holt, naive swat.ForecastEvaluator
+	lastValue := 0.0
+	for minute := 0; minute < 4000; minute++ {
+		v := bannerHits(minute, rng)
+		if minute > 1024 {
+			// One-step-ahead forecasts, evaluated against the value that
+			// actually arrives.
+			fe, err := swat.ForecastEWMA(tree, 16)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ewma.Record(fe, v)
+			fh, err := swat.ForecastHolt(tree, 16, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			holt.Record(fh, v)
+			naive.Record(lastValue, v) // persistence baseline
+		}
+		tree.Update(v)
+		lastValue = v
+	}
+
+	fmt.Println("one-step-ahead banner-hit forecasts (2976 evaluations):")
+	fmt.Printf("  %-22s MAE %6.2f   RMSE %6.2f\n", "EWMA (summary)", ewma.MAE(), ewma.RMSE())
+	fmt.Printf("  %-22s MAE %6.2f   RMSE %6.2f\n", "Holt (summary)", holt.MAE(), holt.RMSE())
+	fmt.Printf("  %-22s MAE %6.2f   RMSE %6.2f\n", "persistence baseline", naive.MAE(), naive.RMSE())
+
+	// Longer-horizon campaign planning: where will hit volume be in an
+	// hour, in six hours?
+	fmt.Println("\nhorizon forecasts from the summary:")
+	for _, h := range []int{15, 60, 360} {
+		fc, err := swat.ForecastHolt(tree, 64, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  +%4d min: %7.1f hits/min\n", h, fc)
+	}
+
+	now, err := swat.ForecastEWMA(tree, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncurrent popularity index (EWMA of last 8 min): %.1f hits/min\n", now)
+}

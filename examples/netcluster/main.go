@@ -1,0 +1,117 @@
+// Netcluster: run the wire protocol over real TCP inside one process — a
+// summary server fed by a weather stream, plus several concurrent
+// clients issuing point and inner-product queries, exactly as separate
+// swatd / swatquery processes would.
+//
+//	go run ./examples/netcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+	"github.com/streamsum/swat/internal/wire"
+)
+
+func main() {
+	// Start the summary server on an ephemeral port.
+	srv, err := wire.NewServer(core.Options{WindowSize: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	fmt.Printf("server listening on %s\n", addr)
+
+	// A feeder connection streams two days of weather data.
+	feeder, err := wire.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := stream.Weather(5)
+	var arrivals int64
+	for i := 0; i < 1024; i++ {
+		if arrivals, err = feeder.Feed(src.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := feeder.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fed %d values over TCP\n", arrivals)
+
+	// Concurrent query clients.
+	const clients = 4
+	var wg sync.WaitGroup
+	results := make(chan string, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr.String())
+			if err != nil {
+				results <- fmt.Sprintf("client %d: %v", id, err)
+				return
+			}
+			defer c.Close()
+			q, err := query.New(query.Exponential, id*8, 8, 0)
+			if err != nil {
+				results <- fmt.Sprintf("client %d: %v", id, err)
+				return
+			}
+			ip, err := c.Query(q)
+			if err != nil {
+				results <- fmt.Sprintf("client %d: %v", id, err)
+				return
+			}
+			p, err := c.Point(id)
+			if err != nil {
+				results <- fmt.Sprintf("client %d: %v", id, err)
+				return
+			}
+			results <- fmt.Sprintf("client %d: point(age=%d)=%.2f°C, exp-weighted index over ages %d..%d = %.2f",
+				id, id, p, id*8, id*8+7, ip)
+		}(id)
+	}
+	wg.Wait()
+	close(results)
+	for line := range results {
+		fmt.Println(line)
+	}
+
+	// One more client checks server state and a range query.
+	c, err := wire.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server tree: window=%d nodes=%d arrivals=%d ready=%v\n",
+		st.Window, st.Nodes, st.Arrivals, st.Ready)
+	matches, err := c.Range(30, 10, 0, 255)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range 30±10°C over last 256 days: %d matching days\n", len(matches))
+	if err := c.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server shut down cleanly")
+}

@@ -1,0 +1,86 @@
+// Quickstart: summarize a stream with a SWAT tree and ask point, range,
+// and inner-product queries over the sliding window.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	swat "github.com/streamsum/swat"
+)
+
+func main() {
+	// A SWAT tree over the last 256 values: O(log N) space, O(1)
+	// amortized work per arrival.
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Keep an exact window alongside, only to show approximation error.
+	shadow, err := swat.NewWindow(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream: a bounded random walk, like a sensor reading.
+	src := swat.RandomWalk(42, 50, 2, 0, 100)
+	for i := 0; i < 1024; i++ {
+		v := src.Next()
+		tree.Update(v)
+		shadow.Push(v)
+	}
+	fmt.Printf("tree: N=%d, %d levels, %d nodes, %d arrivals\n",
+		tree.WindowSize(), tree.Levels(), tree.NumNodes(), tree.Arrivals())
+
+	// Point query: the value 10 steps ago.
+	approx, err := tree.PointQuery(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := shadow.MustAt(10)
+	fmt.Printf("point age=10:       approx %6.2f   exact %6.2f\n", approx, exact)
+
+	// Inner-product query with exponentially decaying weights: a
+	// recency-biased moving aggregate.
+	q, err := swat.NewQuery(swat.Exponential, 0, 16, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip, err := swat.ApproxInnerProduct(tree, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipExact, err := swat.ExactInnerProduct(shadow, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exp inner product:  approx %6.2f   exact %6.2f\n", ip, ipExact)
+
+	// Range query: when in the last 128 steps was the reading near its
+	// current level?
+	center := approx
+	matches, err := tree.RangeQuery(center, 5, 0, 127)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range %.0f±5 over last 128 steps: %d matching points\n", center, len(matches))
+	for i, m := range matches {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(matches)-5)
+			break
+		}
+		fmt.Printf("  age %3d ≈ %.2f\n", m.Age, m.Value)
+	}
+
+	// Multi-resolution introspection: the tree's nodes, coarser with
+	// depth into the past.
+	fmt.Println("tree nodes (coarser toward the past):")
+	for _, ni := range tree.Nodes() {
+		if ni.Role.String() == "R" {
+			fmt.Printf("  %-12v mean %.2f over %d values\n", ni, ni.Coeffs[0], ni.End-ni.Start+1)
+		}
+	}
+}

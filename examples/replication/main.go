@@ -1,0 +1,105 @@
+// Replication: serve one stream to a tree of 14 client sites with the
+// three protocols of the paper — SWAT-ASR, Divergence Caching, and
+// Adaptive Precision Setting — under an identical workload, and compare
+// the number of inter-site messages each needs.
+//
+//	go run ./examples/replication
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	swat "github.com/streamsum/swat"
+)
+
+const (
+	window    = 64
+	steps     = 4000 // simulated seconds
+	dataEvery = 2    // one stream value every 2 s
+	phaseLen  = 25   // SWAT-ASR phase length in seconds
+	precision = 20.0 // query precision requirement δ
+)
+
+// protocol is the common surface of the three systems.
+type protocol interface {
+	Name() string
+	OnData(v float64)
+	OnQuery(at swat.NodeID, q swat.Query) (float64, error)
+	OnPhaseEnd()
+	Messages() *swat.MessageCounter
+}
+
+func main() {
+	for _, build := range []func(*swat.Topology) (protocol, error){
+		func(t *swat.Topology) (protocol, error) { return swat.NewReplication(t, window) },
+		func(t *swat.Topology) (protocol, error) {
+			return swat.NewDivergenceCaching(t, swat.DivergenceCachingOptions{
+				WindowSize: window, ValueLo: 0, ValueHi: 50,
+			})
+		},
+		func(t *swat.Topology) (protocol, error) {
+			return swat.NewAdaptivePrecision(t, swat.AdaptivePrecisionOptions{WindowSize: window})
+		},
+	} {
+		top, err := swat.CompleteBinaryTree(15) // source + 14 clients
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := build(top)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(p, top)
+	}
+}
+
+func run(p protocol, top *swat.Topology) {
+	src := swat.Weather(11)
+	rng := rand.New(rand.NewSource(3))
+
+	// Per-client query generators: random linear inner-product queries,
+	// as in the paper's §5 workload.
+	gens := map[swat.NodeID]*swat.QueryGenerator{}
+	for id := swat.NodeID(1); int(id) < top.Len(); id++ {
+		g, err := swat.NewQueryGenerator(swat.Linear, swat.Random, window, 8, precision, int64(id)*31)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gens[id] = g
+	}
+
+	// Warm-up: fill the window, then discard bookkeeping.
+	for i := 0; i < window; i++ {
+		p.OnData(src.Next())
+	}
+	p.OnPhaseEnd()
+	p.Messages().Reset()
+
+	answered := 0
+	for t := 0; t < steps; t++ {
+		if sa, ok := p.(interface{ SetTime(float64) }); ok {
+			sa.SetTime(float64(t))
+		}
+		if t%dataEvery == 0 {
+			p.OnData(src.Next())
+		}
+		// One random client queries every second.
+		client := swat.NodeID(1 + rng.Intn(top.Len()-1))
+		if _, err := p.OnQuery(client, gens[client].Next()); err != nil {
+			log.Fatal(err)
+		}
+		answered++
+		if t%phaseLen == phaseLen-1 {
+			p.OnPhaseEnd()
+		}
+	}
+
+	c := p.Messages()
+	fmt.Printf("%-9s %6d messages for %d queries (%.2f msg/query)\n",
+		p.Name(), c.Total(), answered, float64(c.Total())/float64(answered))
+	for _, kind := range c.Kinds() {
+		fmt.Printf("          %-12s %6d\n", kind, c.Kind(kind))
+	}
+}

@@ -1,0 +1,116 @@
+// Telecom monitoring: the paper's motivating scenario. A switch emits a
+// call-volume reading every minute; an operations dashboard keeps a SWAT
+// summary of the last 1024 minutes and continuously evaluates
+// recency-biased health queries without storing the raw stream.
+//
+//	go run ./examples/telecom
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	swat "github.com/streamsum/swat"
+)
+
+// callVolume simulates calls-per-minute at a switch: a daily sinusoid,
+// bursty noise, and an overload incident we inject to detect later.
+func callVolume(minute int, rng *rand.Rand) float64 {
+	daily := 500 + 350*math.Sin(2*math.Pi*float64(minute%1440)/1440)
+	noise := rng.NormFloat64() * 40
+	incident := 0.0
+	if minute >= 2800 && minute < 2830 { // a 30-minute overload spike
+		incident = 900
+	}
+	return math.Max(0, daily+noise+incident)
+}
+
+func main() {
+	const window = 1024
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	// Recency-biased load indicator: exponentially weighted volume over
+	// the last 32 minutes. An alert fires when it jumps well above its
+	// own trailing history.
+	loadQuery, err := swat.NewQuery(swat.Exponential, 0, 32, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var baseline float64
+	alerts := 0
+	for minute := 0; minute < 3000; minute++ {
+		tree.Update(callVolume(minute, rng))
+		if minute < 2*window {
+			continue // warm-up
+		}
+		load, err := swat.ApproxInnerProduct(tree, loadQuery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = load
+		}
+		if load > 1.6*baseline && alerts < 3 {
+			fmt.Printf("minute %4d: ALERT load index %.0f (baseline %.0f)\n", minute, load, baseline)
+			alerts++
+		}
+		// Slow EWMA of the indicator itself.
+		baseline = 0.995*baseline + 0.005*load
+	}
+	if alerts == 0 {
+		fmt.Println("no overload detected (unexpected)")
+	}
+
+	// Post-incident analysis from the summary alone: when in the last
+	// 4 hours did per-minute volume approximate 1500+ calls?
+	fmt.Println("\nminutes (ages) with volume ≈ 1100±500 in the last ~4 h:")
+	matches, err := tree.RangeQuery(1100, 500, 0, 255)
+	if err != nil {
+		log.Fatal(err)
+	}
+	firstAge, lastAge := -1, -1
+	for _, m := range matches {
+		if firstAge < 0 {
+			firstAge = m.Age
+		}
+		lastAge = m.Age
+	}
+	if firstAge >= 0 {
+		fmt.Printf("  overload window spans ages %d..%d (%d points)\n", firstAge, lastAge, len(matches))
+	} else {
+		fmt.Println("  none found")
+	}
+
+	// Capacity trend: linear-weighted average over the last hour vs the
+	// hour before it, both read straight off the summary.
+	recent, err := hourIndex(tree, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	previous, err := hourIndex(tree, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlinear-weighted volume index: last hour %.0f, hour before %.0f (%+.1f%%)\n",
+		recent, previous, 100*(recent-previous)/previous)
+
+	fmt.Printf("\nsummary footprint: %d nodes for %d minutes of stream\n",
+		tree.NumNodes(), tree.WindowSize())
+}
+
+// hourIndex computes a linear-weighted volume index over the hour
+// starting at the given age.
+func hourIndex(tree *swat.Tree, startAge int) (float64, error) {
+	q, err := swat.NewQuery(swat.Linear, startAge, 60, 0)
+	if err != nil {
+		return 0, err
+	}
+	return swat.ApproxInnerProduct(tree, q)
+}

@@ -1,0 +1,70 @@
+package swat
+
+// This file re-exports the extensions built beyond the paper's core
+// systems: multi-stream correlation monitoring (the paper's stated
+// future work), continuous (standing) queries, summary-based
+// forecasting, tree checkpointing, and dataset replay.
+
+import (
+	"io"
+
+	"github.com/streamsum/swat/internal/continuous"
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/forecast"
+	"github.com/streamsum/swat/internal/multi"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Monitor tracks many streams with one SWAT tree each and estimates
+// pairwise correlations from the summaries alone.
+type Monitor = multi.Monitor
+
+// MonitorOptions configures a Monitor.
+type MonitorOptions = multi.Options
+
+// CorrelatedPair is one correlated stream pair found by a Monitor.
+type CorrelatedPair = multi.Pair
+
+// NewMonitor creates an empty multi-stream monitor.
+func NewMonitor(opts MonitorOptions) (*Monitor, error) { return multi.New(opts) }
+
+// Pearson computes the Pearson correlation of two equal-length vectors.
+func Pearson(x, y []float64) (float64, error) { return multi.Pearson(x, y) }
+
+// ContinuousEngine evaluates standing queries as the stream advances.
+type ContinuousEngine = continuous.Engine
+
+// ContinuousResult is one standing-query delivery.
+type ContinuousResult = continuous.Result
+
+// SubscribeOptions throttles a standing query.
+type SubscribeOptions = continuous.SubscribeOptions
+
+// NewContinuous wraps a tree with standing-query evaluation; route all
+// arrivals through the engine's Update.
+func NewContinuous(tree *core.Tree) (*ContinuousEngine, error) { return continuous.New(tree) }
+
+// ForecastEWMA predicts the next value as the exponentially weighted
+// average of the last span values, read from the summary.
+func ForecastEWMA(tree *Tree, span int) (float64, error) { return forecast.EWMA(tree, span) }
+
+// ForecastHolt predicts `horizon` steps ahead with a level+trend model
+// reconstructed from the summary.
+func ForecastHolt(tree *Tree, span, horizon int) (float64, error) {
+	return forecast.Holt(tree, span, horizon)
+}
+
+// ForecastEvaluator accumulates online forecast accuracy (MAE/RMSE).
+type ForecastEvaluator = forecast.Evaluator
+
+// ReadCSV parses a numeric series from CSV data (0-based column; one
+// non-numeric header row is tolerated).
+func ReadCSV(r io.Reader, column int) ([]float64, error) { return stream.ReadCSV(r, column) }
+
+// Replayer replays a recorded series as a Source.
+type Replayer = stream.Replayer
+
+// NewReplayer wraps a non-empty series, optionally looping.
+func NewReplayer(values []float64, loop bool) (*Replayer, error) {
+	return stream.NewReplayer(values, loop)
+}

@@ -1,0 +1,148 @@
+package swat_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	swat "github.com/streamsum/swat"
+)
+
+func TestPublicMonitor(t *testing.T) {
+	mon, err := swat.NewMonitor(swat.MonitorOptions{WindowSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"x", "y"} {
+		if err := mon.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walk := swat.RandomWalk(1, 50, 3, 0, 100)
+	for i := 0; i < 128; i++ {
+		v := walk.Next()
+		if err := mon.ObserveAll([]float64{v, v + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := mon.Correlation("x", "y", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.95 {
+		t.Errorf("shifted-copy correlation = %v, want near 1", r)
+	}
+	pairs, err := mon.Correlated(32, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Errorf("pairs = %+v", pairs)
+	}
+}
+
+func TestPublicPearson(t *testing.T) {
+	r, err := swat.Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v (%v)", r, err)
+	}
+}
+
+func TestPublicContinuous(t *testing.T) {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := swat.NewContinuous(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := swat.NewQuery(swat.Point, 0, 1, 0)
+	fired := 0
+	id, err := eng.Subscribe(q, swat.SubscribeOptions{Every: 2}, func(swat.ContinuousResult) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		eng.Update(float64(i))
+	}
+	if fired == 0 {
+		t.Fatal("standing query never fired")
+	}
+	if err := eng.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicForecast(t *testing.T) {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 192; i++ {
+		tree.Update(25)
+	}
+	ew, err := swat.ForecastEWMA(tree, 8)
+	if err != nil || math.Abs(ew-25) > 1e-9 {
+		t.Errorf("EWMA = %v (%v)", ew, err)
+	}
+	h, err := swat.ForecastHolt(tree, 8, 3)
+	if err != nil || math.Abs(h-25) > 1e-9 {
+		t.Errorf("Holt = %v (%v)", h, err)
+	}
+	var ev swat.ForecastEvaluator
+	ev.Record(ew, 25)
+	if ev.MAE() > 1e-9 {
+		t.Errorf("MAE = %v", ev.MAE())
+	}
+}
+
+func TestPublicCSVAndReplay(t *testing.T) {
+	vals, err := swat.ReadCSV(strings.NewReader("t,v\n0,1.5\n1,2.5\n2,3.5\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := swat.NewReplayer(vals, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Next() != 1.5 || rep.Next() != 2.5 || rep.Next() != 3.5 {
+		t.Error("replay order wrong")
+	}
+	if !rep.Done() {
+		t.Error("replayer not done")
+	}
+}
+
+func TestPublicTreeSnapshot(t *testing.T) {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := swat.Uniform(2)
+	for i := 0; i < 100; i++ {
+		tree.Update(src.Next())
+	}
+	data, err := tree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := swat.NewTree(swat.TreeOptions{WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tree.PointQuery(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.PointQuery(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("restored tree answers differently: %v vs %v", a, b)
+	}
+}

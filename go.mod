@@ -1,0 +1,3 @@
+module github.com/streamsum/swat
+
+go 1.22

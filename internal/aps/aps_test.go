@@ -1,0 +1,287 @@
+package aps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func singleClient(t *testing.T, n int) (*System, netsim.NodeID) {
+	t.Helper()
+	top, err := netsim.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(top, Options{WindowSize: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, 1
+}
+
+func TestNewValidationAndDefaults(t *testing.T) {
+	top, _ := netsim.Chain(2)
+	bad := []Options{
+		{WindowSize: 0},
+		{WindowSize: 8, Alpha: -1},
+		{WindowSize: 8, TauZero: -1},
+		{WindowSize: 8, TauZero: 5, TauInf: 2},
+	}
+	for _, o := range bad {
+		if _, err := New(top, o); err == nil {
+			t.Errorf("New(%+v) accepted", o)
+		}
+	}
+	if _, err := New(nil, Options{WindowSize: 8}); err == nil {
+		t.Error("accepted nil topology")
+	}
+	s, err := New(top, Options{WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper settings: α=1, τ0=2, τ∞=∞.
+	if s.opts.Alpha != 1 || s.opts.TauZero != 2 || !math.IsInf(s.opts.TauInf, 1) {
+		t.Errorf("defaults = %+v", s.opts)
+	}
+	if s.Name() != "APS" {
+		t.Error("name wrong")
+	}
+}
+
+func TestReadinessAndValidation(t *testing.T) {
+	s, c := singleClient(t, 4)
+	q, _ := query.New(query.Point, 0, 1, 10)
+	if _, err := s.OnQuery(c, q); err == nil {
+		t.Error("answered before window full")
+	}
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	if !s.Ready() {
+		t.Error("not ready")
+	}
+	if _, err := s.OnQuery(99, q); err == nil {
+		t.Error("accepted invalid node")
+	}
+	if _, err := s.OnQuery(c, query.Query{}); err == nil {
+		t.Error("accepted invalid query")
+	}
+	qBad, _ := query.New(query.Point, 7, 1, 10)
+	if _, err := s.OnQuery(c, qBad); err == nil {
+		t.Error("accepted out-of-window age")
+	}
+}
+
+func TestQueryInitiatedRefreshThenHit(t *testing.T) {
+	s, c := singleClient(t, 4)
+	for i := 0; i < 8; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 10)
+	// Miss: request + reply.
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Messages().Total(); got != 2 {
+		t.Fatalf("messages = %d, want 2", got)
+	}
+	if s.CachedItems(c) != 1 {
+		t.Fatal("item not cached after refresh")
+	}
+	// Constant stream: value stays inside the interval; repeated reads
+	// hit the cache.
+	for i := 0; i < 5; i++ {
+		s.OnData(50)
+		if _, err := s.OnQuery(c, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Messages().Total(); got != 2 {
+		t.Errorf("messages after cached reads = %d, want 2", got)
+	}
+}
+
+func TestValueInitiatedRefresh(t *testing.T) {
+	s, c := singleClient(t, 4)
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 4)
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Messages().Total()
+	// A large jump escapes the cached interval: one refresh message.
+	s.OnData(90)
+	got := s.Messages().Total() - before
+	if got == 0 {
+		t.Fatal("no value-initiated refresh on interval escape")
+	}
+	if s.Messages().Kind(MsgRefresh) == 0 {
+		t.Error("refresh not counted under MsgRefresh")
+	}
+	// Interval width grew: the same precision query now misses.
+	before = s.Messages().Total()
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Fatal(err)
+	}
+	if s.Messages().Total() == before {
+		t.Error("query hit despite widened interval")
+	}
+}
+
+func TestIntervalWidthAdaptation(t *testing.T) {
+	s, c := singleClient(t, 4)
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 16)
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Fatal(err)
+	}
+	st := &s.state[c][0]
+	w0 := st.logW
+	if w0 != 16 {
+		t.Fatalf("initial width = %v, want the query tolerance 16", w0)
+	}
+	// Escape: width doubles (α=1).
+	s.OnData(200)
+	if st.logW != 32 {
+		t.Errorf("width after escape = %v, want 32", st.logW)
+	}
+	// Tight query shrinks it back.
+	qTight, _ := query.New(query.Point, 0, 1, 1)
+	if _, err := s.OnQuery(c, qTight); err != nil {
+		t.Fatal(err)
+	}
+	if st.logW != 16 {
+		t.Errorf("width after shrink = %v, want 16", st.logW)
+	}
+}
+
+func TestExactCachingBelowTauZero(t *testing.T) {
+	s, c := singleClient(t, 4)
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 0.5) // tolerance below τ0=2
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Fatal(err)
+	}
+	st := &s.state[c][0]
+	if st.width() != 0 {
+		t.Errorf("interval width = %v, want 0 (exact caching)", st.width())
+	}
+	// Exact caching escapes on any change, and growth restarts from τ0.
+	s.OnData(51)
+	if st.logW < 2 {
+		t.Errorf("width after escape from exact caching = %v, want >= τ0", st.logW)
+	}
+}
+
+func TestTauInfDropsCache(t *testing.T) {
+	top, _ := netsim.Chain(2)
+	s, err := New(top, Options{WindowSize: 4, TauInf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 8)
+	if _, err := s.OnQuery(1, q); err != nil {
+		t.Fatal(err)
+	}
+	// Repeated escapes double the width past τ∞ = 10 → drop.
+	s.OnData(200) // width 8 → 16 > 10 → dropped
+	if s.CachedItems(1) != 0 {
+		t.Error("cache not dropped past τ∞")
+	}
+}
+
+func TestAnswerWithinPrecision(t *testing.T) {
+	top, _ := netsim.Chain(2)
+	const n = 16
+	s, err := New(top, Options{WindowSize: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, _ := stream.NewWindow(n)
+	src := stream.RandomWalk(9, 50, 2, 0, 100)
+	push := func() {
+		v := src.Next()
+		s.OnData(v)
+		shadow.Push(v)
+	}
+	for i := 0; i < n; i++ {
+		push()
+	}
+	gen, _ := query.NewGenerator(query.Exponential, query.Random, n, n, 0, 5)
+	for step := 0; step < 1000; step++ {
+		push()
+		q := gen.Next()
+		q.Precision = 4 + float64(step%30)
+		ans, err := s.OnQuery(1, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := query.Exact(shadow, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(ans - exact); diff > q.Precision+1e-9 {
+			t.Fatalf("step %d: |%v-%v| = %v > δ=%v", step, ans, exact, diff, q.Precision)
+		}
+	}
+}
+
+func TestRootQueriesExactAndFree(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	for i := 1; i <= 4; i++ {
+		s.OnData(float64(i))
+	}
+	q, _ := query.New(query.Point, 1, 1, 0)
+	v, err := s.OnQuery(0, q)
+	if err != nil || v != 3 {
+		t.Fatalf("root query = %v (%v), want 3", v, err)
+	}
+	if s.Messages().Total() != 0 {
+		t.Error("root query cost messages")
+	}
+}
+
+func TestHopsCounted(t *testing.T) {
+	top, _ := netsim.Chain(3)
+	s, err := New(top, Options{WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 10)
+	if _, err := s.OnQuery(2, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Messages().Total(); got != 4 { // 2 hops × (request+reply)
+		t.Errorf("messages = %d, want 4", got)
+	}
+}
+
+func TestPhaseEndIsNoOp(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	s.OnPhaseEnd()
+	if s.Messages().Total() != 0 {
+		t.Error("OnPhaseEnd produced messages")
+	}
+}
+
+func TestCachedItemsValidation(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	if s.CachedItems(99) != 0 || s.CachedItems(0) != 0 {
+		t.Error("CachedItems on invalid/root node should be 0")
+	}
+}

@@ -1,0 +1,220 @@
+package continuous
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func newEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	tree, err := core.New(core.Options{WindowSize: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	e := newEngine(t, 16)
+	q, _ := query.New(query.Point, 0, 1, 0)
+	if _, err := e.Subscribe(query.Query{}, SubscribeOptions{}, func(Result) {}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := e.Subscribe(q, SubscribeOptions{}, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if _, err := e.Subscribe(q, SubscribeOptions{Every: -1}, func(Result) {}); err == nil {
+		t.Error("negative Every accepted")
+	}
+	if _, err := e.Subscribe(q, SubscribeOptions{MinChange: -1}, func(Result) {}); err == nil {
+		t.Error("negative MinChange accepted")
+	}
+}
+
+func TestDeliveryEveryArrival(t *testing.T) {
+	e := newEngine(t, 16)
+	q, _ := query.New(query.Point, 0, 1, 0)
+	var results []Result
+	id, err := e.Subscribe(q, SubscribeOptions{}, func(r Result) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Active() != 1 {
+		t.Errorf("Active = %d", e.Active())
+	}
+	// The very first arrival cannot be answered (no valid node yet);
+	// from arrival 2 onward the point query is served, via the
+	// best-effort fallback until the tree fully warms.
+	e.Update(0)
+	if len(results) != 0 {
+		t.Fatalf("delivered %d results after one arrival", len(results))
+	}
+	for i := 0; i < 24; i++ {
+		e.Update(42)
+	}
+	if len(results) != 24 {
+		t.Fatalf("delivered %d results, want 24", len(results))
+	}
+	for _, r := range results {
+		if r.ID != id {
+			t.Errorf("result ID %d, want %d", r.ID, id)
+		}
+	}
+	last := results[len(results)-1]
+	if last.Arrival != e.Tree().Arrivals() {
+		t.Errorf("last arrival %d, tree arrivals %d", last.Arrival, e.Tree().Arrivals())
+	}
+	if math.Abs(last.Value-42) > 1e-9 {
+		t.Errorf("steady-state value = %v, want 42", last.Value)
+	}
+}
+
+func TestEveryThrottling(t *testing.T) {
+	e := newEngine(t, 16)
+	q, _ := query.New(query.Point, 0, 1, 0)
+	count := 0
+	if _, err := e.Subscribe(q, SubscribeOptions{Every: 4}, func(Result) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		e.Update(1)
+	}
+	// Deliveries at arrivals 4, 8, ..., 64 (the age-0 point query is
+	// answerable from arrival 2): 16 deliveries.
+	if count != 16 {
+		t.Errorf("deliveries = %d, want 16", count)
+	}
+}
+
+func TestMinChangeSuppression(t *testing.T) {
+	e := newEngine(t, 16)
+	q, _ := query.New(query.Point, 0, 1, 0)
+	var values []float64
+	if _, err := e.Subscribe(q, SubscribeOptions{MinChange: 5}, func(r Result) {
+		values = append(values, r.Value)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		e.Update(10)
+	}
+	if len(values) != 1 {
+		t.Fatalf("constant stream delivered %d times, want 1", len(values))
+	}
+	// A large jump re-triggers once the approximation moves by >= 5.
+	for i := 0; i < 8; i++ {
+		e.Update(100)
+	}
+	if len(values) < 2 {
+		t.Fatalf("jump not delivered: %v", values)
+	}
+	if e.Deliveries() != uint64(len(values)) {
+		t.Errorf("Deliveries = %d, callbacks = %d", e.Deliveries(), len(values))
+	}
+	if e.Evaluations() < e.Deliveries() {
+		t.Error("evaluations < deliveries")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	e := newEngine(t, 16)
+	q, _ := query.New(query.Point, 0, 1, 0)
+	count := 0
+	id, err := e.Subscribe(q, SubscribeOptions{}, func(Result) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Update(1)
+	}
+	fired := count
+	if fired == 0 {
+		t.Fatal("no deliveries before unsubscribe")
+	}
+	if err := e.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if e.Active() != 0 {
+		t.Errorf("Active = %d after unsubscribe", e.Active())
+	}
+	for i := 0; i < 20; i++ {
+		e.Update(1)
+	}
+	if count != fired {
+		t.Errorf("deliveries continued after unsubscribe: %d -> %d", fired, count)
+	}
+	if err := e.Unsubscribe(id); err == nil {
+		t.Error("double unsubscribe accepted")
+	}
+	if err := e.Unsubscribe(999); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestMultipleSubscriptionsOrdered(t *testing.T) {
+	e := newEngine(t, 16)
+	var order []int
+	for i := 0; i < 3; i++ {
+		q, _ := query.New(query.Point, i, 1, 0)
+		if _, err := e.Subscribe(q, SubscribeOptions{}, func(r Result) {
+			order = append(order, r.ID)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		e.Update(float64(i))
+	}
+	order = order[:0]
+	e.Update(99)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("delivery order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTrackingAccuracy(t *testing.T) {
+	// A standing exponential query must track the true value closely on
+	// a smooth stream.
+	e := newEngine(t, 64)
+	shadow, _ := stream.NewWindow(64)
+	q, _ := query.New(query.Exponential, 0, 8, 0)
+	var lastVal float64
+	delivered := false
+	if _, err := e.Subscribe(q, SubscribeOptions{}, func(r Result) {
+		lastVal = r.Value
+		delivered = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src := stream.RandomWalk(7, 50, 1, 0, 100)
+	for i := 0; i < 256; i++ {
+		v := src.Next()
+		e.Update(v)
+		shadow.Push(v)
+		if !delivered || shadow.Len() < q.Len() {
+			delivered = false
+			continue
+		}
+		exact, err := query.Exact(shadow, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lastVal-exact) > 0.1*math.Abs(exact)+2 {
+			t.Fatalf("arrival %d: standing query %v drifted from exact %v", i, lastVal, exact)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Tests of the paper's §2.6 error-bound analysis on the deterministic
+// drift stream d_{i+1} - d_i = ε used there.
+
+// measureDriftError warms a tree on a drift-ε stream and returns the
+// maximum absolute query error over one full update cycle.
+func measureDriftError(t *testing.T, n int, q query.Query, eps float64) float64 {
+	t.Helper()
+	tree := mustTree(t, Options{WindowSize: n})
+	shadow, err := stream.NewWindow(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Drift(0, eps)
+	for i := 0; i < 2*n; i++ {
+		v := src.Next()
+		tree.Update(v)
+		shadow.Push(v)
+	}
+	var worst float64
+	for i := 0; i < n; i++ { // one complete cycle of N arrivals
+		v := src.Next()
+		tree.Update(v)
+		shadow.Push(v)
+		approx, err := query.Approx(tree, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := query.Exact(shadow, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst = math.Max(worst, math.Abs(approx-exact))
+	}
+	return worst
+}
+
+// TestExponentialQueryDriftBound: the paper derives O(ε·log M) total
+// error for the exponential inner-product query (equation 2). We verify
+// the measured worst case stays within a small constant of ε·(log M + 1).
+func TestExponentialQueryDriftBound(t *testing.T) {
+	const n, eps = 256, 0.5
+	for _, m := range []int{4, 16, 64} {
+		q, err := query.New(query.Exponential, 0, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := measureDriftError(t, n, q, eps)
+		bound := 4 * eps * (math.Log2(float64(m)) + 1) // paper: Σ 2ε over log M levels
+		if worst > bound {
+			t.Errorf("M=%d: worst error %v exceeds O(ε log M) bound %v", m, worst, bound)
+		}
+	}
+}
+
+// TestLinearQueryDriftBound: the paper derives O(ε·M²) for the linear
+// query (equation 3) — and crucially, the error must grow much faster
+// with M than the exponential query's.
+func TestLinearQueryDriftBound(t *testing.T) {
+	const n, eps = 256, 0.5
+	prev := 0.0
+	for _, m := range []int{4, 16, 64} {
+		q, err := query.New(query.Linear, 0, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := measureDriftError(t, n, q, eps)
+		bound := eps * float64(m) * float64(m) // O(ε·M²)
+		if worst > bound {
+			t.Errorf("M=%d: worst error %v exceeds O(ε·M²) bound %v", m, worst, bound)
+		}
+		if worst <= prev {
+			t.Errorf("M=%d: linear-query error %v did not grow from %v", m, worst, prev)
+		}
+		prev = worst
+	}
+	// Cross-check the separation: at M=64 the linear error must far
+	// exceed the exponential error.
+	qe, _ := query.New(query.Exponential, 0, 64, 0)
+	ql, _ := query.New(query.Linear, 0, 64, 0)
+	we := measureDriftError(t, n, qe, eps)
+	wl := measureDriftError(t, n, ql, eps)
+	if wl < 4*we {
+		t.Errorf("linear error %v not clearly larger than exponential %v at M=64", wl, we)
+	}
+}
+
+// TestPointQueryDriftError: a point query at age a is answered from a
+// node of level <= ceil(log2(a+1))+1, so its error on a drift stream is
+// at most the node's segment half-span: 2^(level) · ε-ish. Verify a
+// generous linear-in-age bound.
+func TestPointQueryDriftError(t *testing.T) {
+	const n, eps = 256, 1.0
+	tree := mustTree(t, Options{WindowSize: n})
+	shadow, _ := stream.NewWindow(n)
+	src := stream.Drift(0, eps)
+	for i := 0; i < 3*n; i++ {
+		v := src.Next()
+		tree.Update(v)
+		shadow.Push(v)
+	}
+	for _, age := range []int{0, 1, 3, 7, 15, 63, 255} {
+		v, err := tree.PointQuery(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := shadow.MustAt(age)
+		bound := eps * (4*float64(age) + 8)
+		if math.Abs(v-truth) > bound {
+			t.Errorf("age %d: |%v - %v| exceeds bound %v", age, v, truth, bound)
+		}
+	}
+}

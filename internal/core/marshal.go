@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary snapshot format for checkpointing a SWAT tree. The format is
+// versioned and self-describing enough to reject corrupted or
+// incompatible snapshots:
+//
+//	magic "SWAT" | version u16 | N u32 | minLevel u16 | k u16 |
+//	arrivals i64 | nodeUpdates u64 |
+//	recentHead i32 | recentLen i32 | recent [cap]f64 |
+//	nodes: for each level minLevel..levels-1, for each role (R, then
+//	S and L below the top level): valid u8 | birth i64 |
+//	coeffCount u16 | coeffs [count]f64
+
+const (
+	snapshotMagic   = "SWAT"
+	snapshotVersion = uint16(1)
+)
+
+// MarshalBinary serializes the full tree state. It implements
+// encoding.BinaryMarshaler; a restored tree continues exactly where the
+// original left off.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	w := func(v any) {
+		// bytes.Buffer writes cannot fail; binary.Write only fails on
+		// unsupported types, which would be a programming error here.
+		if err := binary.Write(&buf, binary.BigEndian, v); err != nil {
+			panic(fmt.Sprintf("core: snapshot encode: %v", err))
+		}
+	}
+	w(snapshotVersion)
+	w(uint32(t.n))
+	w(uint16(t.minLevel))
+	w(uint16(t.k))
+	w(t.arrivals)
+	w(t.nodeUpdates)
+	w(int32(t.recentHead))
+	w(int32(t.recentLen))
+	for _, v := range t.recent {
+		w(math.Float64bits(v))
+	}
+	for l := t.minLevel; l < t.levels; l++ {
+		roles := []Role{Right, Shift, Left}
+		if l == t.levels-1 {
+			roles = roles[:1]
+		}
+		for _, role := range roles {
+			nd := &t.nodes[l][role]
+			valid := uint8(0)
+			if nd.valid {
+				valid = 1
+			}
+			w(valid)
+			w(nd.birth)
+			w(uint16(len(nd.coeffs)))
+			for _, c := range nd.coeffs {
+				w(math.Float64bits(c))
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a tree from a snapshot produced by
+// MarshalBinary, replacing the receiver's state entirely. It implements
+// encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	buf := bytes.NewReader(data)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := buf.Read(magic); err != nil || string(magic) != snapshotMagic {
+		return fmt.Errorf("core: not a SWAT snapshot")
+	}
+	r := func(v any) error {
+		return binary.Read(buf, binary.BigEndian, v)
+	}
+	var version uint16
+	if err := r(&version); err != nil {
+		return fmt.Errorf("core: snapshot version: %w", err)
+	}
+	if version != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	var (
+		n        uint32
+		minLevel uint16
+		k        uint16
+	)
+	if err := r(&n); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if err := r(&minLevel); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if err := r(&k); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+	fresh, err := New(Options{
+		WindowSize:   int(n),
+		Coefficients: int(k),
+		MinLevel:     int(minLevel),
+	})
+	if err != nil {
+		return fmt.Errorf("core: snapshot geometry: %w", err)
+	}
+	if err := r(&fresh.arrivals); err != nil {
+		return fmt.Errorf("core: snapshot counters: %w", err)
+	}
+	if err := r(&fresh.nodeUpdates); err != nil {
+		return fmt.Errorf("core: snapshot counters: %w", err)
+	}
+	var head, rlen int32
+	if err := r(&head); err != nil {
+		return fmt.Errorf("core: snapshot ring: %w", err)
+	}
+	if err := r(&rlen); err != nil {
+		return fmt.Errorf("core: snapshot ring: %w", err)
+	}
+	if int(head) < -1 || int(head) >= len(fresh.recent) || int(rlen) < 0 || int(rlen) > len(fresh.recent) {
+		return fmt.Errorf("core: snapshot ring geometry out of range")
+	}
+	fresh.recentHead = int(head)
+	fresh.recentLen = int(rlen)
+	for i := range fresh.recent {
+		var bits uint64
+		if err := r(&bits); err != nil {
+			return fmt.Errorf("core: snapshot ring values: %w", err)
+		}
+		fresh.recent[i] = math.Float64frombits(bits)
+	}
+	for l := fresh.minLevel; l < fresh.levels; l++ {
+		roles := []Role{Right, Shift, Left}
+		if l == fresh.levels-1 {
+			roles = roles[:1]
+		}
+		for _, role := range roles {
+			var valid uint8
+			if err := r(&valid); err != nil {
+				return fmt.Errorf("core: snapshot node %v%d: %w", role, l, err)
+			}
+			nd := &fresh.nodes[l][role]
+			nd.valid = valid == 1
+			if err := r(&nd.birth); err != nil {
+				return fmt.Errorf("core: snapshot node %v%d: %w", role, l, err)
+			}
+			var count uint16
+			if err := r(&count); err != nil {
+				return fmt.Errorf("core: snapshot node %v%d: %w", role, l, err)
+			}
+			if int(count) > fresh.coeffLen(l) {
+				return fmt.Errorf("core: snapshot node %v%d has %d coefficients, max %d", role, l, count, fresh.coeffLen(l))
+			}
+			nd.coeffs = make([]float64, count)
+			for i := range nd.coeffs {
+				var bits uint64
+				if err := r(&bits); err != nil {
+					return fmt.Errorf("core: snapshot node %v%d coeffs: %w", role, l, err)
+				}
+				nd.coeffs[i] = math.Float64frombits(bits)
+			}
+		}
+	}
+	if buf.Len() != 0 {
+		return fmt.Errorf("core: %d trailing bytes in snapshot", buf.Len())
+	}
+	*t = *fresh
+	return nil
+}

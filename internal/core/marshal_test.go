@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, opts := range []Options{
+		{WindowSize: 64},
+		{WindowSize: 64, Coefficients: 4},
+		{WindowSize: 64, MinLevel: 2},
+		{WindowSize: 16, Coefficients: 2, MinLevel: 1},
+	} {
+		orig, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := stream.Uniform(7)
+		for i := 0; i < 150; i++ { // an "awkward" non-aligned arrival count
+			orig.Update(src.Next())
+		}
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := New(Options{WindowSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if restored.WindowSize() != orig.WindowSize() ||
+			restored.Coefficients() != orig.Coefficients() ||
+			restored.MinLevel() != orig.MinLevel() ||
+			restored.Arrivals() != orig.Arrivals() ||
+			restored.NodeUpdates() != orig.NodeUpdates() {
+			t.Fatalf("%+v: geometry/counters differ after restore", opts)
+		}
+		// Node-for-node equality.
+		on, rn := orig.Nodes(), restored.Nodes()
+		if len(on) != len(rn) {
+			t.Fatalf("node counts differ: %d vs %d", len(on), len(rn))
+		}
+		for i := range on {
+			if on[i].String() != rn[i].String() || on[i].Valid != rn[i].Valid {
+				t.Fatalf("node %d differs: %v vs %v", i, on[i], rn[i])
+			}
+			for j := range on[i].Coeffs {
+				if on[i].Coeffs[j] != rn[i].Coeffs[j] {
+					t.Fatalf("node %d coeff %d differs", i, j)
+				}
+			}
+		}
+		// Future behaviour must be identical: feed both the same suffix
+		// and compare query answers.
+		src2a := stream.Uniform(99)
+		src2b := stream.Uniform(99)
+		for i := 0; i < 100; i++ {
+			orig.Update(src2a.Next())
+			restored.Update(src2b.Next())
+			a, errA := orig.PointQuery(0)
+			b, errB := restored.PointQuery(0)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("error divergence after restore: %v vs %v", errA, errB)
+			}
+			if errA == nil && a != b {
+				t.Fatalf("behaviour diverged after restore: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestSnapshotColdTree(t *testing.T) {
+	orig, _ := New(Options{WindowSize: 16})
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := New(Options{WindowSize: 16})
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Arrivals() != 0 || restored.Ready() {
+		t.Error("cold snapshot restored as warm")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	orig, _ := New(Options{WindowSize: 16})
+	for i := 0; i < 32; i++ {
+		orig.Update(float64(i))
+	}
+	good, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := New(Options{WindowSize: 16})
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte("NOPE"), good[4:]...),
+		"truncated":     good[:len(good)/2],
+		"trailing junk": append(append([]byte{}, good...), 0xFF),
+	}
+	// Bad version.
+	bv := append([]byte{}, good...)
+	bv[4], bv[5] = 0xFF, 0xFF
+	cases["bad version"] = bv
+	// Absurd window size (not a power of two).
+	bn := append([]byte{}, good...)
+	bn[6], bn[7], bn[8], bn[9] = 0, 0, 0, 7
+	cases["bad geometry"] = bn
+	for name, data := range cases {
+		if err := restored.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: corrupted snapshot accepted", name)
+		}
+	}
+	// The receiver must still be usable (untouched) after failures.
+	if err := restored.UnmarshalBinary(good); err != nil {
+		t.Fatalf("valid snapshot rejected after failures: %v", err)
+	}
+	if restored.Arrivals() != 32 {
+		t.Errorf("Arrivals = %d after restore", restored.Arrivals())
+	}
+}
+
+func TestSnapshotPreservesInvariant(t *testing.T) {
+	// The 1-coefficient invariant must keep holding across a
+	// checkpoint/restore boundary.
+	const n = 32
+	orig, _ := New(Options{WindowSize: n})
+	shadow, _ := stream.NewWindow(4 * n)
+	src := stream.RandomWalk(3, 50, 3, 0, 100)
+	for i := 0; i < 3*n; i++ {
+		v := src.Next()
+		orig.Update(v)
+		shadow.Push(v)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := New(Options{WindowSize: 4})
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := src.Next()
+		restored.Update(v)
+		shadow.Push(v)
+		for _, ni := range restored.Nodes() {
+			want, err := shadow.Mean(ni.Start, ni.End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ni.Coeffs[0]-want) > 1e-9 {
+				t.Fatalf("node %v: %v != true mean %v after restore", ni, ni.Coeffs[0], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the query side of SWAT (paper §2.4, Fig. 3(b)):
+// the node-cover algorithm and the point, range, and inner-product
+// queries built on it.
+
+// ErrNotCovered wraps ages the tree cannot approximate. It occurs only
+// before warm-up or, for reduced trees (MinLevel > 0), transiently for
+// the most recent ages; query entry points fall back to the nearest
+// valid approximation unless strict mode is requested.
+type ErrNotCovered struct {
+	// Ages lists the uncovered query ages.
+	Ages []int
+}
+
+func (e *ErrNotCovered) Error() string {
+	return fmt.Sprintf("core: ages %v not covered by any tree node", e.Ages)
+}
+
+// CoverNodes runs the cover phase of the query algorithm: it scans nodes
+// from the lowest level upward, R → S → L within a level, and selects
+// every node that covers at least one not-yet-covered query age. The
+// returned slice is the paper's set V, in selection order. Ages outside
+// [0, N-1] are rejected; uncovered ages (possible before warm-up or with
+// level reduction) yield *ErrNotCovered alongside the partial cover.
+func (t *Tree) CoverNodes(ages []int) ([]NodeInfo, error) {
+	seen := make(map[int]bool, len(ages))
+	pending := make([]int, 0, len(ages))
+	for _, a := range ages {
+		if a < 0 || a >= t.n {
+			return nil, fmt.Errorf("core: query age %d out of window [0,%d)", a, t.n)
+		}
+		if !seen[a] {
+			seen[a] = true
+			pending = append(pending, a)
+		}
+	}
+	var cover []NodeInfo
+	for l := t.minLevel; l < t.levels && len(pending) > 0; l++ {
+		roles := []Role{Right, Shift, Left}
+		if l == t.levels-1 {
+			roles = roles[:1]
+		}
+		for _, role := range roles {
+			if len(pending) == 0 {
+				break
+			}
+			ni := t.info(l, role)
+			if !ni.Valid {
+				continue
+			}
+			// Partition pending into covered-by-ni and still pending.
+			rest := pending[:0]
+			contributes := false
+			for _, a := range pending {
+				if a >= ni.Start && a <= ni.End {
+					contributes = true
+				} else {
+					rest = append(rest, a)
+				}
+			}
+			pending = rest
+			if contributes {
+				cover = append(cover, ni)
+			}
+		}
+	}
+	if len(pending) > 0 {
+		missing := append([]int(nil), pending...)
+		sort.Ints(missing)
+		return cover, &ErrNotCovered{Ages: missing}
+	}
+	return cover, nil
+}
+
+// valueFromNode reads the approximate value for the given age from a
+// covering node. For the block-average representation this equals
+// applying Level+1 zero-detail inverse transforms and indexing the
+// reconstructed signal.
+func valueFromNode(ni NodeInfo, age int) float64 {
+	segLen := ni.End - ni.Start + 1
+	block := segLen / len(ni.Coeffs)
+	return ni.Coeffs[(age-ni.Start)/block]
+}
+
+// Approximate reconstructs approximate values for the given ages (age 0 =
+// most recent). When some ages are uncovered — possible for reduced trees
+// whose finest level is mid-cycle — they are served best-effort from the
+// newest block of the finest valid Right node, mirroring the paper's
+// behaviour of always answering with the (possibly stale) maintained
+// approximations. A fully cold tree returns *ErrNotCovered.
+func (t *Tree) Approximate(ages []int) ([]float64, error) {
+	cover, err := t.CoverNodes(ages)
+	var uncovered map[int]bool
+	if err != nil {
+		nc, ok := err.(*ErrNotCovered)
+		if !ok {
+			return nil, err
+		}
+		fallbackNode, fbErr := t.finestValidRight()
+		if fbErr != nil {
+			return nil, err // cold tree: propagate ErrNotCovered
+		}
+		uncovered = make(map[int]bool, len(nc.Ages))
+		for _, a := range nc.Ages {
+			uncovered[a] = true
+		}
+		cover = append(cover, fallbackNode)
+	}
+	out := make([]float64, len(ages))
+	for i, a := range ages {
+		ni, ok := coveringNode(cover, a, uncovered)
+		if !ok {
+			return nil, fmt.Errorf("core: internal error, age %d missing from cover", a)
+		}
+		if a < ni.Start {
+			// Best-effort: the newest block is the freshest estimate.
+			a = ni.Start
+		} else if a > ni.End {
+			a = ni.End
+		}
+		out[i] = valueFromNode(ni, a)
+	}
+	return out, nil
+}
+
+// coveringNode selects the node to answer age a: the first cover node
+// whose interval contains a, or — for uncovered ages — the final
+// (fallback) node.
+func coveringNode(cover []NodeInfo, a int, uncovered map[int]bool) (NodeInfo, bool) {
+	if !uncovered[a] {
+		for _, ni := range cover {
+			if a >= ni.Start && a <= ni.End {
+				return ni, true
+			}
+		}
+		return NodeInfo{}, false
+	}
+	if len(cover) == 0 {
+		return NodeInfo{}, false
+	}
+	return cover[len(cover)-1], true
+}
+
+// finestValidRight returns the valid Right node at the lowest maintained
+// level, used as the best-effort source for transiently uncovered recent
+// ages.
+func (t *Tree) finestValidRight() (NodeInfo, error) {
+	for l := t.minLevel; l < t.levels; l++ {
+		if ni := t.info(l, Right); ni.Valid {
+			return ni, nil
+		}
+	}
+	return NodeInfo{}, fmt.Errorf("core: tree has no valid nodes yet")
+}
+
+// PointQuery returns the approximation for the value with the given age.
+// A point query is the inner-product query ([age],[1],δ) of the paper.
+func (t *Tree) PointQuery(age int) (float64, error) {
+	vs, err := t.Approximate([]int{age})
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+// InnerProduct evaluates the inner-product query with the given index
+// vector (ages) and weight vector, returning Σ weights[i]·d[ages[i]]
+// computed over the tree's approximations.
+func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
+	if len(ages) != len(weights) {
+		return 0, fmt.Errorf("core: %d ages but %d weights", len(ages), len(weights))
+	}
+	if len(ages) == 0 {
+		return 0, fmt.Errorf("core: empty inner-product query")
+	}
+	vals, err := t.Approximate(ages)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, v := range vals {
+		sum += weights[i] * v
+	}
+	return sum, nil
+}
+
+// RangeMatch is one result of a range query.
+type RangeMatch struct {
+	// Age of the matching point (0 = most recent).
+	Age int
+	// Value is the tree's approximation for the point.
+	Value float64
+}
+
+// RangeQuery returns all points whose age lies in [ageFrom, ageTo]
+// (inclusive, ageFrom <= ageTo) and whose approximate value lies within
+// [p-radius, p+radius] — the rectangle-vs-step-function intersection of
+// paper §2.4.
+func (t *Tree) RangeQuery(p, radius float64, ageFrom, ageTo int) ([]RangeMatch, error) {
+	if ageFrom < 0 || ageTo < ageFrom || ageTo >= t.n {
+		return nil, fmt.Errorf("core: range query ages [%d,%d] out of window [0,%d)", ageFrom, ageTo, t.n)
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("core: negative radius %v", radius)
+	}
+	ages := make([]int, 0, ageTo-ageFrom+1)
+	for a := ageFrom; a <= ageTo; a++ {
+		ages = append(ages, a)
+	}
+	vals, err := t.Approximate(ages)
+	if err != nil {
+		return nil, err
+	}
+	var out []RangeMatch
+	for i, a := range ages {
+		if vals[i] >= p-radius && vals[i] <= p+radius {
+			out = append(out, RangeMatch{Age: a, Value: vals[i]})
+		}
+	}
+	return out, nil
+}

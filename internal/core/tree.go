@@ -1,0 +1,288 @@
+// Package core implements SWAT, the Stream Summarization using
+// Wavelet-based Approximation Tree of Bulut & Singh (ICDE 2003), §2.
+//
+// A SWAT tree summarizes the last N values of a data stream at multiple
+// resolutions. For a window of size N = 2^n the tree has n levels; a
+// level-l node summarizes a segment of 2^(l+1) consecutive values with up
+// to k wavelet (block-average) coefficients. Every level keeps three
+// nodes — Right (newest), Shift, and Left — and level l is refreshed only
+// every 2^l arrivals, so the three nodes hold progressively older
+// snapshots whose covered segments slide forward between refreshes.
+// The top level keeps only its Right node, giving the paper's
+// 3·log N − 2 node count.
+//
+// The amortized per-arrival maintenance cost is O(k) and the space is
+// O(k log N); queries touch at most 3 log N nodes (paper §2.6).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/streamsum/swat/internal/wavelet"
+)
+
+// Role identifies one of the three node positions at a tree level.
+type Role int
+
+// Node roles, in the scan order the query algorithm uses (paper §2.4:
+// "nodes at the same level in the order R → S → L").
+const (
+	Right Role = iota
+	Shift
+	Left
+)
+
+// String returns the paper's node naming (R, S, L).
+func (r Role) String() string {
+	switch r {
+	case Right:
+		return "R"
+	case Shift:
+		return "S"
+	case Left:
+		return "L"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Options configures a SWAT tree.
+type Options struct {
+	// WindowSize is N, the sliding-window size. Must be a power of two,
+	// at least 4.
+	WindowSize int
+	// Coefficients is k, the number of coefficients kept per node. Must
+	// be a power of two; 0 means 1 (the paper's default single average).
+	Coefficients int
+	// MinLevel drops the levels below it (paper §2.5, "maintaining the
+	// approximations for only the top k < log N levels"). 0 keeps the
+	// full tree; larger values save space at the cost of precision. Must
+	// satisfy 0 <= MinLevel <= log2(WindowSize)-1.
+	MinLevel int
+}
+
+// node is one R/S/L cell of the tree.
+type node struct {
+	// coeffs holds block averages in age order (index 0 = newest block).
+	coeffs []float64
+	// birth is the arrival counter value when the newest element covered
+	// by this node arrived. The node's covered ages at arrival counter t
+	// are [t-birth, t-birth+segLen-1].
+	birth int64
+	valid bool
+}
+
+// Tree is a SWAT approximation tree. It is not safe for concurrent use;
+// callers that share a Tree across goroutines must serialize access.
+type Tree struct {
+	n        int // window size N
+	levels   int // log2 N
+	minLevel int
+	k        int
+
+	// nodes[l][role]; the top level uses only nodes[levels-1][Right].
+	nodes [][3]node
+
+	// recent holds the last 2^(minLevel+1) raw values, newest first
+	// conceptually (stored as a ring), feeding the finest kept level.
+	recent     []float64
+	recentHead int
+	recentLen  int
+
+	arrivals    int64
+	nodeUpdates uint64
+}
+
+// New creates an empty SWAT tree. The tree answers queries only after
+// enough arrivals; Ready reports full warm-up.
+func New(opts Options) (*Tree, error) {
+	n := opts.WindowSize
+	if !wavelet.IsPow2(n) || n < 4 {
+		return nil, fmt.Errorf("core: window size must be a power of two >= 4, got %d", n)
+	}
+	k := opts.Coefficients
+	if k == 0 {
+		k = 1
+	}
+	if !wavelet.IsPow2(k) {
+		return nil, fmt.Errorf("core: coefficients must be a power of two, got %d", k)
+	}
+	levels := wavelet.Log2(n)
+	if opts.MinLevel < 0 || opts.MinLevel > levels-1 {
+		return nil, fmt.Errorf("core: min level %d out of range [0,%d]", opts.MinLevel, levels-1)
+	}
+	t := &Tree{
+		n:        n,
+		levels:   levels,
+		minLevel: opts.MinLevel,
+		k:        k,
+		nodes:    make([][3]node, levels),
+		recent:   make([]float64, 1<<uint(opts.MinLevel+1)),
+	}
+	return t, nil
+}
+
+// WindowSize returns N.
+func (t *Tree) WindowSize() int { return t.n }
+
+// Levels returns log2(N), the number of levels of a full tree.
+func (t *Tree) Levels() int { return t.levels }
+
+// MinLevel returns the finest maintained level (0 for a full tree).
+func (t *Tree) MinLevel() int { return t.minLevel }
+
+// Coefficients returns k, the per-node coefficient budget.
+func (t *Tree) Coefficients() int { return t.k }
+
+// NumNodes returns the number of maintained nodes: 3·(levels−minLevel)−2,
+// which is the paper's 3·log N − 2 for a full tree.
+func (t *Tree) NumNodes() int { return 3*(t.levels-t.minLevel) - 2 }
+
+// Arrivals returns the number of values consumed so far.
+func (t *Tree) Arrivals() int64 { return t.arrivals }
+
+// NodeUpdates returns the total number of node refreshes performed, used
+// to verify the paper's O(kN)-per-cycle (amortized O(k) per arrival)
+// update complexity.
+func (t *Tree) NodeUpdates() uint64 { return t.nodeUpdates }
+
+// segLen returns the segment length 2^(l+1) of a level-l node.
+func (t *Tree) segLen(level int) int { return 1 << uint(level+1) }
+
+// coeffLen returns the coefficient count of a level-l node.
+func (t *Tree) coeffLen(level int) int {
+	if s := t.segLen(level); s < t.k {
+		return s
+	}
+	return t.k
+}
+
+// Ready reports whether every maintained node holds valid data, i.e. the
+// tree has fully warmed up. Warm-up completes within 3·2^(levels-1)
+// arrivals.
+func (t *Tree) Ready() bool {
+	for l := t.minLevel; l < t.levels; l++ {
+		if !t.nodes[l][Right].valid {
+			return false
+		}
+		if l < t.levels-1 && (!t.nodes[l][Shift].valid || !t.nodes[l][Left].valid) {
+			return false
+		}
+	}
+	return true
+}
+
+// Update consumes the next stream value, refreshing every level l with
+// 2^l dividing the new arrival count (paper Fig. 3(a)). The shift chain
+// L ← S ← R runs before R is recomputed from the already-refreshed
+// children of the level below.
+func (t *Tree) Update(v float64) {
+	// Record the raw value in the ring feeding the finest level.
+	t.recentHead = (t.recentHead + 1) % len(t.recent)
+	t.recent[t.recentHead] = v
+	if t.recentLen < len(t.recent) {
+		t.recentLen++
+	}
+
+	t.arrivals++
+	maxLevel := bits.TrailingZeros64(uint64(t.arrivals))
+	if maxLevel > t.levels-1 {
+		maxLevel = t.levels - 1
+	}
+	for l := t.minLevel; l <= maxLevel; l++ {
+		lv := &t.nodes[l]
+		if l < t.levels-1 {
+			// Shift R → S → L. The top level keeps only R.
+			lv[Left] = lv[Shift]
+			lv[Shift] = cloneNode(lv[Right])
+		}
+		fresh, ok := t.freshRight(l)
+		lv[Right] = node{coeffs: fresh, birth: t.arrivals, valid: ok}
+		t.nodeUpdates++
+	}
+}
+
+// freshRight computes the new contents of R_l at the current arrival.
+func (t *Tree) freshRight(l int) ([]float64, bool) {
+	if l == t.minLevel {
+		seg := t.segLen(l)
+		if t.recentLen < seg {
+			return nil, false
+		}
+		raw := make([]float64, seg)
+		for age := 0; age < seg; age++ {
+			raw[age] = t.recent[(t.recentHead-age+2*len(t.recent))%len(t.recent)]
+		}
+		coeffs, err := wavelet.Averages(raw, t.coeffLen(l))
+		if err != nil {
+			// Unreachable: lengths are powers of two by construction.
+			panic(fmt.Sprintf("core: averaging raw segment: %v", err))
+		}
+		return coeffs, true
+	}
+	newer := &t.nodes[l-1][Right] // covers ages [0, 2^l-1] after its refresh
+	older := &t.nodes[l-1][Left]  // covers ages [2^l, 2^(l+1)-1]
+	if !newer.valid || !older.valid {
+		return nil, false
+	}
+	coeffs, err := wavelet.CombineAverages(newer.coeffs, older.coeffs, t.coeffLen(l))
+	if err != nil {
+		panic(fmt.Sprintf("core: combining children: %v", err))
+	}
+	return coeffs, true
+}
+
+func cloneNode(n node) node {
+	c := n
+	c.coeffs = append([]float64(nil), n.coeffs...)
+	return c
+}
+
+// NodeInfo is a read-only snapshot of one tree node, for introspection,
+// tests, and the replication layer.
+type NodeInfo struct {
+	// Level is the node's tree level.
+	Level int
+	// Role is R, S, or L.
+	Role Role
+	// Valid reports whether the node holds data.
+	Valid bool
+	// Start and End are the covered ages [Start, End] at snapshot time
+	// (age 0 = most recent value). End-Start+1 == 2^(Level+1).
+	Start, End int
+	// Coeffs are the stored block averages, newest block first.
+	Coeffs []float64
+}
+
+// String renders the node the way the paper labels them (e.g. "R2[3-10]").
+func (ni NodeInfo) String() string {
+	return fmt.Sprintf("%v%d[%d-%d]", ni.Role, ni.Level, ni.Start, ni.End)
+}
+
+// info snapshots node (l, role).
+func (t *Tree) info(l int, role Role) NodeInfo {
+	nd := &t.nodes[l][role]
+	start := int(t.arrivals - nd.birth)
+	return NodeInfo{
+		Level:  l,
+		Role:   role,
+		Valid:  nd.valid,
+		Start:  start,
+		End:    start + t.segLen(l) - 1,
+		Coeffs: append([]float64(nil), nd.coeffs...),
+	}
+}
+
+// Nodes returns snapshots of all maintained nodes in query scan order
+// (level minLevel..top, R → S → L within a level).
+func (t *Tree) Nodes() []NodeInfo {
+	out := make([]NodeInfo, 0, t.NumNodes())
+	for l := t.minLevel; l < t.levels; l++ {
+		out = append(out, t.info(l, Right))
+		if l < t.levels-1 {
+			out = append(out, t.info(l, Shift), t.info(l, Left))
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package dc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func defaultOpts(n int) Options {
+	return Options{WindowSize: n, ValueLo: 0, ValueHi: 100}
+}
+
+func singleClient(t *testing.T, n int) (*System, netsim.NodeID) {
+	t.Helper()
+	top, err := netsim.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(top, defaultOpts(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, 1
+}
+
+func TestNewValidation(t *testing.T) {
+	top, _ := netsim.Chain(2)
+	bad := []Options{
+		{WindowSize: 0, ValueLo: 0, ValueHi: 100},
+		{WindowSize: 8, ValueLo: 100, ValueHi: 0},
+		{WindowSize: 8, ValueLo: 0, ValueHi: 100, Levels: 1},
+		{WindowSize: 8, ValueLo: 0, ValueHi: 100, ControlCost: -1},
+	}
+	for _, o := range bad {
+		if _, err := New(top, o); err == nil {
+			t.Errorf("New(%+v) accepted", o)
+		}
+	}
+	if _, err := New(nil, defaultOpts(8)); err == nil {
+		t.Error("accepted nil topology")
+	}
+	s, err := New(top, defaultOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.m != 100 || s.w != 1 {
+		t.Errorf("defaults: M=%d w=%v, want 100, 1", s.m, s.w)
+	}
+	if s.Name() != "DC" {
+		t.Error("name wrong")
+	}
+}
+
+func TestReadiness(t *testing.T) {
+	s, c := singleClient(t, 4)
+	q, _ := query.New(query.Point, 0, 1, 10)
+	if _, err := s.OnQuery(c, q); err == nil {
+		t.Error("answered before window full")
+	}
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	if !s.Ready() {
+		t.Error("not ready with full window")
+	}
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Errorf("query failed: %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s, c := singleClient(t, 4)
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	if _, err := s.OnQuery(99, query.Query{}); err == nil {
+		t.Error("accepted invalid node")
+	}
+	if _, err := s.OnQuery(c, query.Query{}); err == nil {
+		t.Error("accepted invalid query")
+	}
+	qBad, _ := query.New(query.Point, 9, 1, 10)
+	if _, err := s.OnQuery(c, qBad); err == nil {
+		t.Error("accepted out-of-window age")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	s, c := singleClient(t, 4)
+	for i := 0; i < 8; i++ {
+		s.OnData(50) // constant stream
+	}
+	s.SetTime(8)
+	q, _ := query.New(query.Point, 0, 1, 30) // generous tolerance
+	// First read misses (nothing cached): request + reply.
+	if _, err := s.OnQuery(c, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Messages().Total(); got != 2 {
+		t.Fatalf("messages after first read = %d, want 2", got)
+	}
+	// Keep reading with no further writes: the estimated read rate
+	// overtakes the write rate, DC caches the item, and reads become
+	// free.
+	for i := 0; i < 30; i++ {
+		s.SetTime(9 + float64(i))
+		if _, err := s.OnQuery(c, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CachedItems(c) == 0 {
+		t.Fatal("item never cached under read-dominated history")
+	}
+	before := s.Messages().Total()
+	if before >= 2*31 {
+		t.Fatalf("every read missed (%d messages); DC failed to adapt", before)
+	}
+	for i := 0; i < 10; i++ {
+		s.SetTime(40 + float64(i))
+		if _, err := s.OnQuery(c, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Messages().Total(); got != before {
+		t.Errorf("steady-state reads cost %d messages, want 0", got-before)
+	}
+}
+
+func TestAnswerWithinPrecision(t *testing.T) {
+	top, _ := netsim.Chain(2)
+	const n = 16
+	s, err := New(top, defaultOpts(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, _ := stream.NewWindow(n)
+	src := stream.RandomWalk(3, 50, 2, 0, 100)
+	push := func() {
+		v := src.Next()
+		s.OnData(v)
+		shadow.Push(v)
+	}
+	for i := 0; i < n; i++ {
+		push()
+	}
+	gen, _ := query.NewGenerator(query.Linear, query.Random, n, n, 0, 5)
+	for step := 0; step < 1000; step++ {
+		s.SetTime(float64(n + step))
+		push()
+		q := gen.Next()
+		q.Precision = 5 + float64(step%40)
+		ans, err := s.OnQuery(1, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := query.Exact(shadow, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(ans - exact); diff > q.Precision+1e-9 {
+			t.Fatalf("step %d: |%v-%v| = %v > δ=%v", step, ans, exact, diff, q.Precision)
+		}
+	}
+}
+
+// TestAdaptsToWriteHeavyLoad: with writes far more frequent than reads
+// on jumpy data, DC converges to not caching (k = M), so writes stop
+// generating refresh traffic.
+func TestAdaptsToWriteHeavyLoad(t *testing.T) {
+	s, c := singleClient(t, 4)
+	src := stream.Uniform(7)
+	now := 0.0
+	tick := func() { now += 0.1; s.SetTime(now) }
+	for i := 0; i < 4; i++ {
+		tick()
+		s.OnData(src.Next())
+	}
+	q, _ := query.New(query.Point, 0, 1, 2) // tight tolerance
+	// Alternate rare reads with many jumpy writes.
+	for round := 0; round < 30; round++ {
+		if _, err := s.OnQuery(c, q); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			tick()
+			s.OnData(src.Next())
+		}
+	}
+	// In steady state nothing should be cached and writes must be free.
+	if got := s.CachedItems(c); got != 0 {
+		t.Errorf("%d items still cached under write-heavy load", got)
+	}
+	before := s.Messages().Total()
+	for i := 0; i < 50; i++ {
+		tick()
+		s.OnData(src.Next())
+	}
+	if got := s.Messages().Total() - before; got != 0 {
+		t.Errorf("write-only steady state cost %d messages, want 0", got)
+	}
+}
+
+// TestReadHeavyCaches: frequent loose reads with rare writes keep items
+// cached, so reads are free.
+func TestReadHeavyCaches(t *testing.T) {
+	s, c := singleClient(t, 4)
+	now := 0.0
+	tick := func() { now += 1; s.SetTime(now) }
+	for i := 0; i < 4; i++ {
+		tick()
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 40)
+	for i := 0; i < 30; i++ {
+		tick()
+		if _, err := s.OnQuery(c, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Messages().Total()
+	for i := 0; i < 20; i++ {
+		tick()
+		if _, err := s.OnQuery(c, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Messages().Total() - before; got != 0 {
+		t.Errorf("read-heavy steady state cost %d messages per 20 reads, want 0", got)
+	}
+}
+
+func TestRootQueriesAreExactAndFree(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	for i := 1; i <= 4; i++ {
+		s.OnData(float64(i))
+	}
+	q, _ := query.New(query.Point, 0, 1, 0)
+	v, err := s.OnQuery(0, q)
+	if err != nil || v != 4 {
+		t.Fatalf("root query = %v (%v), want 4", v, err)
+	}
+	if s.Messages().Total() != 0 {
+		t.Error("root query cost messages")
+	}
+}
+
+func TestHopsCountedOnDeepTopology(t *testing.T) {
+	top, _ := netsim.Chain(4) // client 3 is three hops from the source
+	s, err := New(top, defaultOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.OnData(50)
+	}
+	q, _ := query.New(query.Point, 0, 1, 30)
+	if _, err := s.OnQuery(3, q); err != nil {
+		t.Fatal(err)
+	}
+	// One request + one reply, three hops each.
+	if got := s.Messages().Total(); got != 6 {
+		t.Errorf("messages = %d, want 6", got)
+	}
+}
+
+func TestOptimalKFormulaBoundaries(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	st := &itemState{}
+	// Empty history: middle of the road.
+	if k := s.optimalK(st); k != s.m/2 {
+		t.Errorf("empty-history k = %d, want %d", k, s.m/2)
+	}
+	// Write-only history: best to not cache at all (k = M, cost 0 for
+	// k=M beats λ_w for k=0 when there are no reads... both are 0; the
+	// formula then prefers k=0 only if strictly cheaper).
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		now += 1
+		st.recordEvent(event{time: now, write: true})
+	}
+	s.SetTime(now + 1)
+	kWrites := s.optimalK(st)
+	// With only writes, any k < M pays (M-k)/M per write; k = M pays
+	// nothing.
+	if kWrites != s.m {
+		t.Errorf("write-only k = %d, want M=%d", kWrites, s.m)
+	}
+	// Read-only history with tight tolerance: k should be small enough
+	// to satisfy the reads (k <= tolerance level).
+	st2 := &itemState{}
+	for i := 0; i < 10; i++ {
+		st2.recordEvent(event{time: float64(i), tol: 10})
+	}
+	s.SetTime(11)
+	kReads := s.optimalK(st2)
+	if kReads > 10 {
+		t.Errorf("read-only k = %d, want <= tolerance level 10", kReads)
+	}
+}
+
+func TestHistoryWindowTrimming(t *testing.T) {
+	st := &itemState{}
+	for i := 0; i < 100; i++ {
+		st.recordEvent(event{time: float64(i), write: true})
+	}
+	if len(st.events) != historyWindow {
+		t.Errorf("history length = %d, want %d", len(st.events), historyWindow)
+	}
+	if st.events[0].time != float64(100-historyWindow) {
+		t.Errorf("oldest kept event at t=%v", st.events[0].time)
+	}
+}
+
+func TestPhaseEndIsNoOp(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	s.OnPhaseEnd() // must not panic or change anything
+	if s.Messages().Total() != 0 {
+		t.Error("OnPhaseEnd produced messages")
+	}
+}
+
+func TestCachedItemsValidation(t *testing.T) {
+	s, _ := singleClient(t, 4)
+	if s.CachedItems(99) != 0 || s.CachedItems(0) != 0 {
+		t.Error("CachedItems on invalid/root node should be 0")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/streamsum/swat/internal/histogram"
+)
+
+func init() {
+	register("ablation-bucketing", ablationBucketing)
+}
+
+// ablationBucketing compares bucketing strategies for the histogram
+// baseline at equal budget: the (1+ε)-approximate V-optimal construction
+// the paper benchmarks, the exact V-optimal DP, and the classical
+// equi-width and equi-depth heuristics — quantifying why the paper's
+// baseline is the strong one.
+func ablationBucketing(scale Scale) (*Result, error) {
+	n := 512
+	if scale == Paper {
+		n = 1024
+	}
+	const b = 30
+	tab := &Table{
+		Title:   fmt.Sprintf("Total SSE by bucketing strategy (window %d, B=%d)", n, b),
+		Columns: []string{"dataset", "V-optimal (exact)", "GK approx (eps=0.1)", "equi-width", "equi-depth"},
+	}
+	for _, data := range []string{"real", "synthetic"} {
+		src, err := dataSource(data, 33)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = src.Next()
+		}
+		_, opt, err := histogram.VOptimal(vals, b)
+		if err != nil {
+			return nil, err
+		}
+		s, err := histogram.New(histogram.Options{WindowSize: n, Buckets: b, Epsilon: 0.1})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			s.Update(v)
+		}
+		gk, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		ew, err := histogram.EquiWidth(vals, b)
+		if err != nil {
+			return nil, err
+		}
+		ed, err := histogram.EquiDepth(vals, b)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(data, f(opt), f(gk.SSE), f(ew.SSE), f(ed.SSE))
+	}
+	return &Result{
+		ID:          "ablation-bucketing",
+		Description: "histogram bucketing strategies at equal budget",
+		Tables:      []*Table{tab},
+		Notes: []string{
+			"the GK approximation stays within (1+eps) of exact V-optimal; the classical heuristics are the weak baselines the paper rightly avoids",
+		},
+	}, nil
+}

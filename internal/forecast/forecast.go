@@ -1,0 +1,123 @@
+// Package forecast builds short-horizon predictors on top of SWAT
+// summaries — the paper's motivating application ("applications in
+// forecasting involve predicting the future conditions using the last
+// few measurements ... the number of hits in the immediate past can be
+// used to gauge the popularity of an advertisement", §1).
+//
+// Two classic predictors are provided, both computed purely from the
+// tree's approximations rather than the raw stream: an exponentially
+// weighted moving average (the natural consumer of SWAT's exponential
+// inner-product queries) and Holt's double-exponential smoothing with a
+// trend component reconstructed from two adjacent windows.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// EWMA predicts the next value as the exponentially weighted average of
+// the last span values: ŷ = Σ 2⁻ⁱ·d_i / Σ 2⁻ⁱ — exactly a normalized
+// SWAT exponential inner-product query.
+func EWMA(tree *core.Tree, span int) (float64, error) {
+	if span < 1 {
+		return 0, fmt.Errorf("forecast: span %d", span)
+	}
+	q, err := query.New(query.Exponential, 0, span, 0)
+	if err != nil {
+		return 0, err
+	}
+	ip, err := query.Approx(tree, q)
+	if err != nil {
+		return 0, err
+	}
+	var wsum float64
+	for _, w := range q.Weights {
+		wsum += w
+	}
+	return ip / wsum, nil
+}
+
+// Holt predicts `horizon` steps ahead with a level+trend model: the
+// level is the mean of the most recent span values, the trend the
+// per-step difference between that window and the preceding span
+// values, both read from the summary.
+func Holt(tree *core.Tree, span, horizon int) (float64, error) {
+	if span < 1 {
+		return 0, fmt.Errorf("forecast: span %d", span)
+	}
+	if horizon < 1 {
+		return 0, fmt.Errorf("forecast: horizon %d", horizon)
+	}
+	if 2*span > tree.WindowSize() {
+		return 0, fmt.Errorf("forecast: 2·span %d exceeds window %d", 2*span, tree.WindowSize())
+	}
+	level, err := windowMean(tree, 0, span)
+	if err != nil {
+		return 0, err
+	}
+	prev, err := windowMean(tree, span, span)
+	if err != nil {
+		return 0, err
+	}
+	// The two window centers are span steps apart.
+	trend := (level - prev) / float64(span)
+	// The recent window's center sits (span-1)/2 steps in the past.
+	steps := float64(horizon) + float64(span-1)/2
+	return level + trend*steps, nil
+}
+
+// windowMean averages the approximations for ages [start, start+span).
+func windowMean(tree *core.Tree, start, span int) (float64, error) {
+	ages := make([]int, span)
+	for i := range ages {
+		ages[i] = start + i
+	}
+	vals, err := tree.Approximate(ages)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(span), nil
+}
+
+// Evaluator measures a predictor's accuracy online: feed it the true
+// next value before each tree update and it accumulates the absolute
+// and squared errors of the one-step-ahead forecast.
+type Evaluator struct {
+	n             uint64
+	sumAbs, sumSq float64
+}
+
+// Record registers one (forecast, actual) pair.
+func (e *Evaluator) Record(forecast, actual float64) {
+	d := forecast - actual
+	e.n++
+	e.sumAbs += math.Abs(d)
+	e.sumSq += d * d
+}
+
+// Count returns the number of recorded pairs.
+func (e *Evaluator) Count() uint64 { return e.n }
+
+// MAE returns the mean absolute error.
+func (e *Evaluator) MAE() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.sumAbs / float64(e.n)
+}
+
+// RMSE returns the root mean squared error.
+func (e *Evaluator) RMSE() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return math.Sqrt(e.sumSq / float64(e.n))
+}

@@ -1,0 +1,165 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func warmTree(t *testing.T, n int, src stream.Source, arrivals int) *core.Tree {
+	t.Helper()
+	tree, err := core.New(core.Options{WindowSize: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < arrivals; i++ {
+		tree.Update(src.Next())
+	}
+	return tree
+}
+
+func TestEWMAConstantStream(t *testing.T) {
+	tree := warmTree(t, 64, stream.Constant(7), 128)
+	got, err := EWMA(tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-7) > 1e-9 {
+		t.Errorf("EWMA = %v, want 7", got)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	tree := warmTree(t, 16, stream.Constant(1), 32)
+	if _, err := EWMA(tree, 0); err == nil {
+		t.Error("span 0 accepted")
+	}
+	cold, _ := core.New(core.Options{WindowSize: 16})
+	if _, err := EWMA(cold, 4); err == nil {
+		t.Error("cold tree answered")
+	}
+}
+
+func TestEWMATracksRecentLevel(t *testing.T) {
+	// A level shift must pull the forecast toward the new level quickly.
+	tree := warmTree(t, 64, stream.Constant(10), 128)
+	for i := 0; i < 16; i++ {
+		tree.Update(50)
+	}
+	got, err := EWMA(tree, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 40 {
+		t.Errorf("EWMA after level shift = %v, want near 50", got)
+	}
+}
+
+func TestHoltConstantStream(t *testing.T) {
+	tree := warmTree(t, 64, stream.Constant(12), 192)
+	for _, h := range []int{1, 5, 20} {
+		got, err := Holt(tree, 8, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-12) > 1e-9 {
+			t.Errorf("Holt(horizon=%d) = %v, want 12", h, got)
+		}
+	}
+}
+
+func TestHoltLinearTrend(t *testing.T) {
+	// On a perfect linear ramp d_{i+1} = d_i + 1, Holt must extrapolate
+	// accurately.
+	tree, err := core.New(core.Options{WindowSize: 64, Coefficients: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Drift(0, 1)
+	var last float64
+	for i := 0; i < 192; i++ {
+		last = src.Next()
+		tree.Update(last)
+	}
+	got, err := Holt(tree, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := last + 4
+	if math.Abs(got-want) > 3 {
+		t.Errorf("Holt forecast = %v, want ≈ %v", got, want)
+	}
+	// The trend-aware forecast must beat EWMA on a ramp.
+	ew, err := EWMA(tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ew-want) <= math.Abs(got-want) {
+		t.Errorf("EWMA (%v) unexpectedly beat Holt (%v) on a ramp toward %v", ew, got, want)
+	}
+}
+
+func TestHoltValidation(t *testing.T) {
+	tree := warmTree(t, 16, stream.Constant(1), 32)
+	if _, err := Holt(tree, 0, 1); err == nil {
+		t.Error("span 0 accepted")
+	}
+	if _, err := Holt(tree, 4, 0); err == nil {
+		t.Error("horizon 0 accepted")
+	}
+	if _, err := Holt(tree, 9, 1); err == nil {
+		t.Error("2*span > window accepted")
+	}
+}
+
+func TestEvaluator(t *testing.T) {
+	var e Evaluator
+	if e.MAE() != 0 || e.RMSE() != 0 || e.Count() != 0 {
+		t.Error("empty evaluator not zero")
+	}
+	e.Record(10, 12)
+	e.Record(10, 6)
+	if e.Count() != 2 {
+		t.Errorf("Count = %d", e.Count())
+	}
+	if math.Abs(e.MAE()-3) > 1e-12 {
+		t.Errorf("MAE = %v, want 3", e.MAE())
+	}
+	if math.Abs(e.RMSE()-math.Sqrt(10)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(10)", e.RMSE())
+	}
+}
+
+func TestForecastQualityOnSmoothStream(t *testing.T) {
+	// One-step EWMA forecasts on a smooth random walk must beat the
+	// naive "predict the window mean" baseline.
+	tree, err := core.New(core.Options{WindowSize: 128, Coefficients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, _ := stream.NewWindow(128)
+	src := stream.RandomWalk(5, 50, 1.5, 0, 100)
+	var ewma, naive Evaluator
+	for i := 0; i < 1024; i++ {
+		v := src.Next()
+		if i > 256 {
+			fc, err := EWMA(tree, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ewma.Record(fc, v)
+			mean, err := shadow.Mean(0, shadow.Len()-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive.Record(mean, v)
+		}
+		tree.Update(v)
+		shadow.Push(v)
+	}
+	if ewma.MAE() >= naive.MAE() {
+		t.Errorf("EWMA MAE %v not better than naive window mean %v", ewma.MAE(), naive.MAE())
+	}
+}

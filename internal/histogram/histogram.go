@@ -1,0 +1,443 @@
+// Package histogram implements the sliding-window histogram baseline the
+// paper benchmarks SWAT against: the (1+ε)-approximate B-bucket V-optimal
+// histogram of Guha & Koudas (ICDE 2002, reference [8] of the paper).
+//
+// Matching the paper's description of the baseline (§2.7): each arrival
+// costs O(1) — only the running sum and squared sum are maintained — and
+// the histogram itself is (re)built at query time over the last N values,
+// with cost in the O((B³ log³ N)/ε²) class. Queries are answered from
+// bucket means, which is the best single representative under sum-squared
+// error. Space is O(N): the raw window must be retained for rebuilds.
+//
+// An exact V-optimal dynamic program (O(N²·B)) is also provided; tests
+// use it to verify the approximate construction honours its (1+ε) bound.
+package histogram
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// WindowSize is N, the sliding-window size.
+	WindowSize int
+	// Buckets is B, the number of histogram buckets.
+	Buckets int
+	// Epsilon is the approximation parameter ε of Guha–Koudas; smaller
+	// values give better histograms at higher query cost.
+	Epsilon float64
+}
+
+// Summary is the streaming state of the baseline.
+type Summary struct {
+	opts   Options
+	window *stream.Window
+
+	// Running aggregates maintained per arrival (the O(1) arrival work).
+	runningSum   float64
+	runningSqSum float64
+
+	// builds counts histogram constructions, for cost accounting.
+	builds uint64
+}
+
+// New validates the options and creates an empty summary.
+func New(opts Options) (*Summary, error) {
+	if opts.WindowSize < 1 {
+		return nil, fmt.Errorf("histogram: window size %d", opts.WindowSize)
+	}
+	if opts.Buckets < 1 || opts.Buckets > opts.WindowSize {
+		return nil, fmt.Errorf("histogram: buckets %d out of [1,%d]", opts.Buckets, opts.WindowSize)
+	}
+	if opts.Epsilon <= 0 {
+		return nil, fmt.Errorf("histogram: epsilon must be positive, got %v", opts.Epsilon)
+	}
+	w, err := stream.NewWindow(opts.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{opts: opts, window: w}, nil
+}
+
+// Update consumes the next stream value in O(1).
+func (s *Summary) Update(v float64) {
+	s.window.Push(v)
+	s.runningSum += v
+	s.runningSqSum += v * v
+}
+
+// Ready reports whether a full window has been observed.
+func (s *Summary) Ready() bool { return s.window.Len() == s.window.Cap() }
+
+// Arrivals returns the number of values consumed.
+func (s *Summary) Arrivals() uint64 { return s.window.Total() }
+
+// RunningSum returns the running sum over the whole stream.
+func (s *Summary) RunningSum() float64 { return s.runningSum }
+
+// RunningSqSum returns the running sum of squares over the whole stream.
+func (s *Summary) RunningSqSum() float64 { return s.runningSqSum }
+
+// Builds returns how many times a histogram has been constructed.
+func (s *Summary) Builds() uint64 { return s.builds }
+
+// Histogram is a B-bucket piecewise-constant approximation of the window
+// in chronological order (index 0 = oldest value in the window).
+type Histogram struct {
+	// N is the number of summarized values.
+	N int
+	// Ends[k] is the chronological index (inclusive) where bucket k
+	// ends; Ends[len(Ends)-1] == N-1.
+	Ends []int
+	// Means[k] is the representative (mean) of bucket k.
+	Means []float64
+	// SSE is the total sum of squared errors of the construction.
+	SSE float64
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.Ends) }
+
+// ValueAtAge returns the bucket representative for the value with the
+// given age (0 = most recent).
+func (h *Histogram) ValueAtAge(age int) (float64, error) {
+	if age < 0 || age >= h.N {
+		return 0, fmt.Errorf("histogram: age %d out of [0,%d)", age, h.N)
+	}
+	chrono := h.N - 1 - age
+	// Binary search the first bucket whose end >= chrono.
+	lo, hi := 0, len(h.Ends)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.Ends[mid] >= chrono {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return h.Means[lo], nil
+}
+
+// Build constructs the (1+ε)-approximate B-bucket histogram of the
+// current window contents. This is the expensive query-time step.
+func (s *Summary) Build() (*Histogram, error) {
+	n := s.window.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: empty window")
+	}
+	s.builds++
+	// Chronological values (oldest first).
+	vals := make([]float64, n)
+	for age := 0; age < n; age++ {
+		vals[n-1-age] = s.window.MustAt(age)
+	}
+	b := s.opts.Buckets
+	if b > n {
+		b = n
+	}
+	dp := newApproxDP(vals, b, s.opts.Epsilon)
+	ends, sse := dp.solve()
+	means := make([]float64, len(ends))
+	start := 0
+	for k, end := range ends {
+		means[k] = dp.mean(start+1, end+1) // dp is 1-indexed
+		start = end + 1
+	}
+	return &Histogram{N: n, Ends: ends, Means: means, SSE: sse}, nil
+}
+
+// InnerProduct answers an inner-product query by building a histogram
+// and summing weighted bucket representatives. It implements the
+// query.Evaluator interface so experiments can drive SWAT and the
+// baseline identically.
+func (s *Summary) InnerProduct(ages []int, weights []float64) (float64, error) {
+	if len(ages) != len(weights) {
+		return 0, fmt.Errorf("histogram: %d ages but %d weights", len(ages), len(weights))
+	}
+	h, err := s.Build()
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, a := range ages {
+		v, err := h.ValueAtAge(a)
+		if err != nil {
+			return 0, err
+		}
+		sum += weights[i] * v
+	}
+	return sum, nil
+}
+
+// PointQuery answers a point query for the given age.
+func (s *Summary) PointQuery(age int) (float64, error) {
+	h, err := s.Build()
+	if err != nil {
+		return 0, err
+	}
+	return h.ValueAtAge(age)
+}
+
+// approxDP carries the Guha–Koudas approximate dynamic program. The
+// optimal error E[i][j] (best SSE of covering the first i values with j
+// buckets) is non-decreasing in i, so instead of scanning every boundary
+// the DP probes only boundaries where E[·][j-1] changes by a (1+δ)
+// factor, located by binary search; δ = ε/(2B) yields an overall (1+ε)
+// guarantee.
+type approxDP struct {
+	prefix   []float64 // prefix[i] = sum of first i values (1-indexed)
+	prefixSq []float64
+	b        int
+	delta    float64
+	memo     [][]float64 // memo[j][i], NaN = not computed
+	probes   uint64
+}
+
+func newApproxDP(vals []float64, b int, epsilon float64) *approxDP {
+	n := len(vals)
+	d := &approxDP{
+		prefix:   make([]float64, n+1),
+		prefixSq: make([]float64, n+1),
+		b:        b,
+		delta:    epsilon / (2 * float64(b)),
+		memo:     make([][]float64, b+1),
+	}
+	for i, v := range vals {
+		d.prefix[i+1] = d.prefix[i] + v
+		d.prefixSq[i+1] = d.prefixSq[i] + v*v
+	}
+	for j := range d.memo {
+		d.memo[j] = make([]float64, n+1)
+		for i := range d.memo[j] {
+			d.memo[j][i] = math.NaN()
+		}
+	}
+	return d
+}
+
+func (d *approxDP) n() int { return len(d.prefix) - 1 }
+
+// sse returns the sum of squared deviations from the mean over the
+// 1-indexed inclusive range [a, b].
+func (d *approxDP) sse(a, b int) float64 {
+	cnt := float64(b - a + 1)
+	sum := d.prefix[b] - d.prefix[a-1]
+	sq := d.prefixSq[b] - d.prefixSq[a-1]
+	v := sq - sum*sum/cnt
+	if v < 0 { // guard against floating-point cancellation
+		return 0
+	}
+	return v
+}
+
+func (d *approxDP) mean(a, b int) float64 {
+	return (d.prefix[b] - d.prefix[a-1]) / float64(b-a+1)
+}
+
+// e computes the approximate optimal error of covering values 1..i with
+// j buckets.
+func (d *approxDP) e(i, j int) float64 {
+	if i <= j {
+		return 0
+	}
+	if j == 1 {
+		return d.sse(1, i)
+	}
+	if v := d.memo[j][i]; !math.IsNaN(v) {
+		return v
+	}
+	best := math.Inf(1)
+	// Scan boundaries from the largest downwards, skipping plateaus of
+	// E[·][j-1] via geometric thresholds.
+	bnd := i - 1
+	lo := j - 1
+	for bnd >= lo {
+		d.probes++
+		e1 := d.e(bnd, j-1)
+		if cost := e1 + d.sse(bnd+1, i); cost < best {
+			best = cost
+		}
+		if e1 == 0 {
+			break
+		}
+		// Find the largest boundary with E <= e1/(1+δ).
+		target := e1 / (1 + d.delta)
+		nlo, nhi := lo, bnd-1
+		next := -1
+		for nlo <= nhi {
+			mid := (nlo + nhi) / 2
+			if d.e(mid, j-1) <= target {
+				next = mid
+				nlo = mid + 1
+			} else {
+				nhi = mid - 1
+			}
+		}
+		if next < 0 {
+			// No boundary crosses the threshold; probe the smallest and
+			// finish.
+			if bnd != lo {
+				d.probes++
+				if cost := d.e(lo, j-1) + d.sse(lo+1, i); cost < best {
+					best = cost
+				}
+			}
+			break
+		}
+		bnd = next
+	}
+	d.memo[j][i] = best
+	return best
+}
+
+// solve returns the bucket end positions (0-indexed, chronological) and
+// the total SSE of the chosen bucketing. Boundaries are recovered by
+// re-running the geometric probing top-down.
+func (d *approxDP) solve() ([]int, float64) {
+	n := d.n()
+	bounds := make([]int, d.b+1)
+	bounds[d.b] = n
+	cur := n
+	for j := d.b; j >= 2; j-- {
+		cur = d.chooseBoundary(cur, j)
+		bounds[j-1] = cur
+	}
+	bounds[0] = 0
+	out := make([]int, 0, d.b)
+	var total float64
+	for j := 1; j <= d.b; j++ {
+		if bounds[j] > bounds[j-1] {
+			out = append(out, bounds[j]-1)
+			total += d.sse(bounds[j-1]+1, bounds[j])
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != n-1 {
+		out = append(out, n-1)
+	}
+	return out, total
+}
+
+// chooseBoundary returns the boundary b (number of values assigned to
+// the first j-1 buckets) minimizing the approximate split cost for
+// covering 1..i with j buckets, using the same geometric probing as e.
+func (d *approxDP) chooseBoundary(i, j int) int {
+	if i <= j {
+		return i - 1
+	}
+	bestCost := math.Inf(1)
+	chosen := j - 1
+	bnd := i - 1
+	lo := j - 1
+	for bnd >= lo {
+		e1 := d.e(bnd, j-1)
+		if cost := e1 + d.sse(bnd+1, i); cost < bestCost {
+			bestCost = cost
+			chosen = bnd
+		}
+		if e1 == 0 {
+			break
+		}
+		target := e1 / (1 + d.delta)
+		nlo, nhi := lo, bnd-1
+		next := -1
+		for nlo <= nhi {
+			mid := (nlo + nhi) / 2
+			if d.e(mid, j-1) <= target {
+				next = mid
+				nlo = mid + 1
+			} else {
+				nhi = mid - 1
+			}
+		}
+		if next < 0 {
+			if bnd != lo {
+				if cost := d.e(lo, j-1) + d.sse(lo+1, i); cost < bestCost {
+					bestCost = cost
+					chosen = lo
+				}
+			}
+			break
+		}
+		bnd = next
+	}
+	return chosen
+}
+
+// VOptimal computes the exact V-optimal histogram of vals with b buckets
+// by the classic O(N²·B) dynamic program. Returned ends are 0-indexed
+// inclusive bucket ends; sse is the optimal total error. Used by tests
+// to validate the approximate construction and available for offline
+// analysis of small windows.
+func VOptimal(vals []float64, b int) (ends []int, sse float64, err error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("histogram: empty input")
+	}
+	if b < 1 {
+		return nil, 0, fmt.Errorf("histogram: buckets %d", b)
+	}
+	if b > n {
+		b = n
+	}
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range vals {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	cost := func(a, c int) float64 { // 1-indexed inclusive
+		cnt := float64(c - a + 1)
+		sum := prefix[c] - prefix[a-1]
+		sq := prefixSq[c] - prefixSq[a-1]
+		v := sq - sum*sum/cnt
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	const inf = math.MaxFloat64
+	e := make([][]float64, b+1)
+	arg := make([][]int, b+1)
+	for j := 0; j <= b; j++ {
+		e[j] = make([]float64, n+1)
+		arg[j] = make([]int, n+1)
+		for i := range e[j] {
+			e[j][i] = inf
+		}
+	}
+	for i := 1; i <= n; i++ {
+		e[1][i] = cost(1, i)
+	}
+	for j := 2; j <= b; j++ {
+		for i := j; i <= n; i++ {
+			for bnd := j - 1; bnd < i; bnd++ {
+				if c := e[j-1][bnd] + cost(bnd+1, i); c < e[j][i] {
+					e[j][i] = c
+					arg[j][i] = bnd
+				}
+			}
+		}
+	}
+	sse = e[b][n]
+	bounds := make([]int, 0, b)
+	i := n
+	for j := b; j >= 2; j-- {
+		bounds = append(bounds, i-1)
+		i = arg[j][i]
+	}
+	bounds = append(bounds, i-1)
+	// bounds currently holds bucket ends from last to first.
+	ends = make([]int, 0, len(bounds))
+	for k := len(bounds) - 1; k >= 0; k-- {
+		if len(ends) == 0 || bounds[k] > ends[len(ends)-1] {
+			ends = append(ends, bounds[k])
+		}
+	}
+	if ends[len(ends)-1] != n-1 {
+		ends = append(ends, n-1)
+	}
+	return ends, sse, nil
+}

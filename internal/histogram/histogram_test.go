@@ -1,0 +1,298 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func mustSummary(t *testing.T, opts Options) *Summary {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Options{
+		{WindowSize: 0, Buckets: 1, Epsilon: 0.1},
+		{WindowSize: 8, Buckets: 0, Epsilon: 0.1},
+		{WindowSize: 8, Buckets: 9, Epsilon: 0.1},
+		{WindowSize: 8, Buckets: 2, Epsilon: 0},
+		{WindowSize: 8, Buckets: 2, Epsilon: -1},
+	}
+	for _, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Errorf("New(%+v) accepted invalid options", o)
+		}
+	}
+}
+
+func TestUpdateAndRunningAggregates(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 4, Buckets: 2, Epsilon: 0.1})
+	if s.Ready() {
+		t.Error("empty summary Ready")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		s.Update(v)
+	}
+	if s.Ready() {
+		t.Error("Ready before window full")
+	}
+	s.Update(4)
+	if !s.Ready() {
+		t.Error("not Ready with full window")
+	}
+	if s.Arrivals() != 4 {
+		t.Errorf("Arrivals = %d", s.Arrivals())
+	}
+	if s.RunningSum() != 10 || s.RunningSqSum() != 30 {
+		t.Errorf("running sums = %v, %v; want 10, 30", s.RunningSum(), s.RunningSqSum())
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 4, Buckets: 2, Epsilon: 0.1})
+	if _, err := s.Build(); err == nil {
+		t.Error("Build on empty window succeeded")
+	}
+}
+
+func TestBuildExactOnPiecewiseConstant(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 8, Buckets: 2, Epsilon: 0.1})
+	for _, v := range []float64{5, 5, 5, 5, 9, 9, 9, 9} {
+		s.Update(v)
+	}
+	h, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SSE > 1e-9 {
+		t.Errorf("SSE = %v for 2 constant pieces with 2 buckets, want 0", h.SSE)
+	}
+	// Ages 0..3 are the 9s, ages 4..7 the 5s.
+	for age := 0; age < 4; age++ {
+		v, err := h.ValueAtAge(age)
+		if err != nil || v != 9 {
+			t.Errorf("ValueAtAge(%d) = %v (%v), want 9", age, v, err)
+		}
+	}
+	for age := 4; age < 8; age++ {
+		v, err := h.ValueAtAge(age)
+		if err != nil || v != 5 {
+			t.Errorf("ValueAtAge(%d) = %v (%v), want 5", age, v, err)
+		}
+	}
+	if _, err := h.ValueAtAge(8); err == nil {
+		t.Error("accepted out-of-range age")
+	}
+	if _, err := h.ValueAtAge(-1); err == nil {
+		t.Error("accepted negative age")
+	}
+	if s.Builds() != 1 {
+		t.Errorf("Builds = %d, want 1", s.Builds())
+	}
+}
+
+func TestBuildEndsCoverWindow(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 32, Buckets: 5, Epsilon: 0.2})
+	src := stream.Uniform(1)
+	for i := 0; i < 32; i++ {
+		s.Update(src.Next())
+	}
+	h, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() > 5 {
+		t.Errorf("built %d buckets, want <= 5", h.Buckets())
+	}
+	prev := -1
+	for _, e := range h.Ends {
+		if e <= prev {
+			t.Fatalf("bucket ends not increasing: %v", h.Ends)
+		}
+		prev = e
+	}
+	if h.Ends[len(h.Ends)-1] != 31 {
+		t.Errorf("last bucket ends at %d, want 31", h.Ends[len(h.Ends)-1])
+	}
+}
+
+func TestVOptimalKnownCase(t *testing.T) {
+	// Two clear clusters: optimal 2-bucket split is between them.
+	vals := []float64{1, 1, 1, 10, 10, 10}
+	ends, sse, err := VOptimal(vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse > 1e-9 {
+		t.Errorf("optimal SSE = %v, want 0", sse)
+	}
+	if len(ends) != 2 || ends[0] != 2 || ends[1] != 5 {
+		t.Errorf("ends = %v, want [2 5]", ends)
+	}
+}
+
+func TestVOptimalValidation(t *testing.T) {
+	if _, _, err := VOptimal(nil, 2); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, _, err := VOptimal([]float64{1}, 0); err == nil {
+		t.Error("accepted zero buckets")
+	}
+	// More buckets than points clamps.
+	ends, sse, err := VOptimal([]float64{3, 7}, 10)
+	if err != nil || sse > 1e-12 {
+		t.Fatalf("clamped VOptimal failed: %v %v", sse, err)
+	}
+	if ends[len(ends)-1] != 1 {
+		t.Errorf("ends = %v", ends)
+	}
+}
+
+func TestVOptimalSingleBucket(t *testing.T) {
+	vals := []float64{2, 4, 6}
+	_, sse, err := VOptimal(vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sse-8) > 1e-9 { // variance*3 = ((2-4)^2+(0)^2+(2)^2)
+		t.Errorf("SSE = %v, want 8", sse)
+	}
+}
+
+// sseOf computes the SSE of a bucketing directly.
+func sseOf(vals []float64, ends []int) float64 {
+	var total float64
+	start := 0
+	for _, e := range ends {
+		var sum float64
+		for i := start; i <= e; i++ {
+			sum += vals[i]
+		}
+		mean := sum / float64(e-start+1)
+		for i := start; i <= e; i++ {
+			d := vals[i] - mean
+			total += d * d
+		}
+		start = e + 1
+	}
+	return total
+}
+
+// TestApproxWithinEpsilonOfOptimal validates the (1+ε) guarantee of the
+// approximate construction against the exact DP on random windows.
+func TestApproxWithinEpsilonOfOptimal(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.5} {
+		for seed := int64(0); seed < 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			n, b := 64, 6
+			s := mustSummary(t, Options{WindowSize: n, Buckets: b, Epsilon: eps})
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = r.Float64() * 100
+				s.Update(vals[i])
+			}
+			h, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, opt, err := VOptimal(vals, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sseOf(vals, h.Ends); got > (1+eps)*opt+1e-9 {
+				t.Errorf("eps=%v seed=%d: approx SSE %v > (1+ε)·opt %v", eps, seed, got, (1+eps)*opt)
+			}
+			if math.Abs(h.SSE-sseOf(vals, h.Ends)) > 1e-6 {
+				t.Errorf("reported SSE %v != actual %v", h.SSE, sseOf(vals, h.Ends))
+			}
+		}
+	}
+}
+
+// Property: ValueAtAge returns the mean of the bucket containing the
+// value, so reconstructing the window from the histogram preserves the
+// window mean.
+func TestQuickHistogramPreservesMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 16 + r.Intn(48)
+		b := 1 + r.Intn(8)
+		s, err := New(Options{WindowSize: n, Buckets: b, Epsilon: 0.1})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Float64() * 50
+			sum += v
+			s.Update(v)
+		}
+		h, err := s.Build()
+		if err != nil {
+			return false
+		}
+		var rec float64
+		for age := 0; age < n; age++ {
+			v, err := h.ValueAtAge(age)
+			if err != nil {
+				return false
+			}
+			rec += v
+		}
+		return math.Abs(rec-sum) <= 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInnerProductAndPointQuery(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 8, Buckets: 8, Epsilon: 0.1})
+	for i := 1; i <= 8; i++ {
+		s.Update(float64(i))
+	}
+	// With B=N every value is its own bucket: queries are exact.
+	v, err := s.PointQuery(0)
+	if err != nil || v != 8 {
+		t.Fatalf("PointQuery(0) = %v (%v), want 8", v, err)
+	}
+	ip, err := s.InnerProduct([]int{0, 1}, []float64{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ip-11.5) > 1e-9 {
+		t.Errorf("InnerProduct = %v, want 11.5", ip)
+	}
+	if _, err := s.InnerProduct([]int{0}, []float64{1, 2}); err == nil {
+		t.Error("accepted mismatched weights")
+	}
+	if _, err := s.InnerProduct([]int{99}, []float64{1}); err == nil {
+		t.Error("accepted out-of-window age")
+	}
+}
+
+func TestPartialWindowBuild(t *testing.T) {
+	// Build must work on a partially filled window (fewer values than N).
+	s := mustSummary(t, Options{WindowSize: 16, Buckets: 4, Epsilon: 0.1})
+	for i := 0; i < 5; i++ {
+		s.Update(float64(i))
+	}
+	h, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 5 {
+		t.Errorf("h.N = %d, want 5", h.N)
+	}
+	if h.Ends[len(h.Ends)-1] != 4 {
+		t.Errorf("last end = %d, want 4", h.Ends[len(h.Ends)-1])
+	}
+}

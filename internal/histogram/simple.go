@@ -1,0 +1,120 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file provides two classical non-adaptive histogram constructions,
+// used as additional baselines in the bucketing ablation: equi-width
+// bucketing over time (fixed-size buckets) and equi-depth bucketing over
+// values (quantile buckets mapped back to time runs). Both are strictly
+// weaker than the V-optimal construction the paper benchmarks; the
+// ablation quantifies by how much.
+
+// EquiWidth builds a histogram with b equal-size buckets over the values
+// in chronological order.
+func EquiWidth(vals []float64, b int) (*Histogram, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: empty input")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("histogram: buckets %d", b)
+	}
+	if b > n {
+		b = n
+	}
+	h := &Histogram{N: n}
+	start := 0
+	for k := 0; k < b; k++ {
+		end := (k + 1) * n / b
+		if end <= start {
+			continue
+		}
+		var sum float64
+		for i := start; i < end; i++ {
+			sum += vals[i]
+		}
+		mean := sum / float64(end-start)
+		for i := start; i < end; i++ {
+			d := vals[i] - mean
+			h.SSE += d * d
+		}
+		h.Ends = append(h.Ends, end-1)
+		h.Means = append(h.Means, mean)
+		start = end
+	}
+	return h, nil
+}
+
+// EquiDepth builds a histogram whose bucket boundaries are the
+// value-domain quantiles: each chronological run is assigned the mean of
+// its quantile band. Boundaries are then remapped to maximal
+// chronological runs so the result is a valid piecewise-constant
+// time-domain histogram; the number of produced buckets can exceed b
+// when the series oscillates across band boundaries, so the construction
+// reports the actual count via Buckets().
+func EquiDepth(vals []float64, b int) (*Histogram, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: empty input")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("histogram: buckets %d", b)
+	}
+	if b > n {
+		b = n
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	// Band k covers values in [cut[k], cut[k+1]).
+	cuts := make([]float64, b+1)
+	for k := 0; k < b; k++ {
+		idx := k * n / b
+		if idx > n-1 {
+			idx = n - 1
+		}
+		cuts[k] = sorted[idx]
+	}
+	cuts[b] = math.Inf(1)
+	band := func(v float64) int {
+		// Find the last cut <= v.
+		lo, hi := 0, b-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if cuts[mid] <= v {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	h := &Histogram{N: n}
+	start := 0
+	curBand := band(vals[0])
+	flush := func(end int) { // [start, end] inclusive
+		var sum float64
+		for i := start; i <= end; i++ {
+			sum += vals[i]
+		}
+		mean := sum / float64(end-start+1)
+		for i := start; i <= end; i++ {
+			d := vals[i] - mean
+			h.SSE += d * d
+		}
+		h.Ends = append(h.Ends, end)
+		h.Means = append(h.Means, mean)
+		start = end + 1
+	}
+	for i := 1; i < n; i++ {
+		if bd := band(vals[i]); bd != curBand {
+			flush(i - 1)
+			curBand = bd
+		}
+	}
+	flush(n - 1)
+	return h, nil
+}

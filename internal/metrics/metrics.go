@@ -1,0 +1,174 @@
+// Package metrics provides the error measures and accumulators used by
+// the SWAT experiments: relative and absolute approximation error,
+// streaming mean/min/max/variance accumulation, and time series with
+// cumulative means (the paper's Fig. 4(b) "cumulative error at time t
+// measures the average of the relative errors observed in queries at
+// times 0, 1, ..., t").
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// relFloor guards relative error against division by (near-)zero exact
+// values.
+const relFloor = 1e-12
+
+// Relative returns |approx-exact| / max(|exact|, floor).
+func Relative(approx, exact float64) float64 {
+	den := math.Abs(exact)
+	if den < relFloor {
+		den = relFloor
+	}
+	return math.Abs(approx-exact) / den
+}
+
+// Absolute returns |approx-exact|.
+func Absolute(approx, exact float64) float64 {
+	return math.Abs(approx - exact)
+}
+
+// Accumulator aggregates a sequence of non-negative error samples (or any
+// float64 observations) with O(1) memory using Welford's algorithm for
+// the variance.
+type Accumulator struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+	sum      float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(v float64) {
+	a.n++
+	a.sum += v
+	if a.n == 1 {
+		a.min, a.max = v, v
+	} else {
+		a.min = math.Min(a.min, v)
+		a.max = math.Max(a.max, v)
+	}
+	delta := v - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (v - a.mean)
+}
+
+// Count returns the number of observations.
+func (a *Accumulator) Count() uint64 { return a.n }
+
+// Sum returns the sum of observations.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty accumulator.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.mean
+}
+
+// Min returns the smallest observation, or 0 for an empty accumulator.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observation, or 0 for an empty accumulator.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev returns the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// String summarizes the accumulator for logs and experiment output.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g min=%.6g max=%.6g sd=%.6g",
+		a.n, a.Mean(), a.Min(), a.Max(), a.StdDev())
+}
+
+// Series records a time-ordered sequence of observations, supporting the
+// per-time-step plots of the paper.
+type Series struct {
+	vals []float64
+}
+
+// Append records the next observation.
+func (s *Series) Append(v float64) { s.vals = append(s.vals, v) }
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.vals) }
+
+// At returns the i-th observation.
+func (s *Series) At(i int) float64 { return s.vals[i] }
+
+// Values returns a copy of the observations.
+func (s *Series) Values() []float64 {
+	return append([]float64(nil), s.vals...)
+}
+
+// Mean returns the mean of all observations, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// CumulativeMean returns the series c where c[t] is the mean of the
+// observations at times 0..t — the paper's cumulative error curve.
+func (s *Series) CumulativeMean() []float64 {
+	out := make([]float64, len(s.vals))
+	var sum float64
+	for i, v := range s.vals {
+		sum += v
+		out[i] = sum / float64(i+1)
+	}
+	return out
+}
+
+// Downsample reduces the series to at most points values by averaging
+// fixed-size buckets, for compact experiment printouts. It returns the
+// bucket means and the time index of each bucket's end.
+func (s *Series) Downsample(points int) (means []float64, times []int) {
+	n := len(s.vals)
+	if points <= 0 || n == 0 {
+		return nil, nil
+	}
+	if points > n {
+		points = n
+	}
+	bucket := (n + points - 1) / points
+	for start := 0; start < n; start += bucket {
+		end := start + bucket
+		if end > n {
+			end = n
+		}
+		var sum float64
+		for _, v := range s.vals[start:end] {
+			sum += v
+		}
+		means = append(means, sum/float64(end-start))
+		times = append(times, end-1)
+	}
+	return means, times
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelative(t *testing.T) {
+	if got := Relative(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Relative(11,10) = %v, want 0.1", got)
+	}
+	if got := Relative(-9, -10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Relative(-9,-10) = %v, want 0.1", got)
+	}
+	// Zero exact value must not divide by zero.
+	if got := Relative(1, 0); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("Relative(1,0) = %v, want finite", got)
+	}
+	if got := Relative(5, 5); got != 0 {
+		t.Errorf("Relative(5,5) = %v, want 0", got)
+	}
+}
+
+func TestAbsolute(t *testing.T) {
+	if Absolute(3, 5) != 2 || Absolute(5, 3) != 2 {
+		t.Error("Absolute wrong")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 || a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 || a.Variance() != 0 || a.Sum() != 0 {
+		t.Error("empty accumulator not all zero")
+	}
+}
+
+func TestAccumulatorStats(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.Count() != 8 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if math.Abs(a.Variance()-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", a.Variance())
+	}
+	if math.Abs(a.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", a.StdDev())
+	}
+	if a.Sum() != 40 {
+		t.Errorf("Sum = %v, want 40", a.Sum())
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAccumulatorSingleValueVariance(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Variance() != 0 {
+		t.Errorf("Variance of single sample = %v, want 0", a.Variance())
+	}
+}
+
+// Property: accumulator mean/min/max agree with direct computation.
+func TestQuickAccumulator(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var a Accumulator
+		sum, lo, hi := 0.0, clean[0], clean[0]
+		for _, v := range clean {
+			a.Add(v)
+			sum += v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		mean := sum / float64(len(clean))
+		tol := 1e-9 * (1 + math.Abs(mean))
+		return math.Abs(a.Mean()-mean) <= tol && a.Min() == lo && a.Max() == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Mean() != 0 {
+		t.Error("empty series state wrong")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Append(v)
+	}
+	if s.Len() != 4 || s.At(2) != 3 {
+		t.Error("series accessors wrong")
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", s.Mean())
+	}
+	vals := s.Values()
+	vals[0] = -1
+	if s.At(0) != 1 {
+		t.Error("Values exposes internal storage")
+	}
+}
+
+func TestCumulativeMean(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 6} {
+		s.Append(v)
+	}
+	got := s.CumulativeMean()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CumulativeMean = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var s Series
+	for i := 1; i <= 10; i++ {
+		s.Append(float64(i))
+	}
+	means, times := s.Downsample(5)
+	if len(means) != 5 || len(times) != 5 {
+		t.Fatalf("Downsample lens = %d,%d", len(means), len(times))
+	}
+	if means[0] != 1.5 || times[0] != 1 {
+		t.Errorf("first bucket = %v @%d, want 1.5 @1", means[0], times[0])
+	}
+	if means[4] != 9.5 || times[4] != 9 {
+		t.Errorf("last bucket = %v @%d, want 9.5 @9", means[4], times[4])
+	}
+	// More points than values just returns everything.
+	means, _ = s.Downsample(100)
+	if len(means) != 10 {
+		t.Errorf("Downsample(100) len = %d, want 10", len(means))
+	}
+	if m, tt := s.Downsample(0); m != nil || tt != nil {
+		t.Error("Downsample(0) should return nil")
+	}
+	var empty Series
+	if m, _ := empty.Downsample(3); m != nil {
+		t.Error("Downsample of empty series should return nil")
+	}
+}

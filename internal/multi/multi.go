@@ -1,0 +1,245 @@
+// Package multi extends SWAT to collections of streams — the direction
+// the paper's conclusion names as future work ("possible variations of
+// the proposed technique in case of multiple streams ... efficient
+// techniques to find correlations over multiple data streams").
+//
+// A Monitor maintains one k-coefficient SWAT tree per registered stream
+// and estimates pairwise Pearson correlations over the most recent m
+// values from the trees' reconstructed approximations alone, in the
+// spirit of StatStream (Zhu & Shasha, VLDB 2002, reference [17] of the
+// paper) but with SWAT's recency-biased summaries instead of per-basic-
+// window DFT coefficients.
+package multi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/streamsum/swat/internal/core"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// WindowSize is N, the sliding-window size of every per-stream tree;
+	// a power of two >= 4.
+	WindowSize int
+	// Coefficients is the per-node coefficient budget k of each tree
+	// (0 means 4 — correlation estimates need more resolution than the
+	// single-average default).
+	Coefficients int
+}
+
+// Monitor tracks many streams and answers correlation queries over
+// their summaries.
+type Monitor struct {
+	opts    Options
+	names   []string
+	byName  map[string]int
+	trees   []*core.Tree
+	arrived []int64
+}
+
+// New creates an empty monitor.
+func New(opts Options) (*Monitor, error) {
+	if opts.Coefficients == 0 {
+		opts.Coefficients = 4
+	}
+	// Validate eagerly by constructing a probe tree.
+	if _, err := core.New(core.Options{WindowSize: opts.WindowSize, Coefficients: opts.Coefficients}); err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		opts:   opts,
+		byName: make(map[string]int),
+	}, nil
+}
+
+// Add registers a new stream under a unique name.
+func (m *Monitor) Add(name string) error {
+	if name == "" {
+		return fmt.Errorf("multi: empty stream name")
+	}
+	if _, dup := m.byName[name]; dup {
+		return fmt.Errorf("multi: stream %q already registered", name)
+	}
+	tree, err := core.New(core.Options{WindowSize: m.opts.WindowSize, Coefficients: m.opts.Coefficients})
+	if err != nil {
+		return err
+	}
+	m.byName[name] = len(m.names)
+	m.names = append(m.names, name)
+	m.trees = append(m.trees, tree)
+	m.arrived = append(m.arrived, 0)
+	return nil
+}
+
+// Streams returns the registered stream names in registration order.
+func (m *Monitor) Streams() []string {
+	return append([]string(nil), m.names...)
+}
+
+// Len returns the number of registered streams.
+func (m *Monitor) Len() int { return len(m.names) }
+
+// Observe appends the next value of the named stream.
+func (m *Monitor) Observe(name string, v float64) error {
+	idx, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("multi: unknown stream %q", name)
+	}
+	m.trees[idx].Update(v)
+	m.arrived[idx]++
+	return nil
+}
+
+// ObserveAll appends one synchronized value per stream, in registration
+// order. Values must match the number of registered streams.
+func (m *Monitor) ObserveAll(values []float64) error {
+	if len(values) != len(m.names) {
+		return fmt.Errorf("multi: %d values for %d streams", len(values), len(m.names))
+	}
+	for i, v := range values {
+		m.trees[i].Update(v)
+		m.arrived[i]++
+	}
+	return nil
+}
+
+// Ready reports whether the named stream's tree has warmed up.
+func (m *Monitor) Ready(name string) bool {
+	idx, ok := m.byName[name]
+	return ok && m.trees[idx].Ready()
+}
+
+// Tree exposes a stream's summary tree for direct queries.
+func (m *Monitor) Tree(name string) (*core.Tree, error) {
+	idx, ok := m.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("multi: unknown stream %q", name)
+	}
+	return m.trees[idx], nil
+}
+
+// approxRecent reconstructs the last span values of a stream from its
+// summary.
+func (m *Monitor) approxRecent(idx, span int) ([]float64, error) {
+	ages := make([]int, span)
+	for i := range ages {
+		ages[i] = i
+	}
+	return m.trees[idx].Approximate(ages)
+}
+
+// Correlation estimates the Pearson correlation between two streams
+// over their most recent span values, computed entirely from the SWAT
+// summaries. span must satisfy 2 <= span <= WindowSize.
+func (m *Monitor) Correlation(a, b string, span int) (float64, error) {
+	ia, ok := m.byName[a]
+	if !ok {
+		return 0, fmt.Errorf("multi: unknown stream %q", a)
+	}
+	ib, ok := m.byName[b]
+	if !ok {
+		return 0, fmt.Errorf("multi: unknown stream %q", b)
+	}
+	if span < 2 || span > m.opts.WindowSize {
+		return 0, fmt.Errorf("multi: span %d out of [2,%d]", span, m.opts.WindowSize)
+	}
+	va, err := m.approxRecent(ia, span)
+	if err != nil {
+		return 0, fmt.Errorf("multi: stream %q: %w", a, err)
+	}
+	vb, err := m.approxRecent(ib, span)
+	if err != nil {
+		return 0, fmt.Errorf("multi: stream %q: %w", b, err)
+	}
+	return Pearson(va, vb)
+}
+
+// Pair is one correlated stream pair.
+type Pair struct {
+	A, B string
+	// R is the estimated Pearson correlation.
+	R float64
+}
+
+// Correlated returns all stream pairs whose estimated correlation over
+// the given span meets |r| >= threshold, strongest first. Streams whose
+// summaries are not yet warm are skipped.
+func (m *Monitor) Correlated(span int, threshold float64) ([]Pair, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("multi: threshold %v out of [0,1]", threshold)
+	}
+	// Reconstruct each warm stream once: O(S·span) instead of O(S²·span).
+	recon := make([][]float64, len(m.names))
+	for i := range m.names {
+		if !m.trees[i].Ready() {
+			continue
+		}
+		v, err := m.approxRecent(i, span)
+		if err != nil {
+			return nil, err
+		}
+		recon[i] = v
+	}
+	var out []Pair
+	for i := 0; i < len(m.names); i++ {
+		if recon[i] == nil {
+			continue
+		}
+		for j := i + 1; j < len(m.names); j++ {
+			if recon[j] == nil {
+				continue
+			}
+			r, err := Pearson(recon[i], recon[j])
+			if err != nil {
+				continue // constant reconstruction: undefined correlation
+			}
+			if math.Abs(r) >= threshold {
+				out = append(out, Pair{A: m.names[i], B: m.names[j], R: r})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		ax, ay := math.Abs(out[x].R), math.Abs(out[y].R)
+		if ax != ay {
+			return ax > ay
+		}
+		if out[x].A != out[y].A {
+			return out[x].A < out[y].A
+		}
+		return out[x].B < out[y].B
+	})
+	return out, nil
+}
+
+// Pearson computes the Pearson correlation coefficient of two
+// equal-length vectors. It returns an error for undefined cases
+// (length < 2 or zero variance).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("multi: vectors of lengths %d and %d", len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return 0, fmt.Errorf("multi: need at least 2 samples")
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, fmt.Errorf("multi: zero variance")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}

@@ -1,0 +1,248 @@
+// Package query defines the paper's query model (§2.1): inner-product
+// queries (I, W, δ) with exponential or linear weight vectors, point
+// queries as the special case of a single unit weight, fixed and random
+// query modes, plus exact (ground-truth) evaluation against a sliding
+// window for error measurement.
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Kind distinguishes the weight-vector families of the paper.
+type Kind int
+
+const (
+	// Exponential queries weight age i by 2^-i (within the query),
+	// emphasizing the most recent values.
+	Exponential Kind = iota
+	// Linear queries weight the j-th of M entries by (M-j)/M.
+	Linear
+	// Point queries have a single unit weight.
+	Point
+)
+
+// String names the query kind.
+func (k Kind) String() string {
+	switch k {
+	case Exponential:
+		return "exponential"
+	case Linear:
+		return "linear"
+	case Point:
+		return "point"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Mode is the paper's query-arrival mode (§2.7).
+type Mode int
+
+const (
+	// Fixed repeatedly executes the same query over the most recent
+	// values.
+	Fixed Mode = iota
+	// Random chooses arbitrary contiguous data points and query sizes
+	// uniformly at each query instant.
+	Random
+	// RandomRecent draws the query size uniformly but anchors the query
+	// at the most recent value — the alternative reading of the paper's
+	// "sizes of the queries ... chosen uniformly" workload.
+	RandomRecent
+)
+
+// String names the query mode.
+func (m Mode) String() string {
+	switch m {
+	case Fixed:
+		return "fixed"
+	case Random:
+		return "random"
+	case RandomRecent:
+		return "random-recent"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Query is an inner-product query (I, W, δ): ages of interest, their
+// weights, and the precision within which the result must be computed.
+type Query struct {
+	// Ages is the index vector I (age 0 = most recent value).
+	Ages []int
+	// Weights is the weight vector W, parallel to Ages.
+	Weights []float64
+	// Precision is δ; zero means "best effort" (used by the centralized
+	// experiments, which measure error rather than enforce it).
+	Precision float64
+	// Kind records the weight family for reporting.
+	Kind Kind
+}
+
+// Len returns the query length M.
+func (q Query) Len() int { return len(q.Ages) }
+
+// Validate checks structural consistency of the query.
+func (q Query) Validate() error {
+	if len(q.Ages) == 0 {
+		return fmt.Errorf("query: empty index vector")
+	}
+	if len(q.Ages) != len(q.Weights) {
+		return fmt.Errorf("query: %d ages but %d weights", len(q.Ages), len(q.Weights))
+	}
+	for _, a := range q.Ages {
+		if a < 0 {
+			return fmt.Errorf("query: negative age %d", a)
+		}
+	}
+	if q.Precision < 0 {
+		return fmt.Errorf("query: negative precision %v", q.Precision)
+	}
+	return nil
+}
+
+// ExponentialWeights returns [1, 1/2, 1/4, ..., 2^-(m-1)] (paper §2.6).
+func ExponentialWeights(m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = math.Pow(2, -float64(i))
+	}
+	return w
+}
+
+// LinearWeights returns [m/m, (m-1)/m, ..., 1/m] (paper §2.6).
+func LinearWeights(m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = float64(m-i) / float64(m)
+	}
+	return w
+}
+
+// New builds an inner-product query of the given kind over the
+// contiguous ages [startAge, startAge+m-1], weights assigned newest to
+// oldest.
+func New(kind Kind, startAge, m int, precision float64) (Query, error) {
+	if m <= 0 {
+		return Query{}, fmt.Errorf("query: non-positive length %d", m)
+	}
+	if startAge < 0 {
+		return Query{}, fmt.Errorf("query: negative start age %d", startAge)
+	}
+	ages := make([]int, m)
+	for i := range ages {
+		ages[i] = startAge + i
+	}
+	var weights []float64
+	switch kind {
+	case Exponential:
+		weights = ExponentialWeights(m)
+	case Linear:
+		weights = LinearWeights(m)
+	case Point:
+		if m != 1 {
+			return Query{}, fmt.Errorf("query: point query must have length 1, got %d", m)
+		}
+		weights = []float64{1}
+	default:
+		return Query{}, fmt.Errorf("query: unknown kind %v", kind)
+	}
+	return Query{Ages: ages, Weights: weights, Precision: precision, Kind: kind}, nil
+}
+
+// Evaluator answers inner-product queries approximately; implemented by
+// the SWAT tree and the histogram baseline.
+type Evaluator interface {
+	InnerProduct(ages []int, weights []float64) (float64, error)
+}
+
+// Approx evaluates q against an approximate summary.
+func Approx(e Evaluator, q Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return e.InnerProduct(q.Ages, q.Weights)
+}
+
+// Exact evaluates q against the true window contents.
+func Exact(w *stream.Window, q Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, a := range q.Ages {
+		v, err := w.At(a)
+		if err != nil {
+			return 0, err
+		}
+		sum += q.Weights[i] * v
+	}
+	return sum, nil
+}
+
+// Generator produces the per-instant query sequence of an experiment.
+type Generator struct {
+	kind      Kind
+	mode      Mode
+	window    int
+	fixedLen  int
+	precision float64
+	rng       *rand.Rand
+	fixed     Query
+}
+
+// NewGenerator creates a generator over a window of size n. fixedLen is
+// the query length used in Fixed mode and the maximum length drawn in
+// Random mode; it must satisfy 1 <= fixedLen <= n.
+func NewGenerator(kind Kind, mode Mode, n, fixedLen int, precision float64, seed int64) (*Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("query: window size %d", n)
+	}
+	if fixedLen < 1 || fixedLen > n {
+		return nil, fmt.Errorf("query: fixed length %d out of [1,%d]", fixedLen, n)
+	}
+	g := &Generator{
+		kind:      kind,
+		mode:      mode,
+		window:    n,
+		fixedLen:  fixedLen,
+		precision: precision,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	if mode == Fixed {
+		q, err := New(kind, 0, fixedLen, precision)
+		if err != nil {
+			return nil, err
+		}
+		g.fixed = q
+	}
+	return g, nil
+}
+
+// Next returns the query for the next query instant: in Fixed mode the
+// same query over the most recent values, in Random mode a query of
+// uniform random length in [1, fixedLen] at a uniform random offset.
+func (g *Generator) Next() Query {
+	if g.mode == Fixed {
+		return g.fixed
+	}
+	m := 1 + g.rng.Intn(g.fixedLen)
+	if g.kind == Point {
+		m = 1
+	}
+	start := 0
+	if g.mode == Random {
+		start = g.rng.Intn(g.window - m + 1)
+	}
+	q, err := New(g.kind, start, m, g.precision)
+	if err != nil {
+		// Unreachable: parameters are validated by construction.
+		panic(fmt.Sprintf("query: generator produced invalid query: %v", err))
+	}
+	return q
+}

@@ -1,0 +1,220 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func TestKindModeStrings(t *testing.T) {
+	if Exponential.String() != "exponential" || Linear.String() != "linear" || Point.String() != "point" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind formatting")
+	}
+	if Fixed.String() != "fixed" || Random.String() != "random" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode formatting")
+	}
+}
+
+func TestExponentialWeights(t *testing.T) {
+	w := ExponentialWeights(4)
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("ExponentialWeights = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestLinearWeights(t *testing.T) {
+	w := LinearWeights(4)
+	want := []float64{1, 0.75, 0.5, 0.25}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("LinearWeights = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestNewQueryShapes(t *testing.T) {
+	q, err := New(Exponential, 2, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 3 || q.Precision != 10 || q.Kind != Exponential {
+		t.Errorf("query = %+v", q)
+	}
+	wantAges := []int{2, 3, 4}
+	for i := range wantAges {
+		if q.Ages[i] != wantAges[i] {
+			t.Fatalf("Ages = %v, want %v", q.Ages, wantAges)
+		}
+	}
+	p, err := New(Point, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weights[0] != 1 {
+		t.Error("point weight != 1")
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	if _, err := New(Exponential, 0, 0, 0); err == nil {
+		t.Error("accepted zero length")
+	}
+	if _, err := New(Exponential, -1, 2, 0); err == nil {
+		t.Error("accepted negative start")
+	}
+	if _, err := New(Point, 0, 2, 0); err == nil {
+		t.Error("accepted multi-point point query")
+	}
+	if _, err := New(Kind(42), 0, 2, 0); err == nil {
+		t.Error("accepted unknown kind")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Query{
+		{},
+		{Ages: []int{1}, Weights: []float64{1, 2}},
+		{Ages: []int{-1}, Weights: []float64{1}},
+		{Ages: []int{1}, Weights: []float64{1}, Precision: -1},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func TestExact(t *testing.T) {
+	w, _ := stream.NewWindow(8)
+	for i := 1; i <= 8; i++ {
+		w.Push(float64(i)) // ages: 0→8, 1→7, ...
+	}
+	q, _ := New(Exponential, 0, 3, 0) // 1*8 + 0.5*7 + 0.25*6 = 13
+	got, err := Exact(w, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-13) > 1e-12 {
+		t.Errorf("Exact = %v, want 13", got)
+	}
+	qOut, _ := New(Point, 20, 1, 0)
+	if _, err := Exact(w, qOut); err == nil {
+		t.Error("Exact accepted out-of-window age")
+	}
+	if _, err := Exact(w, Query{}); err == nil {
+		t.Error("Exact accepted invalid query")
+	}
+}
+
+type fakeEval struct{ sum float64 }
+
+func (f fakeEval) InnerProduct(ages []int, weights []float64) (float64, error) {
+	return f.sum, nil
+}
+
+func TestApprox(t *testing.T) {
+	q, _ := New(Linear, 0, 2, 0)
+	got, err := Approx(fakeEval{sum: 7}, q)
+	if err != nil || got != 7 {
+		t.Errorf("Approx = %v (%v)", got, err)
+	}
+	if _, err := Approx(fakeEval{}, Query{}); err == nil {
+		t.Error("Approx accepted invalid query")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Exponential, Fixed, 0, 1, 0, 1); err == nil {
+		t.Error("accepted window 0")
+	}
+	if _, err := NewGenerator(Exponential, Fixed, 8, 0, 0, 1); err == nil {
+		t.Error("accepted fixedLen 0")
+	}
+	if _, err := NewGenerator(Exponential, Fixed, 8, 9, 0, 1); err == nil {
+		t.Error("accepted fixedLen > window")
+	}
+}
+
+func TestGeneratorFixedMode(t *testing.T) {
+	g, err := NewGenerator(Linear, Fixed, 16, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Next()
+	for i := 0; i < 10; i++ {
+		q := g.Next()
+		if q.Len() != 4 || q.Ages[0] != 0 || q.Precision != 2 {
+			t.Fatalf("fixed query changed: %+v", q)
+		}
+		for j := range q.Ages {
+			if q.Ages[j] != first.Ages[j] {
+				t.Fatal("fixed mode produced differing queries")
+			}
+		}
+	}
+}
+
+func TestGeneratorRandomMode(t *testing.T) {
+	g, err := NewGenerator(Exponential, Random, 32, 8, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDifferentStart := false
+	prevStart := -1
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid random query: %v", err)
+		}
+		if q.Len() < 1 || q.Len() > 8 {
+			t.Fatalf("random length %d out of [1,8]", q.Len())
+		}
+		last := q.Ages[len(q.Ages)-1]
+		if last >= 32 {
+			t.Fatalf("random query escapes window: %v", q.Ages)
+		}
+		if prevStart >= 0 && q.Ages[0] != prevStart {
+			sawDifferentStart = true
+		}
+		prevStart = q.Ages[0]
+	}
+	if !sawDifferentStart {
+		t.Error("random mode never varied the start age")
+	}
+}
+
+func TestGeneratorRandomPointMode(t *testing.T) {
+	g, err := NewGenerator(Point, Random, 32, 8, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if q := g.Next(); q.Len() != 1 {
+			t.Fatalf("point query length %d", q.Len())
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, _ := NewGenerator(Linear, Random, 64, 16, 0, 99)
+	b, _ := NewGenerator(Linear, Random, 64, 16, 0, 99)
+	for i := 0; i < 50; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa.Len() != qb.Len() || qa.Ages[0] != qb.Ages[0] {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package replication
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// checkEnclosure asserts the protocol's safety invariant: every cached
+// range at every node encloses its parent's cached range for the same
+// segment (and hence, transitively, the source's exact range and the
+// true segment values).
+func checkEnclosure(t *testing.T, sys *System, top *netsim.Topology) {
+	t.Helper()
+	for _, id := range top.BFSOrder() {
+		if id == top.Root() {
+			continue
+		}
+		parent := top.Parent(id)
+		rows, err := sys.Directory(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parentRows, err := sys.Directory(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, row := range rows {
+			if !row.Cached {
+				continue
+			}
+			if !parentRows[j].Cached {
+				t.Fatalf("node %d caches %v but parent %d does not", id, row.Segment, parent)
+			}
+			if !row.Range.Encloses(parentRows[j].Range) {
+				t.Fatalf("node %d range %+v does not enclose parent %d range %+v for %v",
+					id, row.Range, parent, parentRows[j].Range, row.Segment)
+			}
+		}
+	}
+}
+
+// checkSubscriptionConsistency asserts the bookkeeping invariant: a node
+// appears in its parent's subscription list iff it caches the segment.
+func checkSubscriptionConsistency(t *testing.T, sys *System, top *netsim.Topology) {
+	t.Helper()
+	for _, id := range top.BFSOrder() {
+		rows, err := sys.Directory(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, row := range rows {
+			for _, child := range row.Subscribed {
+				if !sys.Caches(child, j) {
+					t.Fatalf("node %d lists child %d for %v, but child does not cache it",
+						id, child, row.Segment)
+				}
+			}
+		}
+		if id == top.Root() {
+			continue
+		}
+		parent := top.Parent(id)
+		parentRows, err := sys.Directory(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, row := range rows {
+			inList := false
+			for _, c := range parentRows[j].Subscribed {
+				if c == id {
+					inList = true
+				}
+			}
+			if row.Cached != inList {
+				t.Fatalf("node %d cached=%v for %v but parent subscription=%v",
+					id, row.Cached, row.Segment, inList)
+			}
+		}
+	}
+}
+
+// TestProtocolInvariantsUnderRandomWorkload drives a 7-node system with
+// a randomized mixture of arrivals, queries at random nodes, and phase
+// boundaries, asserting the enclosure and bookkeeping invariants after
+// every step.
+func TestProtocolInvariantsUnderRandomWorkload(t *testing.T) {
+	top, err := netsim.CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	sys, err := New(top, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	src := stream.RandomWalk(7, 50, 5, 0, 100)
+	for i := 0; i < n; i++ {
+		sys.OnData(src.Next())
+	}
+	sys.OnPhaseEnd()
+	gen, err := query.NewGenerator(query.Linear, query.Random, n, 8, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			sys.OnData(src.Next())
+		case 9:
+			sys.OnPhaseEnd()
+		default:
+			q := gen.Next()
+			q.Precision = 1 + rng.Float64()*60
+			node := netsim.NodeID(rng.Intn(top.Len()))
+			if _, err := sys.OnQuery(node, q); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		checkEnclosure(t, sys, top)
+		checkSubscriptionConsistency(t, sys, top)
+	}
+	// The workload must actually have exercised the cache machinery.
+	if sys.Messages().Kind(MsgInsert) == 0 {
+		t.Error("no replicas were ever inserted")
+	}
+	if sys.LocalHitRate() == 0 {
+		t.Error("no local hits occurred")
+	}
+}
+
+func TestNewWithOptionsValidation(t *testing.T) {
+	top, _ := netsim.CompleteBinaryTree(3)
+	if _, err := NewWithOptions(top, Options{WindowSize: 32, Coefficients: 3}); err == nil {
+		t.Error("accepted non-pow2 coefficients")
+	}
+	if _, err := NewWithOptions(nil, Options{WindowSize: 32}); err == nil {
+		t.Error("accepted nil topology")
+	}
+}
+
+// TestKCoefficientAnswersSharper: with k block means per segment, cached
+// answers track the true values more closely than midpoint answers, at
+// identical message cost, while the δ guarantee still holds.
+func TestKCoefficientAnswersSharper(t *testing.T) {
+	runOne := func(k int) (errSum float64, msgs uint64) {
+		top, err := netsim.Chain(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewWithOptions(top, Options{WindowSize: 32, Coefficients: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow, _ := stream.NewWindow(32)
+		src := stream.RandomWalk(11, 50, 3, 0, 100)
+		push := func() {
+			v := src.Next()
+			sys.OnData(v)
+			shadow.Push(v)
+		}
+		for i := 0; i < 32; i++ {
+			push()
+		}
+		sys.OnPhaseEnd()
+		gen, err := query.NewGenerator(query.Linear, query.Random, 32, 8, 40, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 600; step++ {
+			if step%3 == 0 {
+				push()
+			}
+			q := gen.Next()
+			ans, err := sys.OnQuery(1, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := query.Exact(shadow, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := ans - exact
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > q.Precision+1e-9 {
+				t.Fatalf("k=%d step %d: error %v > δ=%v", k, step, diff, q.Precision)
+			}
+			errSum += diff
+			if step%25 == 24 {
+				sys.OnPhaseEnd()
+			}
+		}
+		return errSum, sys.Messages().Total()
+	}
+	err1, msgs1 := runOne(1)
+	err4, msgs4 := runOne(4)
+	if err4 >= err1 {
+		t.Errorf("k=4 total error %v not better than k=1 %v", err4, err1)
+	}
+	if msgs4 != msgs1 {
+		t.Errorf("k=4 used %d messages vs k=1 %d; means must piggyback for free", msgs4, msgs1)
+	}
+}

@@ -1,0 +1,408 @@
+package replication
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func TestRangeOps(t *testing.T) {
+	r := Range{Lo: 30, Hi: 40}
+	if r.Width() != 10 || r.Mid() != 35 {
+		t.Error("width/mid wrong")
+	}
+	if !r.Encloses(Range{32, 38}) || r.Encloses(Range{29, 35}) || r.Encloses(Range{35, 41}) {
+		t.Error("enclosure wrong")
+	}
+	if !r.Contains(30) || !r.Contains(40) || r.Contains(41) {
+		t.Error("contains wrong")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	segs, err := Segments(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{{0, 1}, {2, 3}, {4, 7}, {8, 15}}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments(16) = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments(16) = %v, want %v", segs, want)
+		}
+	}
+	// Rows = log2 N (Table 1: one row per level, level 0 having two).
+	if len(segs) != 4 {
+		t.Errorf("row count = %d, want log2(16)=4", len(segs))
+	}
+	// Segments partition [0, N-1].
+	covered := make([]bool, 16)
+	for _, s := range segs {
+		for a := s.From; a <= s.To; a++ {
+			if covered[a] {
+				t.Fatalf("age %d covered twice", a)
+			}
+			covered[a] = true
+		}
+	}
+	for a, c := range covered {
+		if !c {
+			t.Fatalf("age %d uncovered", a)
+		}
+	}
+	if segs[1].String() != "(2,3)" {
+		t.Errorf("String = %q", segs[1].String())
+	}
+	if segs[2].Len() != 4 {
+		t.Errorf("Len = %d", segs[2].Len())
+	}
+	for _, bad := range []int{0, 2, 3, 12} {
+		if _, err := Segments(bad); err == nil {
+			t.Errorf("Segments(%d) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 16); err == nil {
+		t.Error("accepted nil topology")
+	}
+	top := netsim.NewTopology()
+	if _, err := New(top, 7); err == nil {
+		t.Error("accepted non-pow2 window")
+	}
+}
+
+// paperTopology builds the S—{C1,C2}, C1—C3 subtree of the paper's
+// Figure 7 walk-through.
+func paperTopology(t *testing.T) (*netsim.Topology, netsim.NodeID, netsim.NodeID, netsim.NodeID) {
+	t.Helper()
+	top := netsim.NewTopology()
+	c1, err := top.AddChild(top.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.AddChild(top.Root()); err != nil { // C2
+		t.Fatal(err)
+	}
+	c3, err := top.AddChild(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, top.Root(), c1, c3
+}
+
+// TestPaperWalkthrough replays the global execution scenario of §3: the
+// point query Q0([3],[1],20) propagating from C3 to the source, the
+// expansion of the replication scheme toward C1 and then C3, and the
+// phase where C1's precision becomes inadequate and is refreshed,
+// leaving precision decreasing down the tree.
+func TestPaperWalkthrough(t *testing.T) {
+	top, src, c1, c3 := paperTopology(t)
+	sys, err := New(top, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window with age2=30, age3=40 so segment (2,3) has range [30,40].
+	// Pushed oldest-first; the last pushed value has age 0.
+	ages := make([]float64, 16)
+	for i := range ages {
+		ages[i] = 35
+	}
+	ages[2], ages[3] = 30, 40
+	for i := 15; i >= 0; i-- {
+		sys.OnData(ages[i])
+	}
+	if !sys.Ready() {
+		t.Fatal("source not ready")
+	}
+	// End the warm-up phase so its write counts don't pollute phase 1
+	// (the paper lets the system warm up before measuring).
+	sys.OnPhaseEnd()
+	rows, err := sys.Directory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Segment != (Segment{2, 3}) || rows[1].Range != (Range{30, 40}) {
+		t.Fatalf("source row for (2,3) = %+v", rows[1])
+	}
+
+	q0, _ := New16Query(t, 3, 20)
+	// Phase 1: Q0 at C3 — forwarded C3→C1→S (2 query msgs), answered at
+	// the source (2 reply msgs).
+	ans, err := sys.OnQuery(c3, q0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ans-40) > 10 { // mid of [30,40] = 35; exact = 40; source answers exactly
+		t.Errorf("answer = %v", ans)
+	}
+	if got := sys.Messages().Total(); got != 4 {
+		t.Fatalf("messages after Q0 = %d, want 4", got)
+	}
+	sys.OnPhaseEnd()
+	// Expansion: S sends a replica of (2,3) to C1 (1 insert message).
+	if got := sys.Messages().Total(); got != 5 {
+		t.Fatalf("messages after phase 1 = %d, want 5", got)
+	}
+	if !sys.Caches(c1, 1) {
+		t.Fatal("C1 did not receive the replica of (2,3)")
+	}
+	rows, _ = sys.Directory(src)
+	if len(rows[1].Subscribed) != 1 || rows[1].Subscribed[0] != c1 {
+		t.Fatalf("source subscription list = %v, want [C1]", rows[1].Subscribed)
+	}
+
+	// Phase 2: C3 sends the same query three times; C1 answers locally
+	// (2 messages each: C3→C1 query + reply).
+	for i := 0; i < 3; i++ {
+		if _, err := sys.OnQuery(c3, q0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.Messages().Total(); got != 11 {
+		t.Fatalf("messages after 3×Q0 = %d, want 11", got)
+	}
+	sys.OnPhaseEnd()
+	// Expansion at C1: replica flows to C3 (1 insert).
+	if got := sys.Messages().Total(); got != 12 {
+		t.Fatalf("messages after phase 2 = %d, want 12", got)
+	}
+	if !sys.Caches(c3, 1) {
+		t.Fatal("C3 did not receive the replica of (2,3)")
+	}
+
+	// Phase 3: two arrivals slide the window; the fresh (2,3) range
+	// [35,35] is enclosed by [30,40], so no update propagates.
+	msgsBefore := sys.Messages().Total()
+	sys.OnData(35)
+	sys.OnData(35)
+	if got := sys.Messages().Total(); got != msgsBefore {
+		t.Fatalf("enclosed update propagated: %d -> %d messages", msgsBefore, got)
+	}
+	// Q1([3],[1],8) at C1 four times: C1's width 10 > 8, forwarded to S
+	// (2 messages each). Q0 at C3 satisfied locally (0 messages).
+	q1, _ := New16Query(t, 3, 8)
+	for i := 0; i < 4; i++ {
+		if _, err := sys.OnQuery(c1, q1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.OnQuery(c3, q0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Messages().Total(); got != msgsBefore+8 {
+		t.Fatalf("messages = %d, want %d", got, msgsBefore+8)
+	}
+	sys.OnPhaseEnd()
+	// Expansion refresh: S sends its tighter current range to C1
+	// (already subscribed); C1's old range encloses it, so nothing
+	// propagates to C3.
+	if got := sys.Messages().Total(); got != msgsBefore+9 {
+		t.Fatalf("messages after phase 3 = %d, want %d", got, msgsBefore+9)
+	}
+	// Precision decreases down the replication tree: S exact, C1 tighter
+	// than C3.
+	rowsC1, _ := sys.Directory(c1)
+	rowsC3, _ := sys.Directory(c3)
+	if rowsC3[1].Range != (Range{30, 40}) {
+		t.Errorf("C3 range = %+v, want [30,40]", rowsC3[1].Range)
+	}
+	if rowsC1[1].Range.Width() >= rowsC3[1].Range.Width() {
+		t.Errorf("C1 width %v not tighter than C3 width %v",
+			rowsC1[1].Range.Width(), rowsC3[1].Range.Width())
+	}
+}
+
+// New16Query builds a point query over age `age` with precision δ for a
+// window of 16.
+func New16Query(t *testing.T, age int, delta float64) (query.Query, error) {
+	t.Helper()
+	q, err := query.New(query.Point, age, 1, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, nil
+}
+
+// TestContraction: when writes dominate reads, an R-fringe node decaches
+// and unsubscribes.
+func TestContraction(t *testing.T) {
+	top, _, c1, _ := paperTopology(t)
+	sys, err := New(top, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Uniform(1)
+	for i := 0; i < 16; i++ {
+		sys.OnData(src.Next())
+	}
+	sys.OnPhaseEnd() // discard warm-up write counts
+	// Warm C1 into the scheme: query repeatedly, then phase end.
+	q, _ := query.New(query.Point, 0, 1, 120) // loose precision
+	for i := 0; i < 5; i++ {
+		if _, err := sys.OnQuery(c1, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.OnPhaseEnd()
+	if !sys.Caches(c1, 0) {
+		t.Fatal("C1 not cached after read-heavy phase")
+	}
+	// Now a write-heavy phase with no reads: jumpy data violates
+	// enclosure, driving the write count up; contraction must evict.
+	for i := 0; i < 20; i++ {
+		sys.OnData(float64(100 * (i % 2)))
+	}
+	sys.OnPhaseEnd()
+	if sys.Caches(c1, 0) {
+		t.Fatal("C1 still cached after write-heavy phase")
+	}
+	rows, _ := sys.Directory(top.Root())
+	for _, id := range rows[0].Subscribed {
+		if id == c1 {
+			t.Fatal("C1 still subscribed at source after contraction")
+		}
+	}
+	if sys.Messages().Kind(MsgUnsubscribe) == 0 {
+		t.Error("no unsubscribe message counted")
+	}
+}
+
+// TestPrecisionGuarantee: every answered query is within its precision δ
+// of the exact answer, no matter which node it arrives at — the
+// end-to-end correctness property of the protocol.
+func TestPrecisionGuarantee(t *testing.T) {
+	top, err := netsim.CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	sys, err := New(top, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, _ := stream.NewWindow(n)
+	rng := rand.New(rand.NewSource(42))
+	src := stream.RandomWalk(5, 50, 4, 0, 100)
+	push := func() {
+		v := src.Next()
+		sys.OnData(v)
+		shadow.Push(v)
+	}
+	for i := 0; i < n; i++ {
+		push()
+	}
+	gen, err := query.NewGenerator(query.Linear, query.Random, n, n, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2000; step++ {
+		push()
+		q := gen.Next()
+		q.Precision = 1 + rng.Float64()*50
+		node := netsim.NodeID(rng.Intn(top.Len()))
+		ans, err := sys.OnQuery(node, q)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		exact, err := query.Exact(shadow, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(ans - exact); diff > q.Precision+1e-9 {
+			t.Fatalf("step %d node %d: |%v - %v| = %v > δ=%v",
+				step, node, ans, exact, diff, q.Precision)
+		}
+		if step%25 == 0 {
+			sys.OnPhaseEnd()
+		}
+	}
+	if sys.LocalHitRate() == 0 {
+		t.Error("no query was ever answered from a local cache")
+	}
+}
+
+// TestAdaptivity: with frequent reads and rare writes the scheme expands
+// (fewer messages per query over time); flipping to frequent writes
+// contracts it again.
+func TestAdaptivity(t *testing.T) {
+	top, _ := netsim.CompleteBinaryTree(3)
+	sys, err := New(top, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.RandomWalk(3, 50, 1, 0, 100)
+	for i := 0; i < 16; i++ {
+		sys.OnData(src.Next())
+	}
+	sys.OnPhaseEnd() // discard warm-up write counts
+	q, _ := query.New(query.Exponential, 0, 8, 200)
+	// Read-heavy regime.
+	for phase := 0; phase < 4; phase++ {
+		for i := 0; i < 10; i++ {
+			if _, err := sys.OnQuery(1, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.OnData(src.Next())
+		sys.OnPhaseEnd()
+	}
+	before := sys.Messages().Total()
+	for i := 0; i < 10; i++ {
+		if _, err := sys.OnQuery(1, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readHeavyCost := sys.Messages().Total() - before
+	if readHeavyCost != 0 {
+		t.Errorf("read-heavy steady state still costs %d messages per 10 queries", readHeavyCost)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	top, _ := netsim.CompleteBinaryTree(3)
+	sys, _ := New(top, 16)
+	q, _ := query.New(query.Point, 0, 1, 10)
+	if _, err := sys.OnQuery(99, q); err == nil {
+		t.Error("accepted invalid node")
+	}
+	if _, err := sys.OnQuery(1, query.Query{}); err == nil {
+		t.Error("accepted invalid query")
+	}
+	if _, err := sys.OnQuery(1, q); err == nil {
+		t.Error("answered before window full")
+	}
+	for i := 0; i < 16; i++ {
+		sys.OnData(1)
+	}
+	qBad, _ := query.New(query.Point, 20, 1, 10)
+	if _, err := sys.OnQuery(1, qBad); err == nil {
+		t.Error("accepted age outside window")
+	}
+	if _, err := sys.Directory(99); err == nil {
+		t.Error("Directory accepted invalid node")
+	}
+	if sys.Caches(99, 0) || sys.Caches(0, 99) {
+		t.Error("Caches accepted invalid arguments")
+	}
+}
+
+func TestNameAndSegmentsAccessors(t *testing.T) {
+	top, _ := netsim.CompleteBinaryTree(3)
+	sys, _ := New(top, 16)
+	if sys.Name() != "SWAT-ASR" {
+		t.Error("name wrong")
+	}
+	segs := sys.Segments()
+	segs[0] = Segment{9, 9}
+	if sys.Segments()[0] == (Segment{9, 9}) {
+		t.Error("Segments exposes internal slice")
+	}
+}

@@ -1,0 +1,191 @@
+// Package sim is a deterministic discrete-event simulator: an event heap
+// with a virtual clock, one-shot and periodic tasks, and Poisson task
+// sources. It drives the paper's experiments — "we built a discrete event
+// simulator of an environment with a single data stream" (§2.7) and "we
+// schedule periodic tasks to initiate data and query arrivals" (§5).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// event is a scheduled callback. seq breaks ties so same-time events run
+// in scheduling order, keeping runs deterministic.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns a virtual clock and an event queue. It is
+// single-threaded: callbacks run on the goroutine that calls Run/Step.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// New creates a simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.ran }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn at absolute virtual time t, which must not be in the
+// past.
+func (s *Simulator) At(t float64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("sim: cannot schedule at %v, now is %v", t, s.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("sim: invalid time %v", t)
+	}
+	s.seq++
+	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn d time units from now. Negative delays are clamped
+// to zero.
+func (s *Simulator) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	// Error is impossible for non-negative finite delays.
+	if err := s.At(s.now+d, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Step executes the next event, advancing the clock. It returns false if
+// no events remain.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.time
+	s.ran++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty. Tasks that perpetually
+// reschedule themselves never drain the queue; use RunUntil for those.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Simulator) RunUntil(deadline float64) {
+	for len(s.events) > 0 && s.events[0].time <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Task is a handle for a recurring activity; Stop cancels future firings.
+type Task struct {
+	stopped bool
+	fires   uint64
+}
+
+// Stop cancels the task; the current in-flight event becomes a no-op.
+func (t *Task) Stop() { t.stopped = true }
+
+// Fires returns how many times the task has fired.
+func (t *Task) Fires() uint64 { return t.fires }
+
+// Every schedules fn to run at start, start+period, start+2·period, ...
+// fn receives nothing; use closures to carry state. period must be
+// positive.
+func (s *Simulator) Every(start, period float64, fn func()) (*Task, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: period must be positive, got %v", period)
+	}
+	if start < s.now {
+		return nil, fmt.Errorf("sim: start %v in the past (now %v)", start, s.now)
+	}
+	t := &Task{}
+	var tick func()
+	next := start
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		fn()
+		if t.stopped {
+			return
+		}
+		next += period
+		if err := s.At(next, tick); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.At(start, tick); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EveryPoisson schedules fn repeatedly with exponentially distributed
+// inter-arrival times of the given rate (mean gap 1/rate), starting one
+// gap from now — a Poisson process, the arrival model assumed by the
+// Divergence Caching analysis.
+func (s *Simulator) EveryPoisson(rng *rand.Rand, rate float64, fn func()) (*Task, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("sim: rate must be positive, got %v", rate)
+	}
+	t := &Task{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		fn()
+		if t.stopped {
+			return
+		}
+		s.After(rng.ExpFloat64()/rate, tick)
+	}
+	s.After(rng.ExpFloat64()/rate, tick)
+	return t, nil
+}

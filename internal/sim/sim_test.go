@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(3, func() { order = append(order, 3) })
+	s.After(1, func() { order = append(order, 1) })
+	s.After(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", s.Processed())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestAtValidation(t *testing.T) {
+	s := New()
+	s.After(10, func() {})
+	s.Run()
+	if err := s.At(5, func() {}); err == nil {
+		t.Error("accepted scheduling in the past")
+	}
+	if err := s.At(math.NaN(), func() {}); err == nil {
+		t.Error("accepted NaN time")
+	}
+	if err := s.At(math.Inf(1), func() {}); err == nil {
+		t.Error("accepted +Inf time")
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	s := New()
+	ran := false
+	s.After(-5, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Errorf("negative delay not clamped: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	if _, err := s.Every(0, 1, func() { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(10.5)
+	if count != 11 { // fires at 0,1,...,10
+		t.Errorf("count = %d, want 11", count)
+	}
+	if s.Now() != 10.5 {
+		t.Errorf("Now = %v, want 10.5", s.Now())
+	}
+	if s.Pending() == 0 {
+		t.Error("periodic task should still be queued")
+	}
+	s.RunUntil(12)
+	if count != 13 {
+		t.Errorf("count after second RunUntil = %d, want 13", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Errorf("Now = %v, want 42", s.Now())
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, 0, func() {}); err == nil {
+		t.Error("accepted zero period")
+	}
+	if _, err := s.Every(0, -1, func() {}); err == nil {
+		t.Error("accepted negative period")
+	}
+	s.After(5, func() {})
+	s.Run()
+	if _, err := s.Every(1, 1, func() {}); err == nil {
+		t.Error("accepted start in the past")
+	}
+}
+
+func TestTaskStop(t *testing.T) {
+	s := New()
+	count := 0
+	task, err := s.Every(0, 1, func() {
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.After(4.5, func() { task.Stop() })
+	s.Run() // terminates because the task stops rescheduling
+	if count != 5 {
+		t.Errorf("count = %d, want 5 (fires at 0..4)", count)
+	}
+	if task.Fires() != 5 {
+		t.Errorf("Fires = %d, want 5", task.Fires())
+	}
+}
+
+func TestTaskStopFromWithinCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var task *Task
+	var err error
+	task, err = s.Every(0, 1, func() {
+		count++
+		if count == 3 {
+			task.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestEveryPoissonRate(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	count := 0
+	if _, err := s.EveryPoisson(rng, 2.0, func() { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(1000)
+	// Expected ~2000 events; Poisson sd ~45.
+	if count < 1700 || count > 2300 {
+		t.Errorf("Poisson(rate=2) fired %d times in 1000s, want ~2000", count)
+	}
+}
+
+func TestEveryPoissonValidation(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.EveryPoisson(rng, 0, func() {}); err == nil {
+		t.Error("accepted zero rate")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		s := New()
+		rng := rand.New(rand.NewSource(9))
+		var times []float64
+		task, _ := s.EveryPoisson(rng, 1, func() { times = append(times, s.Now()) })
+		s.After(50, func() { task.Stop() })
+		s.RunUntil(50)
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+}
+
+// Property: events always execute in non-decreasing time order, no
+// matter how the schedule interleaves one-shot and periodic tasks.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New()
+		rng := rand.New(rand.NewSource(seed))
+		var times []float64
+		record := func() { times = append(times, s.Now()) }
+		for i := 0; i < 20; i++ {
+			s.After(rng.Float64()*50, record)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := s.Every(rng.Float64()*10, 0.5+rng.Float64()*5, record); err != nil {
+				return false
+			}
+		}
+		s.RunUntil(60)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) > 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

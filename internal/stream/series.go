@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file supports replaying recorded datasets: parsing numeric series
+// from CSV (for users substituting their own data for the built-in
+// generators, e.g. an actual weather or call-detail-record export) and a
+// replay Source over an in-memory series.
+
+// ReadCSV parses a numeric series from CSV data, taking the value of the
+// given 0-based column of every record. A single leading header row
+// whose cell is not numeric is skipped; any later non-numeric cell is an
+// error.
+func ReadCSV(r io.Reader, column int) ([]float64, error) {
+	if column < 0 {
+		return nil, fmt.Errorf("stream: negative column %d", column)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow ragged rows; validate per record
+	var out []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: csv row %d: %w", row+1, err)
+		}
+		row++
+		if column >= len(rec) {
+			return nil, fmt.Errorf("stream: csv row %d has %d columns, need %d", row, len(rec), column+1)
+		}
+		cell := strings.TrimSpace(rec[column])
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			if row == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("stream: csv row %d: %q is not numeric", row, cell)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stream: no numeric values in csv input")
+	}
+	return out, nil
+}
+
+// Replayer replays a finite recorded series as a Source, optionally
+// looping when exhausted.
+type Replayer struct {
+	data []float64
+	pos  int
+	loop bool
+	done bool
+}
+
+// NewReplayer wraps a non-empty series. With loop=false, Next keeps
+// returning the final value once the series is exhausted and Done
+// reports exhaustion.
+func NewReplayer(values []float64, loop bool) (*Replayer, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("stream: empty series")
+	}
+	return &Replayer{data: append([]float64(nil), values...), loop: loop}, nil
+}
+
+// Len returns the length of the recorded series.
+func (r *Replayer) Len() int { return len(r.data) }
+
+// Done reports whether a non-looping replay has been exhausted.
+func (r *Replayer) Done() bool { return r.done }
+
+// Reset rewinds the replay.
+func (r *Replayer) Reset() {
+	r.pos = 0
+	r.done = false
+}
+
+// Next implements Source.
+func (r *Replayer) Next() float64 {
+	if r.pos >= len(r.data) {
+		if r.loop {
+			r.pos = 0
+		} else {
+			r.done = true
+			return r.data[len(r.data)-1]
+		}
+	}
+	v := r.data[r.pos]
+	r.pos++
+	if r.pos >= len(r.data) && !r.loop {
+		r.done = true
+	}
+	return v
+}

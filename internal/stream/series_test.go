@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "day,temp\n1,20.5\n2,21.0\n3,19.25\n"
+	vals, err := ReadCSV(strings.NewReader(in), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{20.5, 21.0, 19.25}
+	if len(vals) != len(want) {
+		t.Fatalf("vals = %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	vals, err := ReadCSV(strings.NewReader("1.5\n2.5\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 1.5 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestReadCSVWhitespace(t *testing.T) {
+	vals, err := ReadCSV(strings.NewReader("a, 7 \nb, 8\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 7 || vals[1] != 8 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1\n"), -1); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1\n"), 3); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("header\n"), 0); err == nil {
+		t.Error("header-only input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1\nbad\n2\n"), 0); err == nil {
+		t.Error("mid-file non-numeric cell accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), 0); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReplayerLooping(t *testing.T) {
+	r, err := NewReplayer([]float64{1, 2, 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	got := make([]float64, 7)
+	for i := range got {
+		got[i] = r.Next()
+	}
+	want := []float64{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("looped = %v, want %v", got, want)
+		}
+	}
+	if r.Done() {
+		t.Error("looping replayer reported Done")
+	}
+}
+
+func TestReplayerNonLooping(t *testing.T) {
+	r, err := NewReplayer([]float64{5, 6}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Done() {
+		t.Error("Done before reading")
+	}
+	if r.Next() != 5 || r.Done() {
+		t.Error("first value wrong or premature Done")
+	}
+	if r.Next() != 6 {
+		t.Error("second value wrong")
+	}
+	if !r.Done() {
+		t.Error("not Done after exhaustion")
+	}
+	// Exhausted: keeps returning the last value.
+	if r.Next() != 6 || r.Next() != 6 {
+		t.Error("exhausted replayer changed value")
+	}
+	r.Reset()
+	if r.Done() || r.Next() != 5 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestReplayerValidation(t *testing.T) {
+	if _, err := NewReplayer(nil, true); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestReplayerCopiesInput(t *testing.T) {
+	vals := []float64{1, 2}
+	r, _ := NewReplayer(vals, true)
+	vals[0] = 99
+	if r.Next() != 1 {
+		t.Error("replayer aliases caller slice")
+	}
+}

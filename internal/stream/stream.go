@@ -1,0 +1,242 @@
+// Package stream provides the data sources and sliding-window buffer used
+// by the SWAT experiments: the paper's synthetic uniform data, a
+// deterministic substitute for its real weather dataset (Santa Barbara
+// daily maximum temperatures 1994–2001; see DESIGN.md §2.4 for the
+// substitution rationale), random-walk and constant-drift sources used by
+// tests, and a ring-buffer sliding window that retains the last N values.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Source produces an unbounded sequence of stream values.
+type Source interface {
+	// Next returns the next value of the stream.
+	Next() float64
+}
+
+// Func adapts a function to the Source interface.
+type Func func() float64
+
+// Next implements Source.
+func (f Func) Next() float64 { return f() }
+
+// Uniform returns the paper's synthetic source: i.i.d. uniform values in
+// [0, 100], seeded deterministically.
+func Uniform(seed int64) Source {
+	r := rand.New(rand.NewSource(seed))
+	return Func(func() float64 { return r.Float64() * 100 })
+}
+
+// UniformRange returns i.i.d. uniform values in [lo, hi].
+func UniformRange(seed int64, lo, hi float64) Source {
+	r := rand.New(rand.NewSource(seed))
+	return Func(func() float64 { return lo + r.Float64()*(hi-lo) })
+}
+
+// RandomWalk returns a bounded random walk starting at start with steps
+// uniform in [-step, step], reflected at [lo, hi]. Random walks have the
+// strong local correlation of real sensor data and are used in tests and
+// examples.
+func RandomWalk(seed int64, start, step, lo, hi float64) Source {
+	r := rand.New(rand.NewSource(seed))
+	v := start
+	return Func(func() float64 {
+		v += (r.Float64()*2 - 1) * step
+		switch {
+		case v < lo:
+			v = 2*lo - v
+		case v > hi:
+			v = 2*hi - v
+		}
+		return v
+	})
+}
+
+// Drift returns the deterministic source of the paper's error-bound
+// analysis (§2.6): consecutive values differ by exactly epsilon,
+// d_{i+1} - d_i = epsilon, starting from start.
+func Drift(start, epsilon float64) Source {
+	v := start - epsilon
+	return Func(func() float64 {
+		v += epsilon
+		return v
+	})
+}
+
+// Constant returns a source that always produces v.
+func Constant(v float64) Source {
+	return Func(func() float64 { return v })
+}
+
+// weatherLen matches the paper's real dataset size: daily maxima for
+// 1994–2001, eight years, "its size is 3K".
+const weatherLen = 2922
+
+// Weather returns the substitute for the paper's real dataset: a
+// deterministic seasonal temperature series (degrees Celsius) with a
+// yearly sinusoid, slowly-varying AR(1) weather systems, mild daily
+// noise, and occasional multi-day heat spikes. Consecutive values differ
+// by little — the property (small deviations vs. the jumpy uniform
+// synthetic data) that drives every real-vs-synthetic contrast in the
+// paper. The series repeats after Len() samples, mirroring experiments
+// that loop over the finite real dataset.
+func Weather(seed int64) *WeatherSource {
+	w := &WeatherSource{data: make([]float64, weatherLen)}
+	r := rand.New(rand.NewSource(seed))
+	ar := 0.0
+	spike := 0.0
+	for i := range w.data {
+		day := float64(i)
+		seasonal := 22 + 7*math.Sin(2*math.Pi*(day-100)/365.25)
+		// AR(1) weather system with a multi-day time constant.
+		ar = 0.88*ar + r.NormFloat64()*1.5
+		// Rare heat waves that decay over about a week.
+		if spike > 0.05 {
+			spike *= 0.75
+		} else {
+			spike = 0
+			if r.Float64() < 0.015 {
+				spike = 5 + r.Float64()*7
+			}
+		}
+		// Day-to-day noise: coastal daily maxima swing by several
+		// degrees with marine-layer burn-off.
+		v := seasonal + ar + spike + r.NormFloat64()*1.7
+		w.data[i] = math.Min(44, math.Max(6, v))
+	}
+	return w
+}
+
+// WeatherSource is the finite, repeating weather dataset.
+type WeatherSource struct {
+	data []float64
+	pos  int
+}
+
+// Len returns the number of distinct samples before the series repeats.
+func (w *WeatherSource) Len() int { return len(w.data) }
+
+// At returns the i-th sample of the dataset (0-based, not affected by
+// Next's cursor).
+func (w *WeatherSource) At(i int) float64 { return w.data[i%len(w.data)] }
+
+// Next implements Source, looping over the dataset.
+func (w *WeatherSource) Next() float64 {
+	v := w.data[w.pos]
+	w.pos = (w.pos + 1) % len(w.data)
+	return v
+}
+
+// Reset rewinds the cursor to the beginning of the dataset.
+func (w *WeatherSource) Reset() { w.pos = 0 }
+
+// Window is a fixed-capacity sliding window over the most recent values
+// of a stream, stored in a ring buffer. Index 0 is the most recent value
+// ("age" indexing, matching the paper's d_0, d_1, ... convention).
+type Window struct {
+	buf   []float64
+	head  int // position of the most recent value
+	count int // number of values seen, saturating at len(buf)
+	total uint64
+}
+
+// NewWindow creates a sliding window holding the last n values. n must be
+// positive.
+func NewWindow(n int) (*Window, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stream: window size must be positive, got %d", n)
+	}
+	return &Window{buf: make([]float64, n), head: -1}, nil
+}
+
+// Push appends a new most-recent value, evicting the oldest if full.
+func (w *Window) Push(v float64) {
+	w.head = (w.head + 1) % len(w.buf)
+	w.buf[w.head] = v
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.total++
+}
+
+// Cap returns the window capacity N.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Len returns the number of values currently held (≤ Cap).
+func (w *Window) Len() int { return w.count }
+
+// Total returns the total number of values pushed since creation.
+func (w *Window) Total() uint64 { return w.total }
+
+// At returns the value with the given age: At(0) is the most recent
+// value, At(1) the one before it, and so on. It returns an error if age
+// is out of range.
+func (w *Window) At(age int) (float64, error) {
+	if age < 0 || age >= w.count {
+		return 0, fmt.Errorf("stream: age %d out of range [0,%d)", age, w.count)
+	}
+	idx := (w.head - age + len(w.buf)*2) % len(w.buf)
+	return w.buf[idx], nil
+}
+
+// MustAt is At for ages known to be valid; it panics on range errors and
+// exists for hot paths already guarded by Len checks.
+func (w *Window) MustAt(age int) float64 {
+	v, err := w.At(age)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Slice returns the values with ages [from, to] inclusive, newest first.
+func (w *Window) Slice(from, to int) ([]float64, error) {
+	if from < 0 || to < from || to >= w.count {
+		return nil, fmt.Errorf("stream: slice [%d,%d] out of range [0,%d)", from, to, w.count)
+	}
+	out := make([]float64, 0, to-from+1)
+	for age := from; age <= to; age++ {
+		out = append(out, w.MustAt(age))
+	}
+	return out, nil
+}
+
+// Values returns all held values, newest first.
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.count)
+	for age := 0; age < w.count; age++ {
+		out[age] = w.MustAt(age)
+	}
+	return out
+}
+
+// MinMax returns the minimum and maximum over ages [from, to] inclusive.
+func (w *Window) MinMax(from, to int) (lo, hi float64, err error) {
+	if from < 0 || to < from || to >= w.count {
+		return 0, 0, fmt.Errorf("stream: minmax [%d,%d] out of range [0,%d)", from, to, w.count)
+	}
+	lo = math.Inf(1)
+	hi = math.Inf(-1)
+	for age := from; age <= to; age++ {
+		v := w.MustAt(age)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi, nil
+}
+
+// Mean returns the mean over ages [from, to] inclusive.
+func (w *Window) Mean(from, to int) (float64, error) {
+	if from < 0 || to < from || to >= w.count {
+		return 0, fmt.Errorf("stream: mean [%d,%d] out of range [0,%d)", from, to, w.count)
+	}
+	var s float64
+	for age := from; age <= to; age++ {
+		s += w.MustAt(age)
+	}
+	return s / float64(to-from+1), nil
+}

@@ -1,0 +1,252 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRangeAndDeterminism(t *testing.T) {
+	a := Uniform(42)
+	b := Uniform(42)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, va, vb)
+		}
+		if va < 0 || va > 100 {
+			t.Fatalf("uniform value %v out of [0,100]", va)
+		}
+	}
+}
+
+func TestUniformRangeBounds(t *testing.T) {
+	s := UniformRange(1, -5, 5)
+	for i := 0; i < 1000; i++ {
+		v := s.Next()
+		if v < -5 || v > 5 {
+			t.Fatalf("value %v out of [-5,5]", v)
+		}
+	}
+}
+
+func TestRandomWalkBounded(t *testing.T) {
+	s := RandomWalk(3, 50, 10, 0, 100)
+	prev := 50.0
+	for i := 0; i < 5000; i++ {
+		v := s.Next()
+		if v < 0 || v > 100 {
+			t.Fatalf("walk escaped bounds: %v", v)
+		}
+		if math.Abs(v-prev) > 30 {
+			t.Fatalf("walk step too large: %v -> %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestDrift(t *testing.T) {
+	s := Drift(10, 0.5)
+	for i := 0; i < 10; i++ {
+		want := 10 + 0.5*float64(i)
+		if got := s.Next(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Drift value %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	s := Constant(7)
+	for i := 0; i < 5; i++ {
+		if s.Next() != 7 {
+			t.Fatal("Constant not constant")
+		}
+	}
+}
+
+func TestWeatherShape(t *testing.T) {
+	w := Weather(1)
+	if w.Len() != 2922 {
+		t.Fatalf("Len = %d, want 2922 (8 years of daily data)", w.Len())
+	}
+	var sumAbsDiff, sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	prev := w.Next()
+	for i := 1; i < w.Len(); i++ {
+		v := w.Next()
+		sumAbsDiff += math.Abs(v - prev)
+		sum += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		prev = v
+	}
+	if lo < 6 || hi > 44 {
+		t.Errorf("temperature range [%v,%v] outside clamp [6,44]", lo, hi)
+	}
+	meanStep := sumAbsDiff / float64(w.Len()-1)
+	if meanStep > 4 {
+		t.Errorf("weather data too jumpy: mean |step| = %v, want smooth (< 4)", meanStep)
+	}
+	mean := sum / float64(w.Len()-1)
+	if mean < 12 || mean > 32 {
+		t.Errorf("mean temperature %v implausible", mean)
+	}
+}
+
+func TestWeatherSeasonality(t *testing.T) {
+	w := Weather(1)
+	// Average of (relative) summer days must exceed average of winter
+	// days by a clear margin across the eight years.
+	var summer, winter float64
+	var ns, nw int
+	for year := 0; year < 8; year++ {
+		base := year * 365
+		for d := 160; d < 220; d++ { // around the seasonal peak
+			summer += w.At(base + d)
+			ns++
+		}
+		for d := 320; d < 360; d++ { // seasonal trough
+			winter += w.At(base + d)
+			nw++
+		}
+	}
+	if summer/float64(ns) < winter/float64(nw)+5 {
+		t.Errorf("no seasonality: summer mean %v vs winter mean %v", summer/float64(ns), winter/float64(nw))
+	}
+}
+
+func TestWeatherLoopAndReset(t *testing.T) {
+	w := Weather(5)
+	first := make([]float64, 10)
+	for i := range first {
+		first[i] = w.Next()
+	}
+	w.Reset()
+	for i := range first {
+		if got := w.Next(); got != first[i] {
+			t.Fatalf("Reset mismatch at %d", i)
+		}
+	}
+	// Exhaust a full cycle; the next value must equal sample 10 again.
+	w.Reset()
+	for i := 0; i < w.Len(); i++ {
+		w.Next()
+	}
+	if got, want := w.Next(), w.At(0); got != want {
+		t.Fatalf("loop mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("accepted size 0")
+	}
+	if _, err := NewWindow(-3); err == nil {
+		t.Error("accepted negative size")
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w, err := NewWindow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cap() != 4 || w.Len() != 0 || w.Total() != 0 {
+		t.Fatal("fresh window state wrong")
+	}
+	for i := 1; i <= 6; i++ {
+		w.Push(float64(i))
+	}
+	if w.Len() != 4 || w.Total() != 6 {
+		t.Fatalf("Len=%d Total=%d, want 4, 6", w.Len(), w.Total())
+	}
+	// Newest first: 6,5,4,3.
+	want := []float64{6, 5, 4, 3}
+	got := w.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	if v := w.MustAt(0); v != 6 {
+		t.Errorf("MustAt(0) = %v, want 6", v)
+	}
+	if _, err := w.At(4); err == nil {
+		t.Error("At(4) accepted out-of-range age")
+	}
+	if _, err := w.At(-1); err == nil {
+		t.Error("At(-1) accepted negative age")
+	}
+}
+
+func TestWindowSliceMeanMinMax(t *testing.T) {
+	w, _ := NewWindow(8)
+	for i := 1; i <= 8; i++ {
+		w.Push(float64(i))
+	}
+	s, err := w.Slice(2, 5) // ages 2..5 = values 6,5,4,3
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 5, 4, 3}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", s, want)
+		}
+	}
+	m, err := w.Mean(2, 5)
+	if err != nil || m != 4.5 {
+		t.Fatalf("Mean = %v (%v), want 4.5", m, err)
+	}
+	lo, hi, err := w.MinMax(2, 5)
+	if err != nil || lo != 3 || hi != 6 {
+		t.Fatalf("MinMax = %v,%v (%v), want 3,6", lo, hi, err)
+	}
+	if _, err := w.Slice(5, 2); err == nil {
+		t.Error("Slice accepted inverted range")
+	}
+	if _, err := w.Mean(0, 8); err == nil {
+		t.Error("Mean accepted out-of-range")
+	}
+	if _, _, err := w.MinMax(-1, 2); err == nil {
+		t.Error("MinMax accepted negative from")
+	}
+}
+
+func TestWindowMustAtPanics(t *testing.T) {
+	w, _ := NewWindow(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAt did not panic on empty window")
+		}
+	}()
+	w.MustAt(0)
+}
+
+// Property: after pushing any sequence, At(age) returns the value pushed
+// (len-1-age) positions ago within the window.
+func TestQuickWindowSemantics(t *testing.T) {
+	f := func(vals []float64, capRaw uint8) bool {
+		capN := int(capRaw%16) + 1
+		w, err := NewWindow(capN)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			w.Push(v)
+		}
+		n := len(vals)
+		if w.Len() != min(n, capN) {
+			return false
+		}
+		for age := 0; age < w.Len(); age++ {
+			if w.MustAt(age) != vals[n-1-age] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package wavelet
+
+import "fmt"
+
+// This file implements the block-average ("scaled Haar") representation
+// SWAT nodes store. A node summarizing a segment of length 2^(l+1) with k
+// coefficients keeps m = min(k, 2^(l+1)) block averages, each the mean of
+// a contiguous block of the segment in age order (index 0 = newest block).
+//
+// Block averages are exactly the Haar approximation coefficients divided
+// by the accumulated normalization 2^(levels/2); working with the
+// unnormalized form keeps node contents interpretable and makes the
+// 1-coefficient invariant trivial: the single stored value is the true
+// mean of the covered segment.
+
+// Averages reduces a power-of-two-length signal to at most maxCoeff block
+// averages by repeated pairwise averaging. maxCoeff must be a positive
+// power of two.
+func Averages(signal []float64, maxCoeff int) ([]float64, error) {
+	if err := checkPow2(len(signal)); err != nil {
+		return nil, err
+	}
+	if !IsPow2(maxCoeff) {
+		return nil, fmt.Errorf("wavelet: maxCoeff %d must be a power of two", maxCoeff)
+	}
+	cur := append([]float64(nil), signal...)
+	for len(cur) > maxCoeff {
+		cur = pairwise(cur)
+	}
+	return cur, nil
+}
+
+// CombineAverages merges the block averages of two adjacent equal-length
+// segments (newer first, in age order) into the block averages of the
+// combined segment, reduced to at most maxCoeff coefficients. This is the
+// DWT(R_{l-1}, L_{l-1}) combine step of the SWAT update algorithm for
+// the block-average representation.
+func CombineAverages(newer, older []float64, maxCoeff int) ([]float64, error) {
+	if len(newer) != len(older) {
+		return nil, fmt.Errorf("wavelet: cannot combine averages of lengths %d and %d", len(newer), len(older))
+	}
+	joined := make([]float64, 0, len(newer)+len(older))
+	joined = append(joined, newer...)
+	joined = append(joined, older...)
+	return Averages(joined, maxCoeff)
+}
+
+// ExpandAverages expands m block averages into a signal of length n by
+// replicating each average across its block. n must be a power-of-two
+// multiple of m. This is the zero-detail inverse transform in the
+// block-average representation.
+func ExpandAverages(averages []float64, n int) ([]float64, error) {
+	m := len(averages)
+	if m == 0 {
+		return nil, fmt.Errorf("wavelet: cannot expand empty averages")
+	}
+	if err := checkPow2(n); err != nil {
+		return nil, err
+	}
+	if !IsPow2(m) || n%m != 0 {
+		return nil, fmt.Errorf("wavelet: cannot expand %d averages to length %d", m, n)
+	}
+	block := n / m
+	out := make([]float64, n)
+	for i, a := range averages {
+		for j := 0; j < block; j++ {
+			out[i*block+j] = a
+		}
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of a non-empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// pairwise halves a slice by averaging adjacent pairs.
+func pairwise(xs []float64) []float64 {
+	out := make([]float64, len(xs)/2)
+	for i := range out {
+		out[i] = (xs[2*i] + xs[2*i+1]) / 2
+	}
+	return out
+}

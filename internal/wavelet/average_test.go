@@ -1,0 +1,168 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAveragesFullReduction(t *testing.T) {
+	sig := []float64{1, 3, 5, 7}
+	got, err := Averages(sig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !almostEqual(got[0], 4) {
+		t.Errorf("Averages = %v, want [4]", got)
+	}
+}
+
+func TestAveragesPartialReduction(t *testing.T) {
+	sig := []float64{1, 3, 5, 7, 2, 4, 6, 8}
+	got, err := Averages(sig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 3, 7}
+	if !slicesAlmostEqual(got, want) {
+		t.Errorf("Averages = %v, want %v", got, want)
+	}
+}
+
+func TestAveragesNoReduction(t *testing.T) {
+	sig := []float64{9, 1}
+	got, err := Averages(sig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slicesAlmostEqual(got, sig) {
+		t.Errorf("Averages = %v, want %v", got, sig)
+	}
+}
+
+func TestAveragesValidation(t *testing.T) {
+	if _, err := Averages(make([]float64, 3), 1); err == nil {
+		t.Error("accepted non-pow2 signal")
+	}
+	if _, err := Averages(make([]float64, 4), 3); err == nil {
+		t.Error("accepted non-pow2 maxCoeff")
+	}
+	if _, err := Averages(make([]float64, 4), 0); err == nil {
+		t.Error("accepted maxCoeff=0")
+	}
+}
+
+func TestCombineAverages(t *testing.T) {
+	newer := []float64{2, 4} // newest blocks
+	older := []float64{6, 8}
+	got, err := CombineAverages(newer, older, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 7}
+	if !slicesAlmostEqual(got, want) {
+		t.Errorf("CombineAverages = %v, want %v", got, want)
+	}
+	// With enough budget the combine is a pure concatenation.
+	got, err = CombineAverages(newer, older, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []float64{2, 4, 6, 8}
+	if !slicesAlmostEqual(got, want) {
+		t.Errorf("CombineAverages = %v, want %v", got, want)
+	}
+}
+
+func TestCombineAveragesMismatch(t *testing.T) {
+	if _, err := CombineAverages([]float64{1}, []float64{1, 2}, 2); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestExpandAverages(t *testing.T) {
+	got, err := ExpandAverages([]float64{3, 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 3, 3, 3, 7, 7, 7, 7}
+	if !slicesAlmostEqual(got, want) {
+		t.Errorf("ExpandAverages = %v, want %v", got, want)
+	}
+}
+
+func TestExpandAveragesValidation(t *testing.T) {
+	if _, err := ExpandAverages(nil, 4); err == nil {
+		t.Error("accepted empty averages")
+	}
+	if _, err := ExpandAverages([]float64{1, 2, 3}, 6); err == nil {
+		t.Error("accepted non-pow2 averages")
+	}
+	if _, err := ExpandAverages([]float64{1, 2}, 6); err == nil {
+		t.Error("accepted non-pow2 target")
+	}
+	if _, err := ExpandAverages([]float64{1, 2, 3, 4}, 2); err == nil {
+		t.Error("accepted target shorter than averages")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEqual(Mean([]float64{2, 4, 9}), 5) {
+		t.Error("Mean([2 4 9]) != 5")
+	}
+}
+
+// Property: the overall mean is preserved by any Averages reduction, and
+// ExpandAverages preserves it too.
+func TestQuickAveragesPreserveMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << uint(1+r.Intn(7)) // 2..128
+		sig := randSignal(r, n)
+		maxC := 1 << uint(r.Intn(Log2(n)+1))
+		avg, err := Averages(sig, maxC)
+		if err != nil {
+			return false
+		}
+		if math.Abs(Mean(avg)-Mean(sig)) > 1e-9*(1+math.Abs(Mean(sig))) {
+			return false
+		}
+		exp, err := ExpandAverages(avg, n)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Mean(exp)-Mean(sig)) <= 1e-9*(1+math.Abs(Mean(sig)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CombineAverages(newer, older, k) equals Averages of the
+// concatenated underlying signal when newer/older are full-resolution.
+func TestQuickCombineConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		half := 1 << uint(r.Intn(5)) // 1..16
+		a := randSignal(r, half)
+		b := randSignal(r, half)
+		maxC := 1 << uint(r.Intn(Log2(half*2)+1))
+		got, err := CombineAverages(a, b, maxC)
+		if err != nil {
+			return false
+		}
+		joined := append(append([]float64(nil), a...), b...)
+		want, err := Averages(joined, maxC)
+		if err != nil {
+			return false
+		}
+		return slicesAlmostEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Basis is an orthonormal wavelet basis described by its decomposition
+// low-pass filter. The high-pass filter and the reconstruction filters
+// are derived by quadrature mirroring, which is valid for the orthogonal
+// families used here (Haar, Daubechies).
+type Basis struct {
+	name string
+	// lo is the decomposition low-pass (scaling) filter.
+	lo []float64
+	// hi is the decomposition high-pass (wavelet) filter, derived from lo.
+	hi []float64
+}
+
+// Name returns the human-readable basis name ("haar", "db4", ...).
+func (b *Basis) Name() string { return b.name }
+
+// FilterLen returns the length of the basis filters.
+func (b *Basis) FilterLen() int { return len(b.lo) }
+
+func (b *Basis) String() string { return fmt.Sprintf("wavelet.Basis(%s)", b.name) }
+
+// scale multiplies a filter by a constant.
+func scale(c float64, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c * x
+	}
+	return out
+}
+
+// newBasis builds a Basis from a decomposition low-pass filter using the
+// alternating-flip construction hi[k] = (-1)^k * lo[L-1-k].
+func newBasis(name string, lo []float64) *Basis {
+	hi := make([]float64, len(lo))
+	for k := range lo {
+		sign := 1.0
+		if k%2 == 1 {
+			sign = -1.0
+		}
+		hi[k] = sign * lo[len(lo)-1-k]
+	}
+	return &Basis{name: name, lo: lo, hi: hi}
+}
+
+var (
+	sqrt2 = math.Sqrt2
+
+	// Haar is the Haar basis, the default SWAT basis. A forward step maps
+	// a pair (a, b) to ((a+b)/√2, (a-b)/√2).
+	Haar = newBasis("haar", []float64{1 / sqrt2, 1 / sqrt2})
+
+	// DB4 is the Daubechies-4 (two vanishing moments) basis, provided for
+	// basis ablations. Coefficients follow Daubechies' construction:
+	// (1±√3)/(4√2).
+	DB4 = newBasis("db4", []float64{
+		(1 + math.Sqrt(3)) / (4 * sqrt2),
+		(3 + math.Sqrt(3)) / (4 * sqrt2),
+		(3 - math.Sqrt(3)) / (4 * sqrt2),
+		(1 - math.Sqrt(3)) / (4 * sqrt2),
+	})
+
+	// DB6 is the Daubechies-6 (three vanishing moments) basis; standard
+	// published filter coefficients (Σh=2 convention), normalized to the
+	// orthonormal Σ=√2 convention used here.
+	DB6 = newBasis("db6", scale(1/sqrt2, []float64{
+		0.47046720778416373, 1.1411169158314438, 0.650365000526232,
+		-0.19093441556832846, -0.12083220831036203, 0.0498174997368838,
+	}))
+
+	// DB8 is the Daubechies-8 (four vanishing moments) basis; standard
+	// published filter coefficients (Σh=2 convention), normalized.
+	DB8 = newBasis("db8", scale(1/sqrt2, []float64{
+		0.32580342805130127, 1.0109457150918286, 0.8922001382467595,
+		-0.039575026235654154, -0.2645071673690397, 0.0436163004741781,
+		0.04650360107098015, -0.014986989330362323,
+	}))
+)
+
+// ByName resolves a basis by name. Supported names: "haar", "db4",
+// "db6", "db8".
+func ByName(name string) (*Basis, error) {
+	switch name {
+	case "haar":
+		return Haar, nil
+	case "db4":
+		return DB4, nil
+	case "db6":
+		return DB6, nil
+	case "db8":
+		return DB8, nil
+	default:
+		return nil, fmt.Errorf("wavelet: unknown basis %q", name)
+	}
+}
+
+// Forward applies one decomposition level with periodic boundary
+// handling. The signal length must be an even power of two at least the
+// filter length is not required: periodic wrap handles short signals of
+// length >= 2. It returns approximation and detail coefficients, each of
+// length len(signal)/2.
+func (b *Basis) Forward(signal []float64) (approx, detail []float64, err error) {
+	n := len(signal)
+	if err := checkPow2(n); err != nil {
+		return nil, nil, err
+	}
+	if n < 2 {
+		return nil, nil, fmt.Errorf("%w: need at least 2 samples, got %d", ErrBadLevels, n)
+	}
+	half := n / 2
+	approx = make([]float64, half)
+	detail = make([]float64, half)
+	for i := 0; i < half; i++ {
+		var a, d float64
+		for k, c := range b.lo {
+			idx := (2*i + k) % n
+			a += c * signal[idx]
+			d += b.hi[k] * signal[idx]
+		}
+		approx[i] = a
+		detail[i] = d
+	}
+	return approx, detail, nil
+}
+
+// Inverse applies one reconstruction level, undoing Forward exactly (up
+// to floating-point rounding) for orthonormal bases with periodic
+// boundary handling. approx and detail must have equal power-of-two (or
+// 1) lengths.
+func (b *Basis) Inverse(approx, detail []float64) ([]float64, error) {
+	if len(approx) != len(detail) {
+		return nil, fmt.Errorf("wavelet: approx length %d != detail length %d", len(approx), len(detail))
+	}
+	half := len(approx)
+	if half < 1 {
+		return nil, fmt.Errorf("%w: empty coefficient vectors", ErrBadLevels)
+	}
+	if half > 1 {
+		if err := checkPow2(half); err != nil {
+			return nil, err
+		}
+	}
+	n := 2 * half
+	out := make([]float64, n)
+	for i := 0; i < half; i++ {
+		for k := range b.lo {
+			idx := (2*i + k) % n
+			out[idx] += b.lo[k]*approx[i] + b.hi[k]*detail[i]
+		}
+	}
+	return out, nil
+}
+
+// Coeffs holds a full multi-level wavelet decomposition: the coarsest
+// approximation plus the detail vectors from coarsest (Details[0]) to
+// finest (Details[len-1]).
+type Coeffs struct {
+	// Approx is the coarsest-level approximation vector.
+	Approx []float64
+	// Details[i] is the detail vector at level i, coarsest first.
+	// len(Details[i+1]) == 2*len(Details[i]).
+	Details [][]float64
+}
+
+// Levels returns the number of decomposition levels.
+func (c *Coeffs) Levels() int { return len(c.Details) }
+
+// Len returns the length of the signal the coefficients describe.
+func (c *Coeffs) Len() int {
+	n := len(c.Approx)
+	for _, d := range c.Details {
+		n += len(d)
+	}
+	return n
+}
+
+// Transform computes a `levels`-deep cascade decomposition of signal.
+// levels must satisfy 1 <= levels <= log2(len(signal)).
+func (b *Basis) Transform(signal []float64, levels int) (*Coeffs, error) {
+	n := len(signal)
+	if err := checkPow2(n); err != nil {
+		return nil, err
+	}
+	if levels < 1 || levels > Log2(n) {
+		return nil, fmt.Errorf("%w: levels=%d for signal length %d", ErrBadLevels, levels, n)
+	}
+	cur := append([]float64(nil), signal...)
+	details := make([][]float64, levels)
+	for l := 0; l < levels; l++ {
+		approx, detail, err := b.Forward(cur)
+		if err != nil {
+			return nil, err
+		}
+		// Fill from the finest slot backwards so Details ends up
+		// coarsest-first.
+		details[levels-1-l] = detail
+		cur = approx
+	}
+	return &Coeffs{Approx: cur, Details: details}, nil
+}
+
+// Reconstruct inverts Transform exactly (up to rounding).
+func (b *Basis) Reconstruct(c *Coeffs) ([]float64, error) {
+	cur := append([]float64(nil), c.Approx...)
+	for _, detail := range c.Details {
+		next, err := b.Inverse(cur, detail)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ReconstructApprox expands an approximation vector through `levels`
+// inverse transforms using zero detail coefficients at every step — the
+// operation SWAT performs when answering queries from a node at level l
+// (l+1 inverse transforms, "at each step a zero vector is used as the
+// detail coefficient", paper §2.4). The result has length
+// len(approx) << levels.
+func (b *Basis) ReconstructApprox(approx []float64, levels int) ([]float64, error) {
+	if levels < 0 {
+		return nil, fmt.Errorf("%w: negative levels %d", ErrBadLevels, levels)
+	}
+	cur := append([]float64(nil), approx...)
+	zero := make([]float64, len(cur)<<uint(levels))
+	for l := 0; l < levels; l++ {
+		next, err := b.Inverse(cur, zero[:len(cur)])
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,114 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements largest-B coefficient synopses in the style of
+// Gilbert et al. [7 in the paper]: keep the B decomposition coefficients
+// of largest magnitude and reconstruct with the rest zeroed. SWAT itself
+// keeps prefix coefficients, but the largest-B synopsis is the natural
+// point of comparison for per-basis compression-quality ablations.
+
+// SparseCoeff is a single retained coefficient of a full decomposition.
+type SparseCoeff struct {
+	// Level is the coefficient's level: -1 for an approximation
+	// coefficient, otherwise an index into Coeffs.Details.
+	Level int
+	// Index is the position within the level's vector.
+	Index int
+	// Value is the coefficient value.
+	Value float64
+}
+
+// Synopsis is a largest-B sparse wavelet summary of a signal.
+type Synopsis struct {
+	// N is the length of the summarized signal.
+	N int
+	// Levels is the decomposition depth used.
+	Levels int
+	// Kept holds the retained coefficients, largest magnitude first.
+	Kept []SparseCoeff
+}
+
+// NewSynopsis decomposes signal to full depth under basis b and keeps
+// the largestB coefficients by absolute value.
+func NewSynopsis(b *Basis, signal []float64, largestB int) (*Synopsis, error) {
+	n := len(signal)
+	if err := checkPow2(n); err != nil {
+		return nil, err
+	}
+	if largestB < 1 {
+		return nil, fmt.Errorf("wavelet: largestB must be positive, got %d", largestB)
+	}
+	levels := Log2(n)
+	if levels == 0 {
+		return &Synopsis{N: 1, Levels: 0, Kept: []SparseCoeff{{Level: -1, Index: 0, Value: signal[0]}}}, nil
+	}
+	c, err := b.Transform(signal, levels)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]SparseCoeff, 0, n)
+	for i, v := range c.Approx {
+		all = append(all, SparseCoeff{Level: -1, Index: i, Value: v})
+	}
+	for l, d := range c.Details {
+		for i, v := range d {
+			all = append(all, SparseCoeff{Level: l, Index: i, Value: v})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return math.Abs(all[i].Value) > math.Abs(all[j].Value)
+	})
+	if largestB > len(all) {
+		largestB = len(all)
+	}
+	kept := append([]SparseCoeff(nil), all[:largestB]...)
+	return &Synopsis{N: n, Levels: levels, Kept: kept}, nil
+}
+
+// Reconstruct rebuilds the approximate signal from the synopsis under
+// basis b, zeroing all dropped coefficients.
+func (s *Synopsis) Reconstruct(b *Basis) ([]float64, error) {
+	if s.N == 1 {
+		return []float64{s.Kept[0].Value}, nil
+	}
+	c := &Coeffs{
+		Approx:  make([]float64, 1),
+		Details: make([][]float64, s.Levels),
+	}
+	size := 1
+	for l := 0; l < s.Levels; l++ {
+		c.Details[l] = make([]float64, size)
+		size *= 2
+	}
+	for _, k := range s.Kept {
+		if k.Level == -1 {
+			c.Approx[k.Index] = k.Value
+		} else {
+			c.Details[k.Level][k.Index] = k.Value
+		}
+	}
+	return b.Reconstruct(c)
+}
+
+// L2Error returns the root-mean-square reconstruction error of the
+// synopsis against the original signal.
+func (s *Synopsis) L2Error(b *Basis, signal []float64) (float64, error) {
+	if len(signal) != s.N {
+		return 0, fmt.Errorf("wavelet: signal length %d != synopsis length %d", len(signal), s.N)
+	}
+	rec, err := s.Reconstruct(b)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range signal {
+		d := signal[i] - rec[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(s.N)), nil
+}

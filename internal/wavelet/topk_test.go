@@ -1,0 +1,118 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSynopsisExactWhenKeepingAll(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sig := randSignal(r, 32)
+	for _, basis := range []*Basis{Haar, DB4} {
+		syn, err := NewSynopsis(basis, sig, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := syn.Reconstruct(basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slicesAlmostEqual(sig, rec) {
+			t.Errorf("%s: keeping all coefficients is not exact", basis.Name())
+		}
+	}
+}
+
+func TestSynopsisErrorDecreasesWithB(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	sig := make([]float64, 128)
+	v := 0.0
+	for i := range sig {
+		v += r.Float64()*4 - 2
+		sig[i] = v
+	}
+	prev := math.Inf(1)
+	for _, b := range []int{1, 4, 16, 64, 128} {
+		syn, err := NewSynopsis(Haar, sig, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := syn.L2Error(Haar, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev+1e-9 {
+			t.Errorf("L2 error increased from %v to %v when B grew to %d", prev, e, b)
+		}
+		prev = e
+	}
+	if prev > 1e-9 {
+		t.Errorf("full synopsis not exact, L2 error %v", prev)
+	}
+}
+
+func TestSynopsisConstantSignalOneCoeff(t *testing.T) {
+	sig := make([]float64, 16)
+	for i := range sig {
+		sig[i] = 42
+	}
+	syn, err := NewSynopsis(Haar, sig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := syn.L2Error(Haar, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-9 {
+		t.Errorf("constant signal should be captured by 1 coefficient, L2 error %v", e)
+	}
+}
+
+func TestSynopsisSingleSample(t *testing.T) {
+	syn, err := NewSynopsis(Haar, []float64{9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := syn.Reconstruct(Haar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 1 || !almostEqual(rec[0], 9) {
+		t.Errorf("Reconstruct = %v, want [9]", rec)
+	}
+}
+
+func TestSynopsisValidation(t *testing.T) {
+	if _, err := NewSynopsis(Haar, make([]float64, 6), 2); err == nil {
+		t.Error("accepted non-pow2 signal")
+	}
+	if _, err := NewSynopsis(Haar, make([]float64, 8), 0); err == nil {
+		t.Error("accepted largestB=0")
+	}
+	syn, err := NewSynopsis(Haar, make([]float64, 8), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syn.Kept) != 8 {
+		t.Errorf("Kept %d coefficients, want clamp to 8", len(syn.Kept))
+	}
+	if _, err := syn.L2Error(Haar, make([]float64, 4)); err == nil {
+		t.Error("L2Error accepted mismatched length")
+	}
+}
+
+func TestSynopsisKeptSortedByMagnitude(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	sig := randSignal(r, 64)
+	syn, err := NewSynopsis(Haar, sig, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(syn.Kept); i++ {
+		if math.Abs(syn.Kept[i].Value) > math.Abs(syn.Kept[i-1].Value)+1e-12 {
+			t.Fatalf("Kept not sorted by magnitude at %d", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package wavelet implements the discrete wavelet transforms (DWT) that
+// underlie SWAT nodes: the Haar basis used throughout the paper, a
+// Daubechies-4 basis for ablations, cascade (multi-level) transforms,
+// and the zero-detail inverse transform used to expand a coarse
+// approximation back into signal values.
+//
+// Two representations are provided:
+//
+//   - Orthonormal DWT coefficients (Forward/Inverse/Transform/Reconstruct),
+//     the textbook transform with periodic boundary handling.
+//   - Plain block averages (Averages/CombineAverages/ExpandAverages),
+//     the scaled Haar approximation coefficients SWAT nodes store. Using
+//     unscaled averages keeps node contents directly interpretable (a
+//     1-coefficient node holds exactly the mean of its segment) and
+//     avoids accumulating normalization factors across the staggered
+//     update schedule.
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrNotPow2 is returned when an operation requires a power-of-two length
+// input and the provided signal does not satisfy it.
+var ErrNotPow2 = errors.New("wavelet: signal length must be a power of two")
+
+// ErrBadLevels is returned when a requested decomposition depth does not
+// fit the signal length.
+var ErrBadLevels = errors.New("wavelet: invalid number of decomposition levels")
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Log2 returns the base-2 logarithm of a positive power of two.
+// It panics if n is not a power of two; callers validate with IsPow2.
+func Log2(n int) int {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("wavelet: Log2 of non power of two %d", n))
+	}
+	return bits.TrailingZeros(uint(n))
+}
+
+// checkPow2 validates the length of a signal.
+func checkPow2(n int) error {
+	if !IsPow2(n) {
+		return fmt.Errorf("%w: got length %d", ErrNotPow2, n)
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func slicesAlmostEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func randSignal(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.Float64()*200 - 100
+	}
+	return s
+}
+
+func TestIsPow2(t *testing.T) {
+	cases := map[int]bool{
+		-4: false, -1: false, 0: false, 1: true, 2: true, 3: false,
+		4: true, 6: false, 1024: true, 1023: false, 1 << 30: true,
+	}
+	for n, want := range cases {
+		if got := IsPow2(n); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for exp := 0; exp < 20; exp++ {
+		if got := Log2(1 << uint(exp)); got != exp {
+			t.Errorf("Log2(%d) = %d, want %d", 1<<uint(exp), got, exp)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(12) did not panic")
+		}
+	}()
+	Log2(12)
+}
+
+func TestHaarForwardPair(t *testing.T) {
+	approx, detail, err := Haar.Forward([]float64{6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(approx[0], 8/math.Sqrt2) {
+		t.Errorf("approx = %v, want %v", approx[0], 8/math.Sqrt2)
+	}
+	if !almostEqual(detail[0], 4/math.Sqrt2) {
+		t.Errorf("detail = %v, want %v", detail[0], 4/math.Sqrt2)
+	}
+}
+
+func TestForwardRejectsNonPow2(t *testing.T) {
+	if _, _, err := Haar.Forward(make([]float64, 6)); err == nil {
+		t.Error("Forward accepted length 6")
+	}
+	if _, _, err := Haar.Forward(nil); err == nil {
+		t.Error("Forward accepted empty signal")
+	}
+	if _, _, err := Haar.Forward([]float64{1}); err == nil {
+		t.Error("Forward accepted length-1 signal")
+	}
+}
+
+func TestInverseValidation(t *testing.T) {
+	if _, err := Haar.Inverse([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("Inverse accepted mismatched lengths")
+	}
+	if _, err := Haar.Inverse(nil, nil); err == nil {
+		t.Error("Inverse accepted empty input")
+	}
+	if _, err := Haar.Inverse(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("Inverse accepted non-pow2 length 3")
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, basis := range []*Basis{Haar, DB4, DB6, DB8} {
+		for _, n := range []int{2, 4, 8, 64, 256} {
+			sig := randSignal(r, n)
+			a, d, err := basis.Forward(sig)
+			if err != nil {
+				t.Fatalf("%s Forward(%d): %v", basis.Name(), n, err)
+			}
+			back, err := basis.Inverse(a, d)
+			if err != nil {
+				t.Fatalf("%s Inverse(%d): %v", basis.Name(), n, err)
+			}
+			if !slicesAlmostEqual(sig, back) {
+				t.Errorf("%s round trip failed at n=%d", basis.Name(), n)
+			}
+		}
+	}
+}
+
+func TestTransformReconstructRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, basis := range []*Basis{Haar, DB4, DB6, DB8} {
+		for _, n := range []int{4, 16, 128} {
+			for levels := 1; levels <= Log2(n); levels++ {
+				sig := randSignal(r, n)
+				c, err := basis.Transform(sig, levels)
+				if err != nil {
+					t.Fatalf("%s Transform(%d,%d): %v", basis.Name(), n, levels, err)
+				}
+				if c.Levels() != levels {
+					t.Errorf("Levels() = %d, want %d", c.Levels(), levels)
+				}
+				if c.Len() != n {
+					t.Errorf("Len() = %d, want %d", c.Len(), n)
+				}
+				back, err := basis.Reconstruct(c)
+				if err != nil {
+					t.Fatalf("Reconstruct: %v", err)
+				}
+				if !slicesAlmostEqual(sig, back) {
+					t.Errorf("%s transform round trip failed n=%d levels=%d", basis.Name(), n, levels)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	sig := make([]float64, 8)
+	if _, err := Haar.Transform(sig, 0); err == nil {
+		t.Error("Transform accepted levels=0")
+	}
+	if _, err := Haar.Transform(sig, 4); err == nil {
+		t.Error("Transform accepted levels > log2(n)")
+	}
+	if _, err := Haar.Transform(make([]float64, 5), 1); err == nil {
+		t.Error("Transform accepted non-pow2 signal")
+	}
+}
+
+// Property: forward/inverse round trips are exact for random signals.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Shape raw into a power-of-two length in [2, 256].
+		n := 2
+		for n*2 <= len(raw) && n < 256 {
+			n *= 2
+		}
+		if len(raw) < 2 {
+			return true
+		}
+		sig := make([]float64, n)
+		for i := range sig {
+			v := raw[i%len(raw)]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				v = 1
+			}
+			sig[i] = v
+		}
+		for _, basis := range []*Basis{Haar, DB4, DB6, DB8} {
+			a, d, err := basis.Forward(sig)
+			if err != nil {
+				return false
+			}
+			back, err := basis.Inverse(a, d)
+			if err != nil {
+				return false
+			}
+			for i := range sig {
+				if math.Abs(back[i]-sig[i]) > 1e-6*(1+math.Abs(sig[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Haar transform preserves energy (orthonormality).
+func TestQuickHaarEnergyPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sig := randSignal(r, 64)
+		c, err := Haar.Transform(sig, 6)
+		if err != nil {
+			return false
+		}
+		var sigE, coefE float64
+		for _, v := range sig {
+			sigE += v * v
+		}
+		for _, v := range c.Approx {
+			coefE += v * v
+		}
+		for _, d := range c.Details {
+			for _, v := range d {
+				coefE += v * v
+			}
+		}
+		return math.Abs(sigE-coefE) <= 1e-6*(1+sigE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructApproxConstant(t *testing.T) {
+	// A single average expanded over 8 values must give the constant
+	// signal for Haar.
+	avg := []float64{5 * math.Pow(math.Sqrt2, 3)} // orthonormal coefficient for constant 5 over 8 samples
+	out, err := Haar.ReconstructApprox(avg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if !almostEqual(v, 5) {
+			t.Fatalf("out[%d] = %v, want 5", i, v)
+		}
+	}
+}
+
+func TestReconstructApproxMatchesZeroDetailReconstruct(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sig := randSignal(r, 32)
+	c, err := Haar.Transform(sig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Haar.ReconstructApprox(c.Approx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Details {
+		for j := range c.Details[i] {
+			c.Details[i][j] = 0
+		}
+	}
+	want, err := Haar.Reconstruct(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slicesAlmostEqual(got, want) {
+		t.Error("ReconstructApprox disagrees with zero-detail Reconstruct")
+	}
+}
+
+func TestReconstructApproxNegativeLevels(t *testing.T) {
+	if _, err := Haar.ReconstructApprox([]float64{1}, -1); err == nil {
+		t.Error("accepted negative levels")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"haar", "db4", "db6", "db8"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("Name() = %q, want %q", b.Name(), name)
+		}
+	}
+	if _, err := ByName("sym8"); err == nil {
+		t.Error("ByName accepted unknown basis")
+	}
+}
+
+func TestBasisString(t *testing.T) {
+	if got := Haar.String(); got != "wavelet.Basis(haar)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFilterLen(t *testing.T) {
+	if Haar.FilterLen() != 2 {
+		t.Errorf("Haar filter length = %d, want 2", Haar.FilterLen())
+	}
+	if DB4.FilterLen() != 4 {
+		t.Errorf("DB4 filter length = %d, want 4", DB4.FilterLen())
+	}
+	if DB6.FilterLen() != 6 || DB8.FilterLen() != 8 {
+		t.Error("DB6/DB8 filter lengths wrong")
+	}
+}
+
+// TestFilterNormalization checks the orthonormality conditions Σlo = √2
+// and Σlo² = 1 for every basis.
+func TestFilterNormalization(t *testing.T) {
+	for _, b := range []*Basis{Haar, DB4, DB6, DB8} {
+		var sum, sumSq float64
+		for _, c := range b.lo {
+			sum += c
+			sumSq += c * c
+		}
+		if math.Abs(sum-math.Sqrt2) > 1e-6 {
+			t.Errorf("%s: Σlo = %v, want √2", b.Name(), sum)
+		}
+		if math.Abs(sumSq-1) > 1e-6 {
+			t.Errorf("%s: Σlo² = %v, want 1", b.Name(), sumSq)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// Client is a synchronous connection to a wire.Server. It is not safe
+// for concurrent use; open one Client per goroutine.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes one response.
+func (c *Client) roundTrip(req *Message) (*Message, error) {
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == "error" {
+		return nil, fmt.Errorf("wire: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Feed sends one stream value and returns the server's arrival count.
+func (c *Client) Feed(v float64) (int64, error) {
+	resp, err := c.roundTrip(&Message{Type: "data", Value: v})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Arrivals, nil
+}
+
+// Query evaluates an inner-product query on the server's tree.
+func (c *Client) Query(q query.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(&Message{
+		Type: "query", Ages: q.Ages, Weights: q.Weights, Precision: q.Precision,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Point evaluates a point query for the given age.
+func (c *Client) Point(age int) (float64, error) {
+	resp, err := c.roundTrip(&Message{Type: "point", Age: age})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Range evaluates a range query: values within center±radius over ages
+// [from, to].
+func (c *Client) Range(center, radius float64, from, to int) ([]core.RangeMatch, error) {
+	resp, err := c.roundTrip(&Message{
+		Type: "range", Center: center, Radius: radius, From: from, To: to,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.MatchAges) != len(resp.MatchValues) {
+		return nil, errors.New("wire: malformed matches response")
+	}
+	out := make([]core.RangeMatch, len(resp.MatchAges))
+	for i := range out {
+		out[i] = core.RangeMatch{Age: resp.MatchAges[i], Value: resp.MatchValues[i]}
+	}
+	return out, nil
+}
+
+// Stats reports the server tree's state.
+type Stats struct {
+	Arrivals int64
+	Window   int
+	Nodes    int
+	Ready    bool
+}
+
+// Stats fetches the server tree's state.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(&Message{Type: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Arrivals: resp.Arrivals,
+		Window:   resp.Window,
+		Nodes:    resp.Nodes,
+		Ready:    resp.Ready,
+	}, nil
+}

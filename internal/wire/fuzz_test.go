@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame hardens the frame decoder against malformed input: it
+// must never panic and must round-trip every frame it accepts.
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: valid frames of each message type, plus corruptions.
+	seed := func(m *Message) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&Message{Type: "data", Value: 1.5}))
+	f.Add(seed(&Message{Type: "query", Ages: []int{0, 1}, Weights: []float64{1, 0.5}}))
+	f.Add(seed(&Message{Type: "stats"}))
+	f.Add(seed(&Message{Type: "error", Error: "boom"}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	bad := make([]byte, 8)
+	binary.BigEndian.PutUint32(bad, 4)
+	copy(bad[4:], "{{{{")
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-encode and re-decode consistently.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		m2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.Type != m.Type || m2.Value != m.Value || m2.Error != m.Error {
+			t.Fatalf("round trip changed frame: %+v vs %+v", m, m2)
+		}
+	})
+}

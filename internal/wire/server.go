@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/streamsum/swat/internal/core"
+)
+
+// Server owns a SWAT tree and serves it over TCP. Data frames update the
+// tree; query frames read it. The tree is guarded by a mutex, so many
+// clients can talk to one server concurrently.
+type Server struct {
+	mu   sync.Mutex
+	tree *core.Tree
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+	// closed reports intentional shutdown so Serve can suppress the
+	// accept error it causes.
+	closed bool
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	// Standing-query state (see subscribe.go).
+	subscribers *subscribers
+}
+
+// NewServer creates a server around a fresh SWAT tree.
+func NewServer(opts core.Options) (*Server, error) {
+	tree, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		tree:        tree,
+		Logf:        log.Printf,
+		subscribers: &subscribers{byID: make(map[net.Conn]*subscriber)},
+	}, nil
+}
+
+// Feed pushes a value into the tree directly (for servers that own the
+// data source rather than receiving data frames) and notifies standing
+// queries.
+func (s *Server) Feed(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree.Update(v)
+	s.notifySubscribers()
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close is called. Listen must have been
+// called first.
+func (s *Server) Serve() error {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.lnMu.Unlock()
+	if ln == nil {
+		return errors.New("wire: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle serves one connection until EOF or a protocol error.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.dropConn(conn)
+		conn.Close()
+	}()
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(conn, req)
+		if err := s.writeResponse(conn, resp); err != nil {
+			s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// writeResponse pushes a frame, coordinating with asynchronous notify
+// frames targeted at the same connection.
+func (s *Server) writeResponse(conn net.Conn, resp *Message) error {
+	s.subscribers.mu.Lock()
+	sub := s.subscribers.byID[conn]
+	s.subscribers.mu.Unlock()
+	if sub != nil {
+		sub.mu.Lock()
+		defer sub.mu.Unlock()
+	}
+	return WriteFrame(conn, resp)
+}
+
+// dispatch executes one request against the tree.
+func (s *Server) dispatch(conn net.Conn, req *Message) *Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Type {
+	case "data":
+		s.tree.Update(req.Value)
+		s.notifySubscribers()
+		return &Message{Type: "result", Arrivals: s.tree.Arrivals()}
+	case "query":
+		v, err := s.tree.InnerProduct(req.Ages, req.Weights)
+		if err != nil {
+			return errMsg(err)
+		}
+		return &Message{Type: "result", Value: v}
+	case "point":
+		v, err := s.tree.PointQuery(req.Age)
+		if err != nil {
+			return errMsg(err)
+		}
+		return &Message{Type: "result", Value: v}
+	case "range":
+		matches, err := s.tree.RangeQuery(req.Center, req.Radius, req.From, req.To)
+		if err != nil {
+			return errMsg(err)
+		}
+		out := &Message{Type: "matches"}
+		for _, m := range matches {
+			out.MatchAges = append(out.MatchAges, m.Age)
+			out.MatchValues = append(out.MatchValues, m.Value)
+		}
+		return out
+	case "subscribe":
+		return s.handleSubscribe(conn, req)
+	case "stats":
+		return &Message{
+			Type:     "statsResult",
+			Arrivals: s.tree.Arrivals(),
+			Window:   s.tree.WindowSize(),
+			Nodes:    s.tree.NumNodes(),
+			Ready:    s.tree.Ready(),
+		}
+	default:
+		return errMsg(fmt.Errorf("unknown message type %q", req.Type))
+	}
+}
+
+func errMsg(err error) *Message {
+	return &Message{Type: "error", Error: err.Error()}
+}
+
+// SnapshotTree serializes the server's tree state for checkpointing.
+func (s *Server) SnapshotTree() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.MarshalBinary()
+}
+
+// RestoreTree replaces the server's tree state from a snapshot produced
+// by SnapshotTree.
+func (s *Server) RestoreTree(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.UnmarshalBinary(data)
+}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"github.com/streamsum/swat/internal/query"
+)
+
+// Standing-query support over the wire: a client sends a "subscribe"
+// frame and then receives asynchronous "notify" frames whenever the
+// server's tree advances and the query's value changes by at least the
+// subscription's minChange. This is the continuous-query mode of the
+// paper ("we can extend our algorithms to continuous queries", §2.1)
+// exposed over a real network.
+//
+// Message types added here:
+//
+//	"subscribe"   client → server: Ages/Weights + MinChange in Radius
+//	"subscribed"  server → client: Age carries the subscription ID
+//	"notify"      server → client: Value + Arrivals, Age carries the ID
+
+// subscriber tracks one connection's standing queries.
+type subscriber struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes frames pushed to the connection
+	subs map[int]*wireSub
+	next int
+}
+
+type wireSub struct {
+	q         query.Query
+	minChange float64
+	last      float64
+	fired     bool
+}
+
+// subscribers holds the server's standing-query registrations.
+type subscribers struct {
+	mu   sync.Mutex
+	byID map[net.Conn]*subscriber
+}
+
+// addSubscription registers a standing query on conn and returns its ID.
+func (s *Server) addSubscription(conn net.Conn, q query.Query, minChange float64) int {
+	state := s.subscribers
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	sub, ok := state.byID[conn]
+	if !ok {
+		sub = &subscriber{conn: conn, subs: make(map[int]*wireSub), next: 1}
+		state.byID[conn] = sub
+	}
+	id := sub.next
+	sub.next++
+	sub.subs[id] = &wireSub{q: q, minChange: minChange}
+	return id
+}
+
+// dropConn removes all of a connection's subscriptions (on disconnect).
+func (s *Server) dropConn(conn net.Conn) {
+	state := s.subscribers
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	delete(state.byID, conn)
+}
+
+// notifySubscribers evaluates all standing queries against the current
+// tree and pushes notify frames for those whose value moved. Called with
+// s.mu held (from dispatch) right after a data update.
+func (s *Server) notifySubscribers() {
+	arrivals := s.tree.Arrivals()
+	state := s.subscribers
+	state.mu.Lock()
+	conns := make([]*subscriber, 0, len(state.byID))
+	for _, sub := range state.byID {
+		conns = append(conns, sub)
+	}
+	state.mu.Unlock()
+	for _, sub := range conns {
+		sub.mu.Lock()
+		for id, ws := range sub.subs {
+			v, err := s.tree.InnerProduct(ws.q.Ages, ws.q.Weights)
+			if err != nil {
+				continue // not answerable yet
+			}
+			if ws.fired && math.Abs(v-ws.last) < ws.minChange {
+				continue
+			}
+			ws.fired = true
+			ws.last = v
+			frame := &Message{Type: "notify", Age: id, Value: v, Arrivals: arrivals}
+			if err := WriteFrame(sub.conn, frame); err != nil {
+				s.Logf("wire: notify %v: %v", sub.conn.RemoteAddr(), err)
+			}
+		}
+		sub.mu.Unlock()
+	}
+}
+
+// handleSubscribe processes a subscribe frame.
+func (s *Server) handleSubscribe(conn net.Conn, req *Message) *Message {
+	q := query.Query{Ages: req.Ages, Weights: req.Weights, Precision: req.Precision}
+	if err := q.Validate(); err != nil {
+		return errMsg(err)
+	}
+	if req.Radius < 0 {
+		return errMsg(fmt.Errorf("negative minChange %v", req.Radius))
+	}
+	id := s.addSubscription(conn, q, req.Radius)
+	return &Message{Type: "subscribed", Age: id}
+}
+
+// Notification is one server push for a standing query.
+type Notification struct {
+	// ID is the subscription ID assigned by the server.
+	ID int
+	// Value is the query's current value.
+	Value float64
+	// Arrivals is the server tree's arrival counter at evaluation time.
+	Arrivals int64
+}
+
+// Subscribe registers a standing query on this client's connection. The
+// returned channel delivers notifications until the connection closes;
+// after calling Subscribe the client must not issue synchronous
+// round-trips on the same connection (the stream now interleaves pushed
+// frames) — use a dedicated connection for subscriptions.
+func (c *Client) Subscribe(q query.Query, minChange float64) (int, <-chan Notification, error) {
+	if err := q.Validate(); err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.roundTrip(&Message{
+		Type: "subscribe", Ages: q.Ages, Weights: q.Weights,
+		Precision: q.Precision, Radius: minChange,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.Type != "subscribed" {
+		return 0, nil, fmt.Errorf("wire: unexpected response %q", resp.Type)
+	}
+	ch := make(chan Notification, 16)
+	go func() {
+		defer close(ch)
+		for {
+			m, err := ReadFrame(c.conn)
+			if err != nil {
+				return
+			}
+			if m.Type != "notify" {
+				continue
+			}
+			ch <- Notification{ID: m.Age, Value: m.Value, Arrivals: m.Arrivals}
+		}
+	}()
+	return resp.Age, ch, nil
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+)
+
+func TestSubscribeNotifications(t *testing.T) {
+	addr, srv, shutdown := startServer(t, core.Options{WindowSize: 16})
+	defer shutdown()
+	// Warm the tree so standing queries are answerable immediately.
+	for i := 0; i < 32; i++ {
+		srv.Feed(10)
+	}
+
+	sub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	q, _ := query.New(query.Point, 0, 1, 0)
+	id, ch, err := sub.Subscribe(q, 5) // notify on changes >= 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("subscription id = %d, want 1", id)
+	}
+
+	// A separate feeder connection drives data.
+	feeder, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feeder.Close()
+
+	// First arrival after subscribing always notifies.
+	if _, err := feeder.Feed(10); err != nil {
+		t.Fatal(err)
+	}
+	n := waitNotification(t, ch)
+	if n.ID != id {
+		t.Errorf("notification id = %d", n.ID)
+	}
+	first := n.Value
+
+	// Small drift below minChange: no notification.
+	if _, err := feeder.Feed(11); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		t.Fatalf("unexpected notification %+v for sub-threshold change", n)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// A big jump notifies.
+	for i := 0; i < 2; i++ {
+		if _, err := feeder.Feed(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n = waitNotification(t, ch)
+	if n.Value <= first {
+		t.Errorf("notified value %v did not move above %v", n.Value, first)
+	}
+	if n.Arrivals == 0 {
+		t.Error("notification missing arrival counter")
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	addr, _, shutdown := startServer(t, core.Options{WindowSize: 16})
+	defer shutdown()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Subscribe(query.Query{}, 1); err == nil {
+		t.Error("invalid query accepted")
+	}
+	q, _ := query.New(query.Point, 0, 1, 0)
+	if _, _, err := c.Subscribe(q, -1); err == nil {
+		t.Error("negative minChange accepted")
+	}
+}
+
+func TestSubscriberDisconnectCleansUp(t *testing.T) {
+	addr, srv, shutdown := startServer(t, core.Options{WindowSize: 16})
+	defer shutdown()
+	for i := 0; i < 32; i++ {
+		srv.Feed(5)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := query.New(query.Point, 0, 1, 0)
+	if _, _, err := c.Subscribe(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Feeding after the subscriber is gone must not wedge the server;
+	// cleanup happens when the handler notices the closed connection.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.Feed(6)
+		srv.subscribers.mu.Lock()
+		left := len(srv.subscribers.byID)
+		srv.subscribers.mu.Unlock()
+		if left == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscriber(s) still registered after disconnect", left)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitNotification(t *testing.T, ch <-chan Notification) Notification {
+	t.Helper()
+	select {
+	case n, ok := <-ch:
+		if !ok {
+			t.Fatal("notification channel closed")
+		}
+		return n
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for notification")
+	}
+	return Notification{}
+}
+
+func TestSnapshotRestoreTree(t *testing.T) {
+	srv, err := NewServer(core.Options{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		srv.Feed(float64(i))
+	}
+	data, err := srv.SnapshotTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(core.Options{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.RestoreTree(data); err != nil {
+		t.Fatal(err)
+	}
+	a := srv.dispatch(nil, &Message{Type: "point", Age: 3})
+	b := srv2.dispatch(nil, &Message{Type: "point", Age: 3})
+	if a.Type != "result" || b.Type != "result" || a.Value != b.Value {
+		t.Errorf("restored server answers differently: %+v vs %+v", a, b)
+	}
+	if err := srv2.RestoreTree([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

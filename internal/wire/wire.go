@@ -1,0 +1,105 @@
+// Package wire provides a small TCP protocol for serving a SWAT summary
+// over a real network: a server owns a SWAT tree fed by data frames and
+// answers point, range, and inner-product queries from any number of
+// concurrent clients. Frames are length-prefixed JSON — 4 bytes of
+// big-endian length followed by the message body — so the protocol is
+// easily spoken from other languages.
+//
+// This is the deployable counterpart of the simulated hierarchy in
+// internal/netsim: cmd/swatd serves a stream and cmd/swatquery queries
+// it; examples/netcluster wires several processes' worth of components
+// together in one binary.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds the size of a single frame (1 MiB), protecting both
+// sides from corrupt length prefixes.
+const MaxFrame = 1 << 20
+
+// Message is the single frame envelope for both directions. Type selects
+// the operation; unused fields are omitted from the JSON encoding.
+type Message struct {
+	// Type is one of "data", "query", "point", "range", "stats",
+	// "result", "matches", "statsResult", "error".
+	Type string `json:"type"`
+
+	// Value carries a stream value ("data") or a scalar answer
+	// ("result").
+	Value float64 `json:"value,omitempty"`
+
+	// Query fields.
+	Ages      []int     `json:"ages,omitempty"`
+	Weights   []float64 `json:"weights,omitempty"`
+	Precision float64   `json:"precision,omitempty"`
+
+	// Point/range fields.
+	Age    int     `json:"age,omitempty"`
+	Center float64 `json:"center,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
+	From   int     `json:"from,omitempty"`
+	To     int     `json:"to,omitempty"`
+
+	// Range results.
+	MatchAges   []int     `json:"matchAges,omitempty"`
+	MatchValues []float64 `json:"matchValues,omitempty"`
+
+	// Stats results.
+	Arrivals int64 `json:"arrivals,omitempty"`
+	Window   int   `json:"window,omitempty"`
+	Nodes    int   `json:"nodes,omitempty"`
+	Ready    bool  `json:"ready,omitempty"`
+
+	// Error carries a server-side failure for "error" frames.
+	Error string `json:"error,omitempty"`
+}
+
+// WriteFrame encodes m as one length-prefixed frame.
+func WriteFrame(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame. It returns io.EOF unchanged when the
+// connection closes cleanly between frames.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{Type: "query", Ages: []int{1, 2}, Weights: []float64{1, 0.5}, Precision: 3}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || len(out.Ages) != 2 || out.Weights[1] != 0.5 || out.Precision != 3 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream err = %v, want io.EOF", err)
+	}
+	// Truncated header.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated body.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame err = %v", err)
+	}
+}
+
+func TestReadFrameBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3)
+	buf.Write(hdr[:])
+	buf.WriteString("{{{")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+// startServer spins up a server on an ephemeral port and returns its
+// address and a shutdown function.
+func startServer(t *testing.T, opts core.Options) (string, *Server, func()) {
+	t.Helper()
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	return addr.String(), srv, func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	addr, _, shutdown := startServer(t, core.Options{WindowSize: 32})
+	defer shutdown()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	shadow, _ := stream.NewWindow(32)
+	src := stream.RandomWalk(4, 50, 2, 0, 100)
+	var arrivals int64
+	for i := 0; i < 96; i++ {
+		v := src.Next()
+		shadow.Push(v)
+		arrivals, err = c.Feed(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if arrivals != 96 {
+		t.Errorf("arrivals = %d, want 96", arrivals)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Window != 32 || st.Nodes != 13 || st.Arrivals != 96 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	q, _ := query.New(query.Exponential, 0, 8, 0)
+	got, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := query.Exact(shadow, q)
+	if math.Abs(got-exact) > 0.25*math.Abs(exact)+1 {
+		t.Errorf("query = %v, exact = %v", got, exact)
+	}
+
+	p, err := c.Point(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-shadow.MustAt(0)) > 30 {
+		t.Errorf("point = %v, true = %v", p, shadow.MustAt(0))
+	}
+
+	matches, err := c.Range(50, 100, 0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 32 {
+		t.Errorf("all-covering range matched %d of 32", len(matches))
+	}
+}
+
+func TestServerErrorResponses(t *testing.T) {
+	addr, _, shutdown := startServer(t, core.Options{WindowSize: 16})
+	defer shutdown()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Query on a cold tree.
+	q, _ := query.New(query.Point, 0, 1, 0)
+	if _, err := c.Query(q); err == nil {
+		t.Error("cold-tree query succeeded")
+	}
+	// Invalid query rejected client-side.
+	if _, err := c.Query(query.Query{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	// Out-of-window point.
+	for i := 0; i < 16; i++ {
+		if _, err := c.Feed(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Point(99); err == nil {
+		t.Error("out-of-window point accepted")
+	}
+	// Unknown message type.
+	if err := WriteFrame(c.conn, &Message{Type: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadFrame(c.conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "error" || !strings.Contains(resp.Error, "unknown message type") {
+		t.Errorf("bogus type response = %+v", resp)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	addr, srv, shutdown := startServer(t, core.Options{WindowSize: 64})
+	defer shutdown()
+	// Warm the tree server-side.
+	src := stream.Uniform(8)
+	for i := 0; i < 128; i++ {
+		srv.Feed(src.Next())
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				if _, err := c.Point(j % 64); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Feed(float64(id*100 + j)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServeBeforeListen(t *testing.T) {
+	srv, err := NewServer(core.Options{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(); err == nil {
+		t.Error("Serve before Listen succeeded")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(core.Options{WindowSize: 3}); err == nil {
+		t.Error("invalid tree options accepted")
+	}
+}

@@ -1,0 +1,229 @@
+// Package swat is a Go implementation of SWAT — Stream Summarization
+// using Wavelet-based Approximation Trees (Bulut & Singh, ICDE 2003) —
+// together with the full system the paper builds around it: a query
+// engine for point, range, and inner-product queries over sliding
+// windows, the Guha–Koudas sliding-window histogram baseline, and the
+// SWAT-ASR adaptive replication protocol (plus the Divergence Caching
+// and Adaptive Precision Setting competitors) for serving stream
+// summaries across large networks.
+//
+// # Quick start
+//
+//	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 1024})
+//	if err != nil { ... }
+//	for v := range values {
+//		tree.Update(v)
+//	}
+//	// δ-approximate answer to "how hot was it, weighted toward now?"
+//	q, _ := swat.NewQuery(swat.Exponential, 0, 16, 0)
+//	sum, err := tree.InnerProduct(q.Ages, q.Weights)
+//
+// A SWAT tree over a window of N values keeps O(log N) nodes, costs
+// amortized O(1) per arrival, and answers queries in polylogarithmic
+// time, with precision biased toward the most recent values.
+//
+// # Distributed replication
+//
+//	top, _ := swat.CompleteBinaryTree(15)      // source at the root
+//	sys, _ := swat.NewReplication(top, 64)     // SWAT-ASR
+//	sys.OnData(v)                              // at the source
+//	ans, err := sys.OnQuery(client, q)         // anywhere in the tree
+//	sys.OnPhaseEnd()                           // adaptive tests per phase
+//
+// The replication scheme of every window segment expands toward readers
+// and contracts away from writers, minimizing inter-site messages.
+//
+// Subpackages under internal/ hold the implementations; this package
+// re-exports the stable public surface.
+package swat
+
+import (
+	"github.com/streamsum/swat/internal/aps"
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/dc"
+	"github.com/streamsum/swat/internal/histogram"
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/replication"
+	"github.com/streamsum/swat/internal/stream"
+	"github.com/streamsum/swat/internal/wavelet"
+)
+
+// Tree is the SWAT multi-resolution approximation tree (paper §2).
+type Tree = core.Tree
+
+// TreeOptions configures a Tree: window size (power of two), per-node
+// coefficient budget, and optional level reduction.
+type TreeOptions = core.Options
+
+// NodeInfo is a read-only snapshot of one tree node.
+type NodeInfo = core.NodeInfo
+
+// RangeMatch is one result of a Tree range query.
+type RangeMatch = core.RangeMatch
+
+// ErrNotCovered reports query ages a cold or reduced tree cannot answer.
+type ErrNotCovered = core.ErrNotCovered
+
+// NewTree creates an empty SWAT tree.
+func NewTree(opts TreeOptions) (*Tree, error) { return core.New(opts) }
+
+// Query is an inner-product query (I, W, δ).
+type Query = query.Query
+
+// QueryGenerator produces per-instant query sequences in fixed or random
+// mode.
+type QueryGenerator = query.Generator
+
+// Evaluator answers inner-product queries approximately; satisfied by
+// *Tree and *Histogram.
+type Evaluator = query.Evaluator
+
+// Query kinds and modes (paper §2.1, §2.7).
+const (
+	// Exponential weights age i by 2^-i.
+	Exponential = query.Exponential
+	// Linear weights the j-th of M entries by (M-j)/M.
+	Linear = query.Linear
+	// Point is a single-value query with unit weight.
+	Point = query.Point
+	// Fixed repeats the same query over the most recent values.
+	Fixed = query.Fixed
+	// Random draws query position and size uniformly.
+	Random = query.Random
+)
+
+// NewQuery builds an inner-product query of the given kind over the
+// contiguous ages [startAge, startAge+m-1].
+func NewQuery(kind query.Kind, startAge, m int, precision float64) (Query, error) {
+	return query.New(kind, startAge, m, precision)
+}
+
+// NewQueryGenerator creates a query source over a window of size n.
+func NewQueryGenerator(kind query.Kind, mode query.Mode, n, maxLen int, precision float64, seed int64) (*QueryGenerator, error) {
+	return query.NewGenerator(kind, mode, n, maxLen, precision, seed)
+}
+
+// Window is a ring-buffer sliding window (age 0 = most recent value).
+type Window = stream.Window
+
+// Source produces an unbounded stream of values.
+type Source = stream.Source
+
+// NewWindow creates a sliding window over the last n values.
+func NewWindow(n int) (*Window, error) { return stream.NewWindow(n) }
+
+// Uniform returns the paper's synthetic i.i.d. uniform [0,100] stream.
+func Uniform(seed int64) Source { return stream.Uniform(seed) }
+
+// Weather returns the deterministic substitute for the paper's Santa
+// Barbara daily-maximum-temperature dataset.
+func Weather(seed int64) *stream.WeatherSource { return stream.Weather(seed) }
+
+// RandomWalk returns a bounded random walk stream.
+func RandomWalk(seed int64, start, step, lo, hi float64) Source {
+	return stream.RandomWalk(seed, start, step, lo, hi)
+}
+
+// ExactInnerProduct evaluates q against the true window contents, for
+// error measurement.
+func ExactInnerProduct(w *Window, q Query) (float64, error) { return query.Exact(w, q) }
+
+// ApproxInnerProduct evaluates q against any approximate summary.
+func ApproxInnerProduct(e Evaluator, q Query) (float64, error) { return query.Approx(e, q) }
+
+// Histogram is the Guha–Koudas sliding-window histogram baseline.
+type Histogram = histogram.Summary
+
+// HistogramOptions configures the baseline.
+type HistogramOptions = histogram.Options
+
+// NewHistogram creates the baseline summary.
+func NewHistogram(opts HistogramOptions) (*Histogram, error) { return histogram.New(opts) }
+
+// Wavelet bases available for standalone transforms.
+var (
+	// Haar is the default SWAT basis.
+	Haar = wavelet.Haar
+	// DB4 is the Daubechies-4 basis.
+	DB4 = wavelet.DB4
+	// DB6 is the Daubechies-6 basis.
+	DB6 = wavelet.DB6
+	// DB8 is the Daubechies-8 basis.
+	DB8 = wavelet.DB8
+)
+
+// Basis is an orthonormal wavelet basis.
+type Basis = wavelet.Basis
+
+// NodeID identifies a node of a network topology; the root (node 0) is
+// the stream source.
+type NodeID = netsim.NodeID
+
+// NoNode is the parent of the root.
+const NoNode = netsim.NoNode
+
+// Topology is a rooted spanning tree of network nodes.
+type Topology = netsim.Topology
+
+// MessageCounter accumulates protocol message costs by kind.
+type MessageCounter = netsim.Counter
+
+// NewTopology creates a topology containing only the source node.
+func NewTopology() *Topology { return netsim.NewTopology() }
+
+// CompleteBinaryTree builds the paper's §5.3 simulation topology.
+func CompleteBinaryTree(n int) (*Topology, error) { return netsim.CompleteBinaryTree(n) }
+
+// Chain builds a linear topology (n=2 is the single-client setting).
+func Chain(n int) (*Topology, error) { return netsim.Chain(n) }
+
+// Replication is a running SWAT-ASR deployment (paper §3).
+type Replication = replication.System
+
+// Segment is a window segment of the replication directory.
+type Segment = replication.Segment
+
+// Range is a [Lo, Hi] approximation cached for a segment.
+type Range = replication.Range
+
+// DirectoryRow is one row of a node's directory (paper Table 1).
+type DirectoryRow = replication.DirectoryRow
+
+// ReplicationOptions configures a SWAT-ASR system (window size plus the
+// §3 "general case" k-coefficient segment approximations).
+type ReplicationOptions = replication.Options
+
+// NewReplication creates a SWAT-ASR system over a topology for a window
+// of size n with single-average segment approximations.
+func NewReplication(top *Topology, n int) (*Replication, error) {
+	return replication.New(top, n)
+}
+
+// NewReplicationWithOptions creates a SWAT-ASR system with k block
+// averages cached per segment.
+func NewReplicationWithOptions(top *Topology, opts ReplicationOptions) (*Replication, error) {
+	return replication.NewWithOptions(top, opts)
+}
+
+// DivergenceCaching is the adapted Divergence Caching competitor (§4.1).
+type DivergenceCaching = dc.System
+
+// DivergenceCachingOptions configures it.
+type DivergenceCachingOptions = dc.Options
+
+// NewDivergenceCaching creates a Divergence Caching deployment.
+func NewDivergenceCaching(top *Topology, opts DivergenceCachingOptions) (*DivergenceCaching, error) {
+	return dc.New(top, opts)
+}
+
+// AdaptivePrecision is the Adaptive Precision Setting competitor (§4.2).
+type AdaptivePrecision = aps.System
+
+// AdaptivePrecisionOptions configures it.
+type AdaptivePrecisionOptions = aps.Options
+
+// NewAdaptivePrecision creates an APS deployment.
+func NewAdaptivePrecision(top *Topology, opts AdaptivePrecisionOptions) (*AdaptivePrecision, error) {
+	return aps.New(top, opts)
+}

@@ -1,0 +1,147 @@
+package swat_test
+
+import (
+	"math"
+	"testing"
+
+	swat "github.com/streamsum/swat"
+)
+
+// These tests exercise the public facade end to end, the way README
+// examples use it.
+
+func TestPublicTreeLifecycle(t *testing.T) {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := swat.NewWindow(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := swat.RandomWalk(1, 50, 3, 0, 100)
+	for i := 0; i < 256; i++ {
+		v := src.Next()
+		tree.Update(v)
+		shadow.Push(v)
+	}
+	if !tree.Ready() {
+		t.Fatal("tree not ready")
+	}
+	q, err := swat.NewQuery(swat.Exponential, 0, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := swat.ApproxInnerProduct(tree, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := swat.ExactInnerProduct(shadow, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx-exact) > 0.2*math.Abs(exact)+1 {
+		t.Errorf("approx %v too far from exact %v", approx, exact)
+	}
+	matches, err := tree.RangeQuery(50, 60, 0, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 64 {
+		t.Errorf("wide range query matched %d of 64", len(matches))
+	}
+}
+
+func TestPublicHistogramBaseline(t *testing.T) {
+	h, err := swat.NewHistogram(swat.HistogramOptions{WindowSize: 64, Buckets: 8, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		h.Update(float64(i % 4))
+	}
+	q, _ := swat.NewQuery(swat.Point, 0, 1, 0)
+	if _, err := swat.ApproxInnerProduct(h, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicReplicationRoundTrip(t *testing.T) {
+	top, err := swat.CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := swat.NewReplication(top, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := swat.Weather(2)
+	for i := 0; i < 32; i++ {
+		sys.OnData(src.Next())
+	}
+	sys.OnPhaseEnd()
+	q, err := swat.NewQuery(swat.Linear, 0, 8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.OnQuery(swat.NodeID(5), q); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Messages().Total() == 0 {
+		t.Error("uncached leaf query should have cost messages")
+	}
+	rows, err := sys.Directory(top.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // log2(32) directory rows
+		t.Errorf("directory rows = %d, want 5", len(rows))
+	}
+}
+
+func TestPublicCompetitors(t *testing.T) {
+	top, err := swat.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcs, err := swat.NewDivergenceCaching(top, swat.DivergenceCachingOptions{
+		WindowSize: 16, ValueLo: 0, ValueHi: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsSys, err := swat.NewAdaptivePrecision(top, swat.AdaptivePrecisionOptions{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		dcs.OnData(50)
+		apsSys.OnData(50)
+	}
+	q, _ := swat.NewQuery(swat.Point, 0, 1, 10)
+	if _, err := dcs.OnQuery(1, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apsSys.OnQuery(1, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicWaveletBases(t *testing.T) {
+	sig := []float64{1, 2, 3, 4}
+	for _, b := range []*swat.Basis{swat.Haar, swat.DB4} {
+		a, d, err := b.Forward(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := b.Inverse(a, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sig {
+			if math.Abs(back[i]-sig[i]) > 1e-9 {
+				t.Fatalf("%s round trip failed", b.Name())
+			}
+		}
+	}
+}
