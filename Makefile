@@ -1,0 +1,32 @@
+# Build/verify entry points. `make verify` is the tier-1 gate: it must
+# pass before any change lands.
+
+GO ?= go
+
+.PHONY: build test test-short vet race verify bench bench-hotpath
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency-sensitive packages: the sharded monitor's parallel
+# ingest/scan and the core tree it drives.
+race:
+	$(GO) test -race ./internal/multi/ ./internal/core/
+
+verify: build vet test race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Hot-path micro-benchmarks only; writes BENCH_hotpath.{txt,json}.
+bench-hotpath:
+	scripts/bench.sh

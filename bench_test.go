@@ -81,6 +81,31 @@ func BenchmarkTreeUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeUpdateBatch measures amortized per-value cost of the
+// batched arrival path at batch size 64.
+func BenchmarkTreeUpdateBatch(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			tree, err := swat.NewTree(swat.TreeOptions{WindowSize: n, MinLevel: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := swat.Uniform(1)
+			batch := make([]float64, 64)
+			for i := 0; i < 2*n/len(batch); i++ {
+				for j := range batch {
+					batch[j] = src.Next()
+				}
+				tree.UpdateBatch(batch)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(batch) {
+				tree.UpdateBatch(batch)
+			}
+		})
+	}
+}
+
 // BenchmarkTreePointQuery measures the O(log N) point-query path.
 func BenchmarkTreePointQuery(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
@@ -263,6 +288,49 @@ func BenchmarkMonitorCorrelation(b *testing.B) {
 		if _, err := mon.Correlated(128, 0.5); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMonitorIngest measures batched multi-stream ingestion — 64
+// streams fed 64 synchronized rows per iteration — for one shard
+// versus one shard per core, reported as ns per observed value.
+func BenchmarkMonitorIngest(b *testing.B) {
+	const streams, rows = 64, 64
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=NumCPU", 0}, // 0 → GOMAXPROCS
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			mon, err := swat.NewMonitor(swat.MonitorOptions{
+				WindowSize: 1024, Shards: cfg.shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mon.Close()
+			for i := 0; i < streams; i++ {
+				if err := mon.Add(string(rune('a'+i/26)) + string(rune('a'+i%26))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			src := swat.Uniform(7)
+			batch := make([][]float64, rows)
+			for t := range batch {
+				batch[t] = make([]float64, streams)
+				for i := range batch[t] {
+					batch[t][i] = src.Next()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += streams * rows {
+				if err := mon.ObserveAllBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,10 +16,12 @@ import (
 
 func main() {
 	const window = 128
-	mon, err := swat.NewMonitor(swat.MonitorOptions{WindowSize: window, Coefficients: 8})
+	// Shards: 0 spreads the streams over one ingest shard per core.
+	mon, err := swat.NewMonitor(swat.MonitorOptions{WindowSize: window, Coefficients: 8, Shards: 0})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer mon.Close()
 
 	// Ten temperature sensors: racks A and B share an airflow (their
 	// sensors correlate), rack C runs its own loop, and one sensor is
@@ -47,11 +49,14 @@ func main() {
 		}
 		return v
 	}
+	// Feed synchronized readings in batches of 64 ticks — one parallel
+	// ObserveAllBatch per chunk instead of a locked call per tick.
+	var rows [][]float64
 	for tick := 0; tick < 6*window; tick++ {
 		airAB = bounce(airAB+rng.NormFloat64()*0.4, 18, 30)
 		loopC = bounce(loopC+rng.NormFloat64()*0.4, 16, 28)
 		amb = bounce(amb+rng.NormFloat64()*0.1, 15, 22)
-		vals := []float64{
+		rows = append(rows, []float64{
 			airAB + 3 + rng.NormFloat64()*0.2,
 			airAB + rng.NormFloat64()*0.2,
 			airAB - 2 + rng.NormFloat64()*0.2,
@@ -62,10 +67,16 @@ func main() {
 			loopC - 1.5 + rng.NormFloat64()*0.2,
 			amb + rng.NormFloat64()*0.1,
 			rng.Float64() * 40,
+		})
+		if len(rows) == 64 {
+			if err := mon.ObserveAllBatch(rows); err != nil {
+				log.Fatal(err)
+			}
+			rows = rows[:0]
 		}
-		if err := mon.ObserveAll(vals); err != nil {
-			log.Fatal(err)
-		}
+	}
+	if err := mon.ObserveAllBatch(rows); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("monitoring %d streams, %d nodes each (window %d)\n\n",

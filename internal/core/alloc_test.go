@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Allocation-regression guards for the zero-allocation hot paths. The
+// paper's O(k) amortized per-arrival bound is only real when the
+// constant isn't dominated by the allocator, so these pin the arrival
+// and steady-state query paths at exactly 0 allocs/op.
+
+func warmTree(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	tr, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Uniform(17)
+	for i := 0; i < 2*opts.WindowSize; i++ {
+		tr.Update(src.Next())
+	}
+	return tr
+}
+
+func TestUpdateDoesNotAllocate(t *testing.T) {
+	for _, opts := range []Options{
+		{WindowSize: 256},
+		{WindowSize: 1024},
+		{WindowSize: 4096},
+		{WindowSize: 1024, Coefficients: 8},
+		{WindowSize: 1024, Coefficients: 8, MinLevel: 4},
+	} {
+		tr := warmTree(t, opts)
+		src := stream.Uniform(5)
+		if allocs := testing.AllocsPerRun(1000, func() {
+			tr.Update(src.Next())
+		}); allocs != 0 {
+			t.Errorf("%+v: Update allocates %v times per arrival, want 0", opts, allocs)
+		}
+	}
+}
+
+func TestUpdateBatchDoesNotAllocate(t *testing.T) {
+	for _, opts := range []Options{
+		{WindowSize: 1024},
+		{WindowSize: 1024, Coefficients: 8, MinLevel: 4},
+	} {
+		tr := warmTree(t, opts)
+		src := stream.Uniform(6)
+		batch := make([]float64, 64)
+		if allocs := testing.AllocsPerRun(200, func() {
+			for i := range batch {
+				batch[i] = src.Next()
+			}
+			tr.UpdateBatch(batch)
+		}); allocs != 0 {
+			t.Errorf("%+v: UpdateBatch allocates %v times per batch, want 0", opts, allocs)
+		}
+	}
+}
+
+// TestVisitNodesDoesNotAllocate pins the zero-copy read path: lending
+// node views must not touch the allocator.
+func TestVisitNodesDoesNotAllocate(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
+	var sum float64
+	var visited int
+	if allocs := testing.AllocsPerRun(1000, func() {
+		visited = 0
+		tr.VisitNodes(func(ni NodeInfo) bool {
+			visited++
+			if ni.Valid {
+				sum += ni.Coeffs[0]
+			}
+			return true
+		})
+	}); allocs != 0 {
+		t.Errorf("VisitNodes allocates %v times per scan, want 0", allocs)
+	}
+	if visited != tr.NumNodes() {
+		t.Errorf("visited %d nodes, want %d", visited, tr.NumNodes())
+	}
+	_ = sum
+}
+
+// TestQueryPathSteadyStateAllocations: after the first call grows the
+// scratch buffers, point and inner-product queries are allocation-free.
+func TestQueryPathSteadyStateAllocations(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
+	ages := []int{0, 1, 2, 3, 9, 17, 40, 63, 511, 1023}
+	weights := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	dst := make([]float64, len(ages))
+	// Warm the scratch buffers once.
+	if _, err := tr.InnerProduct(ages, weights); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ApproximateInto(dst, ages); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := tr.PointQuery(7); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("PointQuery allocates %v times per query, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := tr.InnerProduct(ages, weights); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("InnerProduct allocates %v times per query, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := tr.ApproximateInto(dst, ages); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ApproximateInto allocates %v times per query, want 0", allocs)
+	}
+}
+
+// TestRestoredTreeDoesNotAllocate: a tree restored from a snapshot must
+// rejoin the zero-allocation arrival path (the restore fills the
+// pre-sized buffers rather than growing fresh ones).
+func TestRestoredTreeDoesNotAllocate(t *testing.T) {
+	orig := warmTree(t, Options{WindowSize: 256, Coefficients: 4})
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(Options{WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Uniform(8)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		restored.Update(src.Next())
+	}); allocs != 0 {
+		t.Errorf("restored tree allocates %v times per arrival, want 0", allocs)
+	}
+}

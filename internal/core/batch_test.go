@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// TestUpdateBatchMatchesSequential is the batch-equivalence property:
+// for random geometries, random batch boundaries, and random inputs,
+// UpdateBatch must leave the tree in bit-identical state to feeding the
+// same values one at a time through Update. State identity is checked
+// through the binary snapshot, which captures every field the update
+// path touches (ring, counters, node validity, birth, coefficients).
+func TestUpdateBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	windows := []int{4, 8, 16, 64, 256}
+	for trial := 0; trial < 50; trial++ {
+		n := windows[r.Intn(len(windows))]
+		levels := 0
+		for 1<<uint(levels) < n {
+			levels++
+		}
+		opts := Options{
+			WindowSize:   n,
+			Coefficients: 1 << uint(r.Intn(4)),
+			MinLevel:     r.Intn(levels),
+		}
+		seq, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 1 + r.Intn(5*n)
+		values := make([]float64, total)
+		for i := range values {
+			values[i] = r.NormFloat64() * 50
+		}
+		for _, v := range values {
+			seq.Update(v)
+		}
+		// Feed the same values in randomly sized batches (including
+		// empty ones) so runs straddle refresh boundaries arbitrarily.
+		for i := 0; i < total; {
+			size := r.Intn(total - i + 1)
+			bat.UpdateBatch(values[i : i+size])
+			i += size
+			if size == 0 {
+				bat.Update(values[i])
+				i++
+			}
+		}
+		sb, err := seq.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := bat.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, bb) {
+			t.Fatalf("trial %d %+v after %d arrivals: batch state diverges from sequential state", trial, opts, total)
+		}
+	}
+}
+
+// TestUpdateBatchQueryEquivalence drives both ingestion paths past
+// warm-up and compares query answers exactly at every step.
+func TestUpdateBatchQueryEquivalence(t *testing.T) {
+	const n = 64
+	opts := Options{WindowSize: n, Coefficients: 4, MinLevel: 2}
+	seq, _ := New(opts)
+	bat, _ := New(opts)
+	src1 := stream.Uniform(31)
+	src2 := stream.Uniform(31)
+	batch := make([]float64, 7) // deliberately coprime with the refresh period
+	for step := 0; step < 100; step++ {
+		for i := range batch {
+			batch[i] = src1.Next()
+		}
+		for range batch {
+			seq.Update(src2.Next())
+		}
+		bat.UpdateBatch(batch)
+		if seq.Ready() != bat.Ready() {
+			t.Fatalf("step %d: readiness diverged", step)
+		}
+		if !seq.Ready() {
+			continue
+		}
+		for _, age := range []int{0, 1, 5, n / 2, n - 1} {
+			a, errA := seq.PointQuery(age)
+			b, errB := bat.PointQuery(age)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("step %d age %d: error divergence %v vs %v", step, age, errA, errB)
+			}
+			if errA == nil && a != b {
+				t.Fatalf("step %d age %d: %v != %v", step, age, a, b)
+			}
+		}
+	}
+}
+
+// TestVisitNodesMatchesNodes: the lending iterator must report exactly
+// the snapshots Nodes copies, in the same scan order, including early
+// termination.
+func TestVisitNodesMatchesNodes(t *testing.T) {
+	tr, _ := New(Options{WindowSize: 64, Coefficients: 4})
+	src := stream.Uniform(23)
+	for i := 0; i < 150; i++ {
+		tr.Update(src.Next())
+	}
+	want := tr.Nodes()
+	var got []NodeInfo
+	tr.VisitNodes(func(ni NodeInfo) bool {
+		// Copy the lent view before retaining it.
+		ni.Coeffs = append([]float64(nil), ni.Coeffs...)
+		got = append(got, ni)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d nodes, Nodes returned %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() || got[i].Valid != want[i].Valid ||
+			len(got[i].Coeffs) != len(want[i].Coeffs) {
+			t.Fatalf("node %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Coeffs {
+			if got[i].Coeffs[j] != want[i].Coeffs[j] {
+				t.Fatalf("node %d coeff %d differs", i, j)
+			}
+		}
+	}
+	stopped := 0
+	tr.VisitNodes(func(NodeInfo) bool {
+		stopped++
+		return stopped < 4
+	})
+	if stopped != 4 {
+		t.Errorf("early termination visited %d nodes, want 4", stopped)
+	}
+}

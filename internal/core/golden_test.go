@@ -1,0 +1,142 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden traces from the current implementation")
+
+// goldenCase pins the exact query answers of a deterministic run. The
+// committed testdata was generated from the seed (pre-optimization)
+// implementation, so any hot-path rewrite must reproduce the seed's
+// answers bit for bit. Float64s are stored as IEEE-754 bit patterns to
+// make the comparison exact.
+type goldenCase struct {
+	Name   string  `json:"name"`
+	Opts   Options `json:"opts"`
+	Seed   int64   `json:"seed"`
+	Warmup int     `json:"warmup"`
+	Steps  int     `json:"steps"`
+	Ages   []int   `json:"ages"`
+	// Answers[s] holds, for post-warmup arrival s: one point-query
+	// answer per sampled age, then the exponential inner product over
+	// ages 0..15.
+	Answers [][]uint64 `json:"answers"`
+}
+
+func goldenConfigs() []goldenCase {
+	return []goldenCase{
+		{Name: "n64-k1", Opts: Options{WindowSize: 64}, Seed: 42},
+		{Name: "n64-k4", Opts: Options{WindowSize: 64, Coefficients: 4}, Seed: 43},
+		{Name: "n32-k2-min2", Opts: Options{WindowSize: 32, Coefficients: 2, MinLevel: 2}, Seed: 44},
+		{Name: "n128-k8", Opts: Options{WindowSize: 128, Coefficients: 8}, Seed: 45},
+	}
+}
+
+// runGoldenCase replays the case's deterministic stream and fills in the
+// observed answers.
+func runGoldenCase(gc *goldenCase) error {
+	tr, err := New(gc.Opts)
+	if err != nil {
+		return err
+	}
+	n := gc.Opts.WindowSize
+	gc.Warmup = 2 * n
+	gc.Steps = n
+	gc.Ages = []int{0, 1, 2, 3, 5, 7, n / 4, n/2 - 1, n / 2, n - 2, n - 1}
+	src := stream.Uniform(gc.Seed)
+	for i := 0; i < gc.Warmup; i++ {
+		tr.Update(src.Next())
+	}
+	ipAges := make([]int, 16)
+	ipWeights := make([]float64, 16)
+	for i := range ipAges {
+		ipAges[i] = i
+		ipWeights[i] = math.Pow(2, -float64(i))
+	}
+	gc.Answers = make([][]uint64, gc.Steps)
+	for s := 0; s < gc.Steps; s++ {
+		tr.Update(src.Next())
+		row := make([]uint64, 0, len(gc.Ages)+1)
+		for _, a := range gc.Ages {
+			v, err := tr.PointQuery(a)
+			if err != nil {
+				return fmt.Errorf("%s step %d age %d: %v", gc.Name, s, a, err)
+			}
+			row = append(row, math.Float64bits(v))
+		}
+		ip, err := tr.InnerProduct(ipAges, ipWeights)
+		if err != nil {
+			return fmt.Errorf("%s step %d inner product: %v", gc.Name, s, err)
+		}
+		row = append(row, math.Float64bits(ip))
+		gc.Answers[s] = row
+	}
+	return nil
+}
+
+const goldenPath = "testdata/golden_queries.json"
+
+// TestGoldenQueryTraces compares the tree's query answers on fixed
+// traces against the committed seed-generated answers. Run with -update
+// to regenerate the testdata (only legitimate when the summarization
+// semantics intentionally change).
+func TestGoldenQueryTraces(t *testing.T) {
+	if *updateGolden {
+		cases := goldenConfigs()
+		for i := range cases {
+			if err := runGoldenCase(&cases[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := json.MarshalIndent(cases, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden trace (generate with -update): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, gc := range want {
+		gc := gc
+		t.Run(gc.Name, func(t *testing.T) {
+			got := goldenCase{Name: gc.Name, Opts: gc.Opts, Seed: gc.Seed}
+			if err := runGoldenCase(&got); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Answers) != len(gc.Answers) {
+				t.Fatalf("step count %d, want %d", len(got.Answers), len(gc.Answers))
+			}
+			for s := range gc.Answers {
+				for j := range gc.Answers[s] {
+					if got.Answers[s][j] != gc.Answers[s][j] {
+						t.Fatalf("step %d answer %d: %v, want %v (bit-exact)",
+							s, j,
+							math.Float64frombits(got.Answers[s][j]),
+							math.Float64frombits(gc.Answers[s][j]))
+					}
+				}
+			}
+		})
+	}
+}

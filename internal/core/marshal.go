@@ -55,13 +55,15 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 		for _, role := range roles {
 			nd := &t.nodes[l][role]
 			valid := uint8(0)
+			count := 0
 			if nd.valid {
 				valid = 1
+				count = len(nd.coeffs)
 			}
 			w(valid)
 			w(nd.birth)
-			w(uint16(len(nd.coeffs)))
-			for _, c := range nd.coeffs {
+			w(uint16(count))
+			for _, c := range nd.coeffs[:count] {
 				w(math.Float64bits(c))
 			}
 		}
@@ -154,11 +156,16 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 			if err := r(&count); err != nil {
 				return fmt.Errorf("core: snapshot node %v%d: %w", role, l, err)
 			}
-			if int(count) > fresh.coeffLen(l) {
-				return fmt.Errorf("core: snapshot node %v%d has %d coefficients, max %d", role, l, count, fresh.coeffLen(l))
+			// Valid nodes always carry a full coefficient block; the
+			// snapshot is restored into the node's pre-sized buffer so
+			// the arrival path stays allocation-free after a restore.
+			if nd.valid && int(count) != fresh.coeffLen(l) {
+				return fmt.Errorf("core: snapshot node %v%d has %d coefficients, want %d", role, l, count, fresh.coeffLen(l))
 			}
-			nd.coeffs = make([]float64, count)
-			for i := range nd.coeffs {
+			if !nd.valid && count != 0 {
+				return fmt.Errorf("core: snapshot node %v%d invalid but has %d coefficients", role, l, count)
+			}
+			for i := 0; i < int(count); i++ {
 				var bits uint64
 				if err := r(&bits); err != nil {
 					return fmt.Errorf("core: snapshot node %v%d coeffs: %w", role, l, err)

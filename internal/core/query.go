@@ -8,6 +8,12 @@ import (
 // This file implements the query side of SWAT (paper §2.4, Fig. 3(b)):
 // the node-cover algorithm and the point, range, and inner-product
 // queries built on it.
+//
+// The cover scan runs over lent node views (VisitNodes-style, no
+// coefficient copies) and reuses per-tree scratch buffers, so the
+// steady-state query path performs no allocations. The exported
+// CoverNodes copies at the boundary so external callers keep isolated
+// snapshots.
 
 // ErrNotCovered wraps ages the tree cannot approximate. It occurs only
 // before warm-up or, for reduced trees (MinLevel > 0), transiently for
@@ -22,35 +28,29 @@ func (e *ErrNotCovered) Error() string {
 	return fmt.Sprintf("core: ages %v not covered by any tree node", e.Ages)
 }
 
-// CoverNodes runs the cover phase of the query algorithm: it scans nodes
-// from the lowest level upward, R → S → L within a level, and selects
-// every node that covers at least one not-yet-covered query age. The
-// returned slice is the paper's set V, in selection order. Ages outside
-// [0, N-1] are rejected; uncovered ages (possible before warm-up or with
-// level reduction) yield *ErrNotCovered alongside the partial cover.
-func (t *Tree) CoverNodes(ages []int) ([]NodeInfo, error) {
-	seen := make(map[int]bool, len(ages))
-	pending := make([]int, 0, len(ages))
+// coverLent runs the cover phase of the query algorithm over lent node
+// views: it scans nodes from the lowest level upward, R → S → L within a
+// level, and selects every node that covers at least one not-yet-covered
+// query age. The returned cover aliases t.coverScratch and its Coeffs
+// alias node buffers; missing aliases t.agesScratch and holds the
+// sorted, deduplicated uncovered ages (nil when fully covered). Both are
+// valid only until the next query or Update.
+func (t *Tree) coverLent(ages []int) (cover []NodeInfo, missing []int, err error) {
+	pending := t.agesScratch[:0]
 	for _, a := range ages {
 		if a < 0 || a >= t.n {
-			return nil, fmt.Errorf("core: query age %d out of window [0,%d)", a, t.n)
+			return nil, nil, fmt.Errorf("core: query age %d out of window [0,%d)", a, t.n)
 		}
-		if !seen[a] {
-			seen[a] = true
-			pending = append(pending, a)
-		}
+		pending = append(pending, a)
 	}
-	var cover []NodeInfo
+	t.agesScratch = pending // keep any growth
+	cover = t.coverScratch[:0]
 	for l := t.minLevel; l < t.levels && len(pending) > 0; l++ {
-		roles := []Role{Right, Shift, Left}
-		if l == t.levels-1 {
-			roles = roles[:1]
-		}
-		for _, role := range roles {
+		for role := Right; int(role) < t.rolesAt(l); role++ {
 			if len(pending) == 0 {
 				break
 			}
-			ni := t.info(l, role)
+			ni := t.infoView(l, role)
 			if !ni.Valid {
 				continue
 			}
@@ -70,12 +70,43 @@ func (t *Tree) CoverNodes(ages []int) ([]NodeInfo, error) {
 			}
 		}
 	}
+	t.coverScratch = cover[:0]
 	if len(pending) > 0 {
-		missing := append([]int(nil), pending...)
-		sort.Ints(missing)
-		return cover, &ErrNotCovered{Ages: missing}
+		sort.Ints(pending)
+		missing = dedupSorted(pending)
 	}
-	return cover, nil
+	return cover, missing, nil
+}
+
+// dedupSorted compacts consecutive duplicates of a sorted slice in place.
+func dedupSorted(xs []int) []int {
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CoverNodes runs the cover phase of the query algorithm and returns the
+// paper's set V as isolated snapshots, in selection order. Ages outside
+// [0, N-1] are rejected; uncovered ages (possible before warm-up or with
+// level reduction) yield *ErrNotCovered alongside the partial cover.
+func (t *Tree) CoverNodes(ages []int) ([]NodeInfo, error) {
+	cover, missing, err := t.coverLent(ages)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeInfo, len(cover))
+	for i, ni := range cover {
+		ni.Coeffs = append([]float64(nil), ni.Coeffs...)
+		out[i] = ni
+	}
+	if len(missing) > 0 {
+		return out, &ErrNotCovered{Ages: append([]int(nil), missing...)}
+	}
+	return out, nil
 }
 
 // valueFromNode reads the approximate value for the given age from a
@@ -95,28 +126,36 @@ func valueFromNode(ni NodeInfo, age int) float64 {
 // behaviour of always answering with the (possibly stale) maintained
 // approximations. A fully cold tree returns *ErrNotCovered.
 func (t *Tree) Approximate(ages []int) ([]float64, error) {
-	cover, err := t.CoverNodes(ages)
-	var uncovered map[int]bool
+	out := make([]float64, len(ages))
+	if err := t.ApproximateInto(out, ages); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApproximateInto is Approximate without allocating the result: it
+// writes the approximation for ages[i] into dst[i]. dst must have
+// length >= len(ages). Steady-state calls perform no allocations.
+func (t *Tree) ApproximateInto(dst []float64, ages []int) error {
+	if len(dst) < len(ages) {
+		return fmt.Errorf("core: dst length %d for %d ages", len(dst), len(ages))
+	}
+	cover, missing, err := t.coverLent(ages)
 	if err != nil {
-		nc, ok := err.(*ErrNotCovered)
+		return err
+	}
+	if len(missing) > 0 {
+		fallbackNode, ok := t.finestValidRight()
 		if !ok {
-			return nil, err
-		}
-		fallbackNode, fbErr := t.finestValidRight()
-		if fbErr != nil {
-			return nil, err // cold tree: propagate ErrNotCovered
-		}
-		uncovered = make(map[int]bool, len(nc.Ages))
-		for _, a := range nc.Ages {
-			uncovered[a] = true
+			// Cold tree: report the uncovered ages.
+			return &ErrNotCovered{Ages: append([]int(nil), missing...)}
 		}
 		cover = append(cover, fallbackNode)
 	}
-	out := make([]float64, len(ages))
 	for i, a := range ages {
-		ni, ok := coveringNode(cover, a, uncovered)
+		ni, ok := coveringNode(cover, a, missing)
 		if !ok {
-			return nil, fmt.Errorf("core: internal error, age %d missing from cover", a)
+			return fmt.Errorf("core: internal error, age %d missing from cover", a)
 		}
 		if a < ni.Start {
 			// Best-effort: the newest block is the freshest estimate.
@@ -124,16 +163,16 @@ func (t *Tree) Approximate(ages []int) ([]float64, error) {
 		} else if a > ni.End {
 			a = ni.End
 		}
-		out[i] = valueFromNode(ni, a)
+		dst[i] = valueFromNode(ni, a)
 	}
-	return out, nil
+	return nil
 }
 
 // coveringNode selects the node to answer age a: the first cover node
-// whose interval contains a, or — for uncovered ages — the final
-// (fallback) node.
-func coveringNode(cover []NodeInfo, a int, uncovered map[int]bool) (NodeInfo, bool) {
-	if !uncovered[a] {
+// whose interval contains a, or — for ages in the sorted missing list —
+// the final (fallback) node.
+func coveringNode(cover []NodeInfo, a int, missing []int) (NodeInfo, bool) {
+	if !containsSorted(missing, a) {
 		for _, ni := range cover {
 			if a >= ni.Start && a <= ni.End {
 				return ni, true
@@ -147,26 +186,33 @@ func coveringNode(cover []NodeInfo, a int, uncovered map[int]bool) (NodeInfo, bo
 	return cover[len(cover)-1], true
 }
 
-// finestValidRight returns the valid Right node at the lowest maintained
-// level, used as the best-effort source for transiently uncovered recent
-// ages.
-func (t *Tree) finestValidRight() (NodeInfo, error) {
+// containsSorted reports whether a sorted slice contains x.
+func containsSorted(xs []int, x int) bool {
+	i := sort.SearchInts(xs, x)
+	return i < len(xs) && xs[i] == x
+}
+
+// finestValidRight returns a lent view of the valid Right node at the
+// lowest maintained level, used as the best-effort source for
+// transiently uncovered recent ages.
+func (t *Tree) finestValidRight() (NodeInfo, bool) {
 	for l := t.minLevel; l < t.levels; l++ {
-		if ni := t.info(l, Right); ni.Valid {
-			return ni, nil
+		if ni := t.infoView(l, Right); ni.Valid {
+			return ni, true
 		}
 	}
-	return NodeInfo{}, fmt.Errorf("core: tree has no valid nodes yet")
+	return NodeInfo{}, false
 }
 
 // PointQuery returns the approximation for the value with the given age.
 // A point query is the inner-product query ([age],[1],δ) of the paper.
 func (t *Tree) PointQuery(age int) (float64, error) {
-	vs, err := t.Approximate([]int{age})
-	if err != nil {
+	ages := [1]int{age}
+	var out [1]float64
+	if err := t.ApproximateInto(out[:], ages[:]); err != nil {
 		return 0, err
 	}
-	return vs[0], nil
+	return out[0], nil
 }
 
 // InnerProduct evaluates the inner-product query with the given index
@@ -179,8 +225,11 @@ func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
 	if len(ages) == 0 {
 		return 0, fmt.Errorf("core: empty inner-product query")
 	}
-	vals, err := t.Approximate(ages)
-	if err != nil {
+	if cap(t.valsScratch) < len(ages) {
+		t.valsScratch = make([]float64, len(ages))
+	}
+	vals := t.valsScratch[:len(ages)]
+	if err := t.ApproximateInto(vals, ages); err != nil {
 		return 0, err
 	}
 	var sum float64
@@ -209,12 +258,19 @@ func (t *Tree) RangeQuery(p, radius float64, ageFrom, ageTo int) ([]RangeMatch, 
 	if radius < 0 {
 		return nil, fmt.Errorf("core: negative radius %v", radius)
 	}
-	ages := make([]int, 0, ageTo-ageFrom+1)
-	for a := ageFrom; a <= ageTo; a++ {
-		ages = append(ages, a)
+	span := ageTo - ageFrom + 1
+	if cap(t.rangeScratch) < span {
+		t.rangeScratch = make([]int, span)
 	}
-	vals, err := t.Approximate(ages)
-	if err != nil {
+	ages := t.rangeScratch[:span]
+	for i := range ages {
+		ages[i] = ageFrom + i
+	}
+	if cap(t.valsScratch) < span {
+		t.valsScratch = make([]float64, span)
+	}
+	vals := t.valsScratch[:span]
+	if err := t.ApproximateInto(vals, ages); err != nil {
 		return nil, err
 	}
 	var out []RangeMatch

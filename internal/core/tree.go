@@ -13,6 +13,12 @@
 //
 // The amortized per-arrival maintenance cost is O(k) and the space is
 // O(k log N); queries touch at most 3 log N nodes (paper §2.6).
+//
+// The arrival path is allocation-free: every node owns a fixed
+// pre-sized coefficient buffer, the L ← S ← R shift rotates the three
+// buffers of a level pointer-wise instead of copying, and the raw
+// segment feeding the finest level is gathered into a per-tree scratch
+// slice reduced in place.
 package core
 
 import (
@@ -64,7 +70,11 @@ type Options struct {
 
 // node is one R/S/L cell of the tree.
 type node struct {
-	// coeffs holds block averages in age order (index 0 = newest block).
+	// coeffs is the node's fixed coefficient buffer, holding block
+	// averages in age order (index 0 = newest block). Buffers are
+	// allocated once at construction and rotated between the three
+	// nodes of a level on every shift; the contents are meaningful only
+	// while valid is set.
 	coeffs []float64
 	// birth is the arrival counter value when the newest element covered
 	// by this node arrived. The node's covered ages at arrival counter t
@@ -74,7 +84,9 @@ type node struct {
 }
 
 // Tree is a SWAT approximation tree. It is not safe for concurrent use;
-// callers that share a Tree across goroutines must serialize access.
+// callers that share a Tree across goroutines must serialize access
+// (queries reuse internal scratch buffers, so even read-read sharing
+// must be serialized).
 type Tree struct {
 	n        int // window size N
 	levels   int // log2 N
@@ -87,11 +99,22 @@ type Tree struct {
 	// recent holds the last 2^(minLevel+1) raw values, newest first
 	// conceptually (stored as a ring), feeding the finest kept level.
 	recent     []float64
+	recentMask int // len(recent)-1; len is a power of two
 	recentHead int
 	recentLen  int
 
 	arrivals    int64
 	nodeUpdates uint64
+
+	// rawScratch gathers the finest level's raw segment out of the ring
+	// and is reduced in place; len == len(recent).
+	rawScratch []float64
+
+	// Query scratch, reused across queries (see query.go).
+	coverScratch []NodeInfo
+	agesScratch  []int
+	rangeScratch []int
+	valsScratch  []float64
 }
 
 // New creates an empty SWAT tree. The tree answers queries only after
@@ -112,15 +135,40 @@ func New(opts Options) (*Tree, error) {
 	if opts.MinLevel < 0 || opts.MinLevel > levels-1 {
 		return nil, fmt.Errorf("core: min level %d out of range [0,%d]", opts.MinLevel, levels-1)
 	}
+	ringLen := 1 << uint(opts.MinLevel+1)
 	t := &Tree{
-		n:        n,
-		levels:   levels,
-		minLevel: opts.MinLevel,
-		k:        k,
-		nodes:    make([][3]node, levels),
-		recent:   make([]float64, 1<<uint(opts.MinLevel+1)),
+		n:          n,
+		levels:     levels,
+		minLevel:   opts.MinLevel,
+		k:          k,
+		nodes:      make([][3]node, levels),
+		recent:     make([]float64, ringLen),
+		recentMask: ringLen - 1,
+		rawScratch: make([]float64, ringLen),
+	}
+	// Pre-size every node's coefficient buffer out of one backing
+	// allocation; the arrival path never allocates after this.
+	total := 0
+	for l := t.minLevel; l < t.levels; l++ {
+		total += t.rolesAt(l) * t.coeffLen(l)
+	}
+	backing := make([]float64, total)
+	for l := t.minLevel; l < t.levels; l++ {
+		cl := t.coeffLen(l)
+		for r := 0; r < t.rolesAt(l); r++ {
+			t.nodes[l][r].coeffs = backing[:cl:cl]
+			backing = backing[cl:]
+		}
 	}
 	return t, nil
+}
+
+// rolesAt returns how many of the three roles level l maintains.
+func (t *Tree) rolesAt(l int) int {
+	if l == t.levels-1 {
+		return 1
+	}
+	return 3
 }
 
 // WindowSize returns N.
@@ -158,6 +206,14 @@ func (t *Tree) coeffLen(level int) int {
 	return t.k
 }
 
+// ringAt returns the raw value age arrivals back (age 0 = newest). The
+// ring length is a power of two, so a mask replaces the modulo; Go's
+// two's-complement & keeps the index in range even when head-age is
+// negative.
+func (t *Tree) ringAt(age int) float64 {
+	return t.recent[(t.recentHead-age)&t.recentMask]
+}
+
 // Ready reports whether every maintained node holds valid data, i.e. the
 // tree has fully warmed up. Warm-up completes within 3·2^(levels-1)
 // arrivals.
@@ -176,10 +232,10 @@ func (t *Tree) Ready() bool {
 // Update consumes the next stream value, refreshing every level l with
 // 2^l dividing the new arrival count (paper Fig. 3(a)). The shift chain
 // L ← S ← R runs before R is recomputed from the already-refreshed
-// children of the level below.
+// children of the level below. The whole path is allocation-free.
 func (t *Tree) Update(v float64) {
 	// Record the raw value in the ring feeding the finest level.
-	t.recentHead = (t.recentHead + 1) % len(t.recent)
+	t.recentHead = (t.recentHead + 1) & t.recentMask
 	t.recent[t.recentHead] = v
 	if t.recentLen < len(t.recent) {
 		t.recentLen++
@@ -191,52 +247,100 @@ func (t *Tree) Update(v float64) {
 		maxLevel = t.levels - 1
 	}
 	for l := t.minLevel; l <= maxLevel; l++ {
-		lv := &t.nodes[l]
-		if l < t.levels-1 {
-			// Shift R → S → L. The top level keeps only R.
-			lv[Left] = lv[Shift]
-			lv[Shift] = cloneNode(lv[Right])
-		}
-		fresh, ok := t.freshRight(l)
-		lv[Right] = node{coeffs: fresh, birth: t.arrivals, valid: ok}
-		t.nodeUpdates++
+		t.refreshLevel(l)
 	}
 }
 
-// freshRight computes the new contents of R_l at the current arrival.
-func (t *Tree) freshRight(l int) ([]float64, bool) {
+// UpdateBatch consumes values in arrival order. It is equivalent to
+// calling Update once per value — the resulting tree state is
+// bit-identical — but amortizes per-arrival bookkeeping: for reduced
+// trees (MinLevel > 0) the arrivals between two refresh boundaries
+// touch only the raw ring and are written in bulk runs.
+func (t *Tree) UpdateBatch(vs []float64) {
+	if t.minLevel == 0 {
+		// Level 0 refreshes on every arrival; nothing to skip.
+		for _, v := range vs {
+			t.Update(v)
+		}
+		return
+	}
+	period := int64(1) << uint(t.minLevel)
+	i := 0
+	for i < len(vs) {
+		// Arrivals strictly before the next refresh boundary only feed
+		// the ring.
+		if run := int(period-1) - int(t.arrivals%period); run > 0 {
+			if rest := len(vs) - i; run > rest {
+				run = rest
+			}
+			head := t.recentHead
+			for _, v := range vs[i : i+run] {
+				head = (head + 1) & t.recentMask
+				t.recent[head] = v
+			}
+			t.recentHead = head
+			if t.recentLen += run; t.recentLen > len(t.recent) {
+				t.recentLen = len(t.recent)
+			}
+			t.arrivals += int64(run)
+			i += run
+			if i == len(vs) {
+				return
+			}
+		}
+		t.Update(vs[i])
+		i++
+	}
+}
+
+// refreshLevel rotates the level's three coefficient buffers along the
+// L ← S ← R shift (the buffer falling off L becomes R's write target)
+// and recomputes R for the current arrival.
+func (t *Tree) refreshLevel(l int) {
+	lv := &t.nodes[l]
+	if l < t.levels-1 {
+		spare := lv[Left].coeffs
+		lv[Left] = lv[Shift]
+		lv[Shift] = lv[Right]
+		lv[Right].coeffs = spare
+	}
+	lv[Right].birth = t.arrivals
+	lv[Right].valid = t.fillRight(l, lv[Right].coeffs)
+	t.nodeUpdates++
+}
+
+// fillRight computes the new contents of R_l into dst (the node's fixed
+// buffer, len == coeffLen(l)) at the current arrival, reporting whether
+// the inputs were warm enough to produce valid data.
+func (t *Tree) fillRight(l int, dst []float64) bool {
 	if l == t.minLevel {
-		seg := t.segLen(l)
+		seg := len(t.rawScratch) // == segLen(minLevel) == ring size
 		if t.recentLen < seg {
-			return nil, false
+			return false
 		}
-		raw := make([]float64, seg)
 		for age := 0; age < seg; age++ {
-			raw[age] = t.recent[(t.recentHead-age+2*len(t.recent))%len(t.recent)]
+			t.rawScratch[age] = t.ringAt(age)
 		}
-		coeffs, err := wavelet.Averages(raw, t.coeffLen(l))
+		res, err := wavelet.AveragesInPlace(t.rawScratch, len(dst))
 		if err != nil {
 			// Unreachable: lengths are powers of two by construction.
 			panic(fmt.Sprintf("core: averaging raw segment: %v", err))
 		}
-		return coeffs, true
+		copy(dst, res)
+		return true
 	}
 	newer := &t.nodes[l-1][Right] // covers ages [0, 2^l-1] after its refresh
 	older := &t.nodes[l-1][Left]  // covers ages [2^l, 2^(l+1)-1]
 	if !newer.valid || !older.valid {
-		return nil, false
+		return false
 	}
-	coeffs, err := wavelet.CombineAverages(newer.coeffs, older.coeffs, t.coeffLen(l))
-	if err != nil {
+	// The combine reads the children's buffers and writes this level's —
+	// distinct allocations, so no aliasing. The result always fills dst
+	// exactly: coeffLen is non-decreasing in the level.
+	if _, err := wavelet.CombineAveragesInto(dst, newer.coeffs, older.coeffs, len(dst)); err != nil {
 		panic(fmt.Sprintf("core: combining children: %v", err))
 	}
-	return coeffs, true
-}
-
-func cloneNode(n node) node {
-	c := n
-	c.coeffs = append([]float64(nil), n.coeffs...)
-	return c
+	return true
 }
 
 // NodeInfo is a read-only snapshot of one tree node, for introspection,
@@ -251,7 +355,8 @@ type NodeInfo struct {
 	// Start and End are the covered ages [Start, End] at snapshot time
 	// (age 0 = most recent value). End-Start+1 == 2^(Level+1).
 	Start, End int
-	// Coeffs are the stored block averages, newest block first.
+	// Coeffs are the stored block averages, newest block first. Nil for
+	// invalid nodes.
 	Coeffs []float64
 }
 
@@ -260,22 +365,57 @@ func (ni NodeInfo) String() string {
 	return fmt.Sprintf("%v%d[%d-%d]", ni.Role, ni.Level, ni.Start, ni.End)
 }
 
-// info snapshots node (l, role).
-func (t *Tree) info(l int, role Role) NodeInfo {
+// infoView snapshots node (l, role) without copying: the returned
+// Coeffs alias the node's internal buffer and stay accurate only until
+// the next Update.
+func (t *Tree) infoView(l int, role Role) NodeInfo {
 	nd := &t.nodes[l][role]
 	start := int(t.arrivals - nd.birth)
-	return NodeInfo{
-		Level:  l,
-		Role:   role,
-		Valid:  nd.valid,
-		Start:  start,
-		End:    start + t.segLen(l) - 1,
-		Coeffs: append([]float64(nil), nd.coeffs...),
+	ni := NodeInfo{
+		Level: l,
+		Role:  role,
+		Valid: nd.valid,
+		Start: start,
+		End:   start + t.segLen(l) - 1,
+	}
+	if nd.valid {
+		ni.Coeffs = nd.coeffs
+	}
+	return ni
+}
+
+// info snapshots node (l, role) with an isolated coefficient copy.
+func (t *Tree) info(l int, role Role) NodeInfo {
+	ni := t.infoView(l, role)
+	ni.Coeffs = append([]float64(nil), ni.Coeffs...)
+	return ni
+}
+
+// VisitNodes calls fn for every maintained node in query scan order
+// (level minLevel..top, R → S → L within a level) until fn returns
+// false. This is the zero-copy read path: the NodeInfo passed to fn
+// lends the tree's internal coefficient storage, so fn must not modify
+// the Coeffs slice or retain it past the callback (use Nodes for an
+// isolated snapshot).
+func (t *Tree) VisitNodes(fn func(NodeInfo) bool) {
+	for l := t.minLevel; l < t.levels; l++ {
+		if !fn(t.infoView(l, Right)) {
+			return
+		}
+		if l < t.levels-1 {
+			if !fn(t.infoView(l, Shift)) {
+				return
+			}
+			if !fn(t.infoView(l, Left)) {
+				return
+			}
+		}
 	}
 }
 
 // Nodes returns snapshots of all maintained nodes in query scan order
-// (level minLevel..top, R → S → L within a level).
+// (level minLevel..top, R → S → L within a level). The snapshots are
+// isolated copies, safe to retain.
 func (t *Tree) Nodes() []NodeInfo {
 	out := make([]NodeInfo, 0, t.NumNodes())
 	for l := t.minLevel; l < t.levels; l++ {

@@ -268,7 +268,7 @@ func runCompare(cfg compareConfig, m errMetric) (swat, hist float64, err error) 
 		for i := 0; i < cfg.queryEvery; i++ {
 			push()
 		}
-		q := gen.Next()
+		q := gen.NextLent()
 		exact, err := query.Exact(shadow, q)
 		if err != nil {
 			return 0, 0, err
@@ -489,7 +489,7 @@ func fig6b(scale Scale) (*Result, error) {
 		}
 		start := time.Now()
 		for i := 0; i < count; i++ {
-			if _, err := query.Approx(e, g.Next()); err != nil {
+			if _, err := query.Approx(e, g.NextLent()); err != nil {
 				return 0, err
 			}
 		}

@@ -9,12 +9,19 @@
 // spirit of StatStream (Zhu & Shasha, VLDB 2002, reference [17] of the
 // paper) but with SWAT's recency-biased summaries instead of per-basic-
 // window DFT coefficients.
+//
+// Streams are sharded across GOMAXPROCS worker goroutines (each shard
+// guarded by its own lock), so batched ingest and the pairwise
+// correlation scan scale with cores. All Monitor methods are safe for
+// concurrent use.
 package multi
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/streamsum/swat/internal/core"
 )
@@ -28,37 +35,106 @@ type Options struct {
 	// (0 means 4 — correlation estimates need more resolution than the
 	// single-average default).
 	Coefficients int
+	// Shards is the number of ingest/query shards streams are spread
+	// over, each served by its own worker goroutine. 0 means
+	// GOMAXPROCS.
+	Shards int
+}
+
+// shard owns an interleaved subset of the streams. Its mutex guards the
+// trees and arrival counters of exactly those streams; its worker
+// goroutine executes the shard's slice of fan-out operations.
+type shard struct {
+	mu      sync.Mutex
+	idx     int   // position in Monitor.shards
+	streams []int // indices into Monitor.trees, in registration order
+	jobs    chan func()
+	// batchBuf gathers one stream's column out of a row batch; reused
+	// across ObserveAllBatch calls.
+	batchBuf []float64
 }
 
 // Monitor tracks many streams and answers correlation queries over
-// their summaries.
+// their summaries. Methods are safe for concurrent use; Close must be
+// called when the monitor is no longer needed to stop its shard
+// workers.
 type Monitor struct {
-	opts    Options
-	names   []string
-	byName  map[string]int
-	trees   []*core.Tree
+	opts Options
+
+	// reg guards the registration tables (names/trees/shard membership)
+	// against Add and Close; ingest and query paths hold it read-side.
+	reg    sync.RWMutex
+	names  []string
+	byName map[string]int
+	trees  []*core.Tree
+
 	arrived []int64
+	shards  []*shard
+	closed  bool
+	wg      sync.WaitGroup
 }
 
-// New creates an empty monitor.
+// New creates an empty monitor and starts its shard workers.
 func New(opts Options) (*Monitor, error) {
 	if opts.Coefficients == 0 {
 		opts.Coefficients = 4
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
 	}
 	// Validate eagerly by constructing a probe tree.
 	if _, err := core.New(core.Options{WindowSize: opts.WindowSize, Coefficients: opts.Coefficients}); err != nil {
 		return nil, err
 	}
-	return &Monitor{
+	m := &Monitor{
 		opts:   opts,
 		byName: make(map[string]int),
-	}, nil
+		shards: make([]*shard, opts.Shards),
+	}
+	for i := range m.shards {
+		s := &shard{idx: i, jobs: make(chan func())}
+		m.shards[i] = s
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for job := range s.jobs {
+				job()
+			}
+		}()
+	}
+	return m, nil
+}
+
+// Close stops the shard workers. The monitor must not be used after
+// Close; Close is idempotent.
+func (m *Monitor) Close() {
+	m.reg.Lock()
+	if m.closed {
+		m.reg.Unlock()
+		return
+	}
+	m.closed = true
+	for _, s := range m.shards {
+		close(s.jobs)
+	}
+	m.reg.Unlock()
+	m.wg.Wait()
+}
+
+// shardOf returns the shard owning stream index idx.
+func (m *Monitor) shardOf(idx int) *shard {
+	return m.shards[idx%len(m.shards)]
 }
 
 // Add registers a new stream under a unique name.
 func (m *Monitor) Add(name string) error {
 	if name == "" {
 		return fmt.Errorf("multi: empty stream name")
+	}
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	if m.closed {
+		return fmt.Errorf("multi: monitor closed")
 	}
 	if _, dup := m.byName[name]; dup {
 		return fmt.Errorf("multi: stream %q already registered", name)
@@ -67,53 +143,165 @@ func (m *Monitor) Add(name string) error {
 	if err != nil {
 		return err
 	}
-	m.byName[name] = len(m.names)
+	idx := len(m.names)
+	m.byName[name] = idx
 	m.names = append(m.names, name)
 	m.trees = append(m.trees, tree)
 	m.arrived = append(m.arrived, 0)
+	s := m.shardOf(idx)
+	s.streams = append(s.streams, idx)
 	return nil
 }
 
 // Streams returns the registered stream names in registration order.
 func (m *Monitor) Streams() []string {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	return append([]string(nil), m.names...)
 }
 
 // Len returns the number of registered streams.
-func (m *Monitor) Len() int { return len(m.names) }
+func (m *Monitor) Len() int {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	return len(m.names)
+}
 
 // Observe appends the next value of the named stream.
 func (m *Monitor) Observe(name string, v float64) error {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	idx, ok := m.byName[name]
 	if !ok {
 		return fmt.Errorf("multi: unknown stream %q", name)
 	}
+	s := m.shardOf(idx)
+	s.mu.Lock()
 	m.trees[idx].Update(v)
 	m.arrived[idx]++
+	s.mu.Unlock()
+	return nil
+}
+
+// ObserveBatch appends a run of consecutive values to the named stream
+// in one locked pass over its shard, using the tree's batched update.
+func (m *Monitor) ObserveBatch(name string, vs []float64) error {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	idx, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("multi: unknown stream %q", name)
+	}
+	s := m.shardOf(idx)
+	s.mu.Lock()
+	m.trees[idx].UpdateBatch(vs)
+	m.arrived[idx] += int64(len(vs))
+	s.mu.Unlock()
 	return nil
 }
 
 // ObserveAll appends one synchronized value per stream, in registration
 // order. Values must match the number of registered streams.
 func (m *Monitor) ObserveAll(values []float64) error {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	if len(values) != len(m.names) {
 		return fmt.Errorf("multi: %d values for %d streams", len(values), len(m.names))
 	}
-	for i, v := range values {
-		m.trees[i].Update(v)
-		m.arrived[i]++
+	// A single row per stream is too little work to amortize a fan-out;
+	// walk the shards inline under their locks.
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, idx := range s.streams {
+			m.trees[idx].Update(values[idx])
+			m.arrived[idx]++
+		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
-// Ready reports whether the named stream's tree has warmed up.
-func (m *Monitor) Ready(name string) bool {
-	idx, ok := m.byName[name]
-	return ok && m.trees[idx].Ready()
+// ObserveAllBatch appends a sequence of synchronized arrival rows:
+// rows[t][i] is the value of stream i (registration order) at batch
+// position t. Every row must have one value per registered stream. The
+// rows are ingested by the shard workers in parallel, each stream
+// consuming its column through the tree's batched update; the call
+// returns once every shard has finished, with all streams advanced by
+// len(rows) arrivals.
+func (m *Monitor) ObserveAllBatch(rows [][]float64) error {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	if m.closed {
+		return fmt.Errorf("multi: monitor closed")
+	}
+	for t, row := range rows {
+		if len(row) != len(m.names) {
+			return fmt.Errorf("multi: row %d has %d values for %d streams", t, len(row), len(m.names))
+		}
+	}
+	if len(rows) == 0 || len(m.names) == 0 {
+		return nil
+	}
+	m.fanout(func(s *shard) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, idx := range s.streams {
+			col := s.batchBuf[:0]
+			for _, row := range rows {
+				col = append(col, row[idx])
+			}
+			s.batchBuf = col
+			m.trees[idx].UpdateBatch(col)
+			m.arrived[idx] += int64(len(rows))
+		}
+	})
+	return nil
 }
 
-// Tree exposes a stream's summary tree for direct queries.
+// fanout runs fn once per non-empty shard on the shard workers and
+// waits for completion. With a single shard the job runs inline.
+// Callers must hold m.reg read-side (workers are alive while it is
+// held, since Close takes it write-side).
+func (m *Monitor) fanout(fn func(*shard)) {
+	if len(m.shards) == 1 {
+		fn(m.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range m.shards {
+		if len(s.streams) == 0 {
+			continue
+		}
+		s := s
+		wg.Add(1)
+		s.jobs <- func() {
+			defer wg.Done()
+			fn(s)
+		}
+	}
+	wg.Wait()
+}
+
+// Ready reports whether the named stream's tree has warmed up.
+func (m *Monitor) Ready(name string) bool {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	idx, ok := m.byName[name]
+	if !ok {
+		return false
+	}
+	s := m.shardOf(idx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.trees[idx].Ready()
+}
+
+// Tree exposes a stream's summary tree for direct queries. The tree is
+// not synchronized: callers must not use it concurrently with ingest
+// into the same monitor.
 func (m *Monitor) Tree(name string) (*core.Tree, error) {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	idx, ok := m.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("multi: unknown stream %q", name)
@@ -121,13 +309,16 @@ func (m *Monitor) Tree(name string) (*core.Tree, error) {
 	return m.trees[idx], nil
 }
 
-// approxRecent reconstructs the last span values of a stream from its
-// summary.
+// approxRecent reconstructs the last span values of stream idx under
+// its shard lock.
 func (m *Monitor) approxRecent(idx, span int) ([]float64, error) {
 	ages := make([]int, span)
 	for i := range ages {
 		ages[i] = i
 	}
+	s := m.shardOf(idx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return m.trees[idx].Approximate(ages)
 }
 
@@ -135,6 +326,8 @@ func (m *Monitor) approxRecent(idx, span int) ([]float64, error) {
 // over their most recent span values, computed entirely from the SWAT
 // summaries. span must satisfy 2 <= span <= WindowSize.
 func (m *Monitor) Correlation(a, b string, span int) (float64, error) {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	ia, ok := m.byName[a]
 	if !ok {
 		return 0, fmt.Errorf("multi: unknown stream %q", a)
@@ -166,41 +359,46 @@ type Pair struct {
 
 // Correlated returns all stream pairs whose estimated correlation over
 // the given span meets |r| >= threshold, strongest first. Streams whose
-// summaries are not yet warm are skipped.
+// summaries are not yet warm are skipped. Both phases run in parallel:
+// the shard workers reconstruct their streams' recent values
+// concurrently, and the O(S²) pairwise scan is striped across
+// GOMAXPROCS goroutines.
 func (m *Monitor) Correlated(span int, threshold float64) ([]Pair, error) {
 	if threshold < 0 || threshold > 1 {
 		return nil, fmt.Errorf("multi: threshold %v out of [0,1]", threshold)
 	}
-	// Reconstruct each warm stream once: O(S·span) instead of O(S²·span).
+	m.reg.RLock()
+	// Reconstruct each warm stream once: O(S·span) work total, spread
+	// over the shard workers.
 	recon := make([][]float64, len(m.names))
-	for i := range m.names {
-		if !m.trees[i].Ready() {
-			continue
+	errs := make([]error, len(m.shards))
+	m.fanout(func(s *shard) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ages := make([]int, span)
+		for i := range ages {
+			ages[i] = i
 		}
-		v, err := m.approxRecent(i, span)
+		for _, idx := range s.streams {
+			if !m.trees[idx].Ready() {
+				continue
+			}
+			v, err := m.trees[idx].Approximate(ages)
+			if err != nil {
+				errs[s.idx] = err
+				return
+			}
+			recon[idx] = v
+		}
+	})
+	names := m.names
+	m.reg.RUnlock()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		recon[i] = v
 	}
-	var out []Pair
-	for i := 0; i < len(m.names); i++ {
-		if recon[i] == nil {
-			continue
-		}
-		for j := i + 1; j < len(m.names); j++ {
-			if recon[j] == nil {
-				continue
-			}
-			r, err := Pearson(recon[i], recon[j])
-			if err != nil {
-				continue // constant reconstruction: undefined correlation
-			}
-			if math.Abs(r) >= threshold {
-				out = append(out, Pair{A: m.names[i], B: m.names[j], R: r})
-			}
-		}
-	}
+	out := scanPairs(names, recon, threshold)
 	sort.Slice(out, func(x, y int) bool {
 		ax, ay := math.Abs(out[x].R), math.Abs(out[y].R)
 		if ax != ay {
@@ -212,6 +410,61 @@ func (m *Monitor) Correlated(span int, threshold float64) ([]Pair, error) {
 		return out[x].B < out[y].B
 	})
 	return out, nil
+}
+
+// scanPairs computes the pairwise correlation matrix over the
+// reconstructed streams, striping the outer loop across GOMAXPROCS
+// goroutines. Pairs with undefined correlation (constant
+// reconstruction) are skipped, matching Pearson's error cases.
+func scanPairs(names []string, recon [][]float64, threshold float64) []Pair {
+	n := len(names)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 32 {
+		return scanPairRows(names, recon, threshold, 0, 1)
+	}
+	parts := make([][]Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[w] = scanPairRows(names, recon, threshold, w, workers)
+		}()
+	}
+	wg.Wait()
+	var out []Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// scanPairRows scans rows offset, offset+stride, ... of the upper
+// triangle of the correlation matrix.
+func scanPairRows(names []string, recon [][]float64, threshold float64, offset, stride int) []Pair {
+	var out []Pair
+	for i := offset; i < len(names); i += stride {
+		if recon[i] == nil {
+			continue
+		}
+		for j := i + 1; j < len(names); j++ {
+			if recon[j] == nil {
+				continue
+			}
+			r, err := Pearson(recon[i], recon[j])
+			if err != nil {
+				continue // constant reconstruction: undefined correlation
+			}
+			if math.Abs(r) >= threshold {
+				out = append(out, Pair{A: names[i], B: names[j], R: r})
+			}
+		}
+	}
+	return out
 }
 
 // Pearson computes the Pearson correlation coefficient of two

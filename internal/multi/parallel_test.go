@@ -1,0 +1,263 @@
+package multi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// addStreams registers count streams named s0..s<count-1>.
+func addStreams(t *testing.T, m *Monitor, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		if err := m.Add(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestObserveAllBatchMatchesSequential: the sharded parallel batch
+// ingest must leave every per-stream tree in bit-identical state to the
+// sequential row-at-a-time path, for several shard counts.
+func TestObserveAllBatchMatchesSequential(t *testing.T) {
+	const streams, rows = 13, 230
+	r := rand.New(rand.NewSource(8))
+	batch := make([][]float64, rows)
+	for t := range batch {
+		batch[t] = make([]float64, streams)
+		for i := range batch[t] {
+			batch[t][i] = r.NormFloat64() * 10
+		}
+	}
+	ref := mustMonitor(t, Options{WindowSize: 32, Shards: 1})
+	defer ref.Close()
+	addStreams(t, ref, streams)
+	for _, row := range batch {
+		if err := ref.ObserveAll(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, shards := range []int{1, 2, 3, 8} {
+		m := mustMonitor(t, Options{WindowSize: 32, Shards: shards})
+		defer m.Close()
+		addStreams(t, m, streams)
+		// Split the rows into two batches to cover batch boundaries.
+		if err := m.ObserveAllBatch(batch[:101]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ObserveAllBatch(batch[101:]); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < streams; i++ {
+			name := fmt.Sprintf("s%d", i)
+			want, err := ref.Tree(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Tree(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := want.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := got.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wb, gb) {
+				t.Fatalf("shards=%d stream %s: batched state diverges from sequential", shards, name)
+			}
+		}
+	}
+}
+
+func TestObserveAllBatchValidation(t *testing.T) {
+	m := mustMonitor(t, Options{WindowSize: 16})
+	defer m.Close()
+	addStreams(t, m, 2)
+	if err := m.ObserveAllBatch([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("accepted ragged batch")
+	}
+	if err := m.ObserveAllBatch(nil); err != nil {
+		t.Errorf("empty batch rejected: %v", err)
+	}
+}
+
+func TestObserveBatchSingleStream(t *testing.T) {
+	m := mustMonitor(t, Options{WindowSize: 16})
+	defer m.Close()
+	addStreams(t, m, 3)
+	vs := make([]float64, 40)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	if err := m.ObserveBatch("s1", vs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ObserveBatch("nope", vs); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if !m.Ready("s1") {
+		t.Error("stream not ready after batch covering the window")
+	}
+	if m.Ready("s0") {
+		t.Error("untouched stream reported ready")
+	}
+}
+
+func TestCloseIdempotentAndRejectsUse(t *testing.T) {
+	m := mustMonitor(t, Options{WindowSize: 16})
+	addStreams(t, m, 2)
+	m.Close()
+	m.Close()
+	if err := m.Add("late"); err == nil {
+		t.Error("Add accepted after Close")
+	}
+	if err := m.ObserveAllBatch([][]float64{{1, 2}}); err == nil {
+		t.Error("ObserveAllBatch accepted after Close")
+	}
+}
+
+// TestConcurrentIngestAndQuery hammers the monitor from many goroutines
+// at once — single observes, batched ingest, correlation scans, and
+// readiness probes — and is the -race workout for the shard locking.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	const streams = 24
+	m := mustMonitor(t, Options{WindowSize: 64, Coefficients: 4, Shards: 4})
+	defer m.Close()
+	addStreams(t, m, streams)
+	var wg sync.WaitGroup
+	// Writers: one goroutine per stream pushing its own values.
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", i)
+			src := stream.Uniform(int64(i))
+			for step := 0; step < 300; step++ {
+				if err := m.Observe(name, src.Next()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Batch writers feeding synchronized rows concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := stream.Uniform(99)
+		rows := make([][]float64, 16)
+		for i := range rows {
+			rows[i] = make([]float64, streams)
+		}
+		for step := 0; step < 10; step++ {
+			for _, row := range rows {
+				for j := range row {
+					row[j] = src.Next()
+				}
+			}
+			if err := m.ObserveAllBatch(rows); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Readers: correlation scans and readiness probes while ingest runs.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for step := 0; step < 20; step++ {
+				if _, err := m.Correlated(32, 0.5); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Ready("s0")
+				m.Streams()
+			}
+		}()
+	}
+	wg.Wait()
+	// Every stream saw 300 single observes plus 160 batched rows.
+	for i := 0; i < streams; i++ {
+		tree, err := m.Tree(fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.Arrivals(); got != 460 {
+			t.Errorf("stream %d arrivals = %d, want 460", i, got)
+		}
+	}
+}
+
+// TestCorrelatedParallelMatchesSerial: the striped pair scan must find
+// exactly the serial scan's pairs in the same order.
+func TestCorrelatedParallelMatchesSerial(t *testing.T) {
+	const streams, n = 40, 64 // above the parallel-scan threshold
+	m := mustMonitor(t, Options{WindowSize: n, Coefficients: 8, Shards: 4})
+	defer m.Close()
+	addStreams(t, m, streams)
+	walk := stream.RandomWalk(13, 50, 4, 0, 100)
+	r := rand.New(rand.NewSource(21))
+	row := make([]float64, streams)
+	for step := 0; step < 4*n; step++ {
+		v := walk.Next()
+		for i := range row {
+			// Streams 0..9 follow the walk (correlated), the rest are noise.
+			if i < 10 {
+				row[i] = v + r.NormFloat64()
+			} else {
+				row[i] = r.Float64() * 100
+			}
+		}
+		if err := m.ObserveAll(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Correlated(n, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference over the same reconstructions.
+	recon := make([][]float64, streams)
+	names := m.Streams()
+	for i, name := range names {
+		tree, err := m.Tree(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ages := make([]int, n)
+		for a := range ages {
+			ages[a] = a
+		}
+		v, err := tree.Approximate(ages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon[i] = v
+	}
+	want := scanPairRows(names, recon, 0.8, 0, 1)
+	if len(got) < 40 { // 10 correlated streams → 45 pairs, most above 0.8
+		t.Errorf("only %d correlated pairs found", len(got))
+	}
+	gotSet := make(map[string]float64, len(got))
+	for _, p := range got {
+		gotSet[p.A+"|"+p.B] = p.R
+	}
+	if len(gotSet) != len(want) {
+		t.Fatalf("parallel scan found %d pairs, serial %d", len(gotSet), len(want))
+	}
+	for _, p := range want {
+		if r, ok := gotSet[p.A+"|"+p.B]; !ok || r != p.R {
+			t.Fatalf("pair %s-%s: parallel %v, serial %v", p.A, p.B, r, p.R)
+		}
+	}
+}

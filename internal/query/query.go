@@ -194,6 +194,10 @@ type Generator struct {
 	precision float64
 	rng       *rand.Rand
 	fixed     Query
+
+	// Lending buffers backing NextLent, reused across calls.
+	agesBuf    []int
+	weightsBuf []float64
 }
 
 // NewGenerator creates a generator over a window of size n. fixedLen is
@@ -227,7 +231,22 @@ func NewGenerator(kind Kind, mode Mode, n, fixedLen int, precision float64, seed
 // Next returns the query for the next query instant: in Fixed mode the
 // same query over the most recent values, in Random mode a query of
 // uniform random length in [1, fixedLen] at a uniform random offset.
+// The returned query owns its slices and may be retained.
 func (g *Generator) Next() Query {
+	q := g.NextLent()
+	if g.mode != Fixed {
+		q.Ages = append([]int(nil), q.Ages...)
+		q.Weights = append([]float64(nil), q.Weights...)
+	}
+	return q
+}
+
+// NextLent is Next without per-call allocation: the returned query's
+// Ages and Weights slices are owned by the generator and stay accurate
+// only until the next Next or NextLent call. It draws the identical
+// query sequence as Next for the same seed. This is the zero-copy path
+// experiment loops use to keep query generation off the allocator.
+func (g *Generator) NextLent() Query {
 	if g.mode == Fixed {
 		return g.fixed
 	}
@@ -239,10 +258,31 @@ func (g *Generator) Next() Query {
 	if g.mode == Random {
 		start = g.rng.Intn(g.window - m + 1)
 	}
-	q, err := New(g.kind, start, m, g.precision)
-	if err != nil {
-		// Unreachable: parameters are validated by construction.
-		panic(fmt.Sprintf("query: generator produced invalid query: %v", err))
+	if cap(g.agesBuf) < m {
+		g.agesBuf = make([]int, m)
+		g.weightsBuf = make([]float64, m)
 	}
-	return q
+	ages := g.agesBuf[:m]
+	weights := g.weightsBuf[:m]
+	for i := range ages {
+		ages[i] = start + i
+	}
+	switch g.kind {
+	case Exponential:
+		w := 1.0
+		for i := range weights {
+			weights[i] = w
+			w /= 2
+		}
+	case Linear:
+		for i := range weights {
+			weights[i] = float64(m-i) / float64(m)
+		}
+	case Point:
+		weights[0] = 1
+	default:
+		// Unreachable: the kind is validated by NewGenerator.
+		panic(fmt.Sprintf("query: generator holds unknown kind %v", g.kind))
+	}
+	return Query{Ages: ages, Weights: weights, Precision: g.precision, Kind: g.kind}
 }

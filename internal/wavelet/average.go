@@ -12,20 +12,82 @@ import "fmt"
 // unnormalized form keeps node contents interpretable and makes the
 // 1-coefficient invariant trivial: the single stored value is the true
 // mean of the covered segment.
+//
+// The *Into/*InPlace variants are the allocation-free forms used by the
+// tree's arrival hot path; Averages and CombineAverages are thin
+// allocating wrappers kept for callers off the hot path.
+
+// AveragesLen returns the number of block averages produced when a
+// signal of length n is reduced to at most maxCoeff coefficients:
+// min(n, maxCoeff).
+func AveragesLen(n, maxCoeff int) int {
+	if n < maxCoeff {
+		return n
+	}
+	return maxCoeff
+}
 
 // Averages reduces a power-of-two-length signal to at most maxCoeff block
 // averages by repeated pairwise averaging. maxCoeff must be a positive
 // power of two.
 func Averages(signal []float64, maxCoeff int) ([]float64, error) {
+	size := AveragesLen(len(signal), maxCoeff)
+	if half := len(signal) / 2; half > size {
+		size = half // AveragesInto needs the workspace prefix
+	}
+	out, err := AveragesInto(make([]float64, size), signal, maxCoeff)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AveragesInto is Averages without allocation: it computes the block
+// averages of signal into dst and returns the filled prefix of dst.
+// dst doubles as the reduction workspace, so it must not alias signal
+// and must have length >= max(len(signal)/2, AveragesLen(len(signal),
+// maxCoeff)). signal is left unmodified.
+func AveragesInto(dst, signal []float64, maxCoeff int) ([]float64, error) {
 	if err := checkPow2(len(signal)); err != nil {
 		return nil, err
 	}
 	if !IsPow2(maxCoeff) {
 		return nil, fmt.Errorf("wavelet: maxCoeff %d must be a power of two", maxCoeff)
 	}
-	cur := append([]float64(nil), signal...)
+	if len(signal) <= maxCoeff {
+		if len(dst) < len(signal) {
+			return nil, fmt.Errorf("wavelet: dst length %d too small for %d averages", len(dst), len(signal))
+		}
+		return dst[:copy(dst, signal)], nil
+	}
+	half := len(signal) / 2
+	if len(dst) < half {
+		return nil, fmt.Errorf("wavelet: dst length %d too small for workspace %d", len(dst), half)
+	}
+	cur := dst[:half]
+	for i := range cur {
+		cur[i] = (signal[2*i] + signal[2*i+1]) / 2
+	}
 	for len(cur) > maxCoeff {
-		cur = pairwise(cur)
+		cur = pairwiseInPlace(cur)
+	}
+	return cur, nil
+}
+
+// AveragesInPlace reduces signal to at most maxCoeff block averages by
+// repeated in-place pairwise averaging, returning the reduced prefix of
+// signal. It allocates nothing and destroys signal's contents beyond the
+// returned prefix.
+func AveragesInPlace(signal []float64, maxCoeff int) ([]float64, error) {
+	if err := checkPow2(len(signal)); err != nil {
+		return nil, err
+	}
+	if !IsPow2(maxCoeff) {
+		return nil, fmt.Errorf("wavelet: maxCoeff %d must be a power of two", maxCoeff)
+	}
+	cur := signal
+	for len(cur) > maxCoeff {
+		cur = pairwiseInPlace(cur)
 	}
 	return cur, nil
 }
@@ -36,13 +98,60 @@ func Averages(signal []float64, maxCoeff int) ([]float64, error) {
 // DWT(R_{l-1}, L_{l-1}) combine step of the SWAT update algorithm for
 // the block-average representation.
 func CombineAverages(newer, older []float64, maxCoeff int) ([]float64, error) {
+	size := AveragesLen(len(newer)+len(older), maxCoeff)
+	if len(newer) > size {
+		size = len(newer) // CombineAveragesInto workspace prefix
+	}
+	out, err := CombineAveragesInto(make([]float64, size), newer, older, maxCoeff)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CombineAveragesInto is CombineAverages without allocation: it merges
+// newer and older into dst and returns the filled prefix. dst must not
+// alias either input and must have length >= max(len(newer),
+// AveragesLen(len(newer)+len(older), maxCoeff)). The inputs are left
+// unmodified.
+func CombineAveragesInto(dst, newer, older []float64, maxCoeff int) ([]float64, error) {
 	if len(newer) != len(older) {
 		return nil, fmt.Errorf("wavelet: cannot combine averages of lengths %d and %d", len(newer), len(older))
 	}
-	joined := make([]float64, 0, len(newer)+len(older))
-	joined = append(joined, newer...)
-	joined = append(joined, older...)
-	return Averages(joined, maxCoeff)
+	m := len(newer)
+	if err := checkPow2(2 * m); err != nil {
+		return nil, err
+	}
+	if !IsPow2(maxCoeff) {
+		return nil, fmt.Errorf("wavelet: maxCoeff %d must be a power of two", maxCoeff)
+	}
+	if 2*m <= maxCoeff {
+		if len(dst) < 2*m {
+			return nil, fmt.Errorf("wavelet: dst length %d too small for %d averages", len(dst), 2*m)
+		}
+		copy(dst, newer)
+		copy(dst[m:], older)
+		return dst[:2*m], nil
+	}
+	// One pairwise pass over the conceptual concatenation newer++older
+	// halves it to length m; pairs straddle the boundary only when m==1.
+	if len(dst) < m {
+		return nil, fmt.Errorf("wavelet: dst length %d too small for workspace %d", len(dst), m)
+	}
+	cur := dst[:m]
+	if m == 1 {
+		cur[0] = (newer[0] + older[0]) / 2
+	} else {
+		half := m / 2
+		for i := 0; i < half; i++ {
+			cur[i] = (newer[2*i] + newer[2*i+1]) / 2
+			cur[half+i] = (older[2*i] + older[2*i+1]) / 2
+		}
+	}
+	for len(cur) > maxCoeff {
+		cur = pairwiseInPlace(cur)
+	}
+	return cur, nil
 }
 
 // ExpandAverages expands m block averages into a signal of length n by
@@ -82,11 +191,13 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// pairwise halves a slice by averaging adjacent pairs.
-func pairwise(xs []float64) []float64 {
-	out := make([]float64, len(xs)/2)
-	for i := range out {
-		out[i] = (xs[2*i] + xs[2*i+1]) / 2
+// pairwiseInPlace halves a slice by averaging adjacent pairs, writing
+// the result over the slice's own prefix (safe: index i reads 2i, 2i+1
+// with i <= 2i).
+func pairwiseInPlace(xs []float64) []float64 {
+	half := len(xs) / 2
+	for i := 0; i < half; i++ {
+		xs[i] = (xs[2*i] + xs[2*i+1]) / 2
 	}
-	return out
+	return xs[:half]
 }

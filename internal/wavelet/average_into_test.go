@@ -1,0 +1,140 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAveragesIntoMatchesAverages: the allocation-free variant must be
+// bit-identical to the allocating one for every geometry.
+func TestAveragesIntoMatchesAverages(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		for _, k := range []int{1, 2, 4, 8, 64, 512} {
+			sig := randSignal(r, n)
+			want, err := Averages(sig, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := AveragesLen(n, k)
+			if half := n / 2; half > size {
+				size = half
+			}
+			dst := make([]float64, size)
+			got, err := AveragesInto(dst, sig, k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d coeff %d: %v != %v", n, k, i, got[i], want[i])
+				}
+			}
+			// The in-place variant must agree too (it destroys its input).
+			cp := append([]float64(nil), sig...)
+			inPlace, err := AveragesInPlace(cp, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if inPlace[i] != want[i] {
+					t.Fatalf("n=%d k=%d in-place coeff %d: %v != %v", n, k, i, inPlace[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCombineAveragesIntoMatchesCombine covers the straddling m==1 pair
+// and the general reduction and copy cases.
+func TestCombineAveragesIntoMatchesCombine(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, m := range []int{1, 2, 4, 8, 32} {
+		for _, k := range []int{1, 2, 4, 8, 64} {
+			newer := randSignal(r, m)
+			older := randSignal(r, m)
+			want, err := CombineAverages(newer, older, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := AveragesLen(2*m, k)
+			if m > size {
+				size = m
+			}
+			got, err := CombineAveragesInto(make([]float64, size), newer, older, k)
+			if err != nil {
+				t.Fatalf("m=%d k=%d: %v", m, k, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("m=%d k=%d: len %d, want %d", m, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d k=%d coeff %d: %v != %v", m, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAveragesIntoValidation(t *testing.T) {
+	sig := []float64{1, 2, 3, 4}
+	if _, err := AveragesInto(make([]float64, 4), []float64{1, 2, 3}, 2); err == nil {
+		t.Error("accepted non-pow2 signal")
+	}
+	if _, err := AveragesInto(make([]float64, 4), sig, 3); err == nil {
+		t.Error("accepted non-pow2 maxCoeff")
+	}
+	if _, err := AveragesInto(make([]float64, 1), sig, 2); err == nil {
+		t.Error("accepted undersized workspace")
+	}
+	if _, err := AveragesInto(make([]float64, 3), sig, 8); err == nil {
+		t.Error("accepted undersized dst in copy mode")
+	}
+	if _, err := AveragesInPlace(sig[:3], 2); err == nil {
+		t.Error("in-place accepted non-pow2 signal")
+	}
+	if _, err := CombineAveragesInto(make([]float64, 4), sig, sig[:2], 2); err == nil {
+		t.Error("combine accepted mismatched lengths")
+	}
+	if _, err := CombineAveragesInto(make([]float64, 1), sig, sig, 2); err == nil {
+		t.Error("combine accepted undersized workspace")
+	}
+	if _, err := CombineAveragesInto(make([]float64, 4), sig, sig, 3); err == nil {
+		t.Error("combine accepted non-pow2 maxCoeff")
+	}
+}
+
+// TestAveragesIntoDoesNotAllocate is the allocation-regression guard
+// for the arrival hot path's wavelet kernels.
+func TestAveragesIntoDoesNotAllocate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sig := randSignal(r, 256)
+	newer := randSignal(r, 8)
+	older := randSignal(r, 8)
+	dst := make([]float64, 128)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AveragesInto(dst, sig, 8); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("AveragesInto allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AveragesInPlace(sig, 4); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("AveragesInPlace allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := CombineAveragesInto(dst, newer, older, 8); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("CombineAveragesInto allocates %v times per call, want 0", allocs)
+	}
+}

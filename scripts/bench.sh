@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the hot-path micro-benchmarks with allocation reporting and emit a
+# machine-readable snapshot next to the repo root.
+#
+#   scripts/bench.sh [count]
+#
+# count defaults to 6 runs per benchmark (pass 1 for a quick smoke run).
+# Raw `go test -bench` output is written to BENCH_hotpath.txt and a JSON
+# digest — one object per benchmark run with ns/op, B/op, allocs/op — to
+# BENCH_hotpath.json, for diffing against a previous checkout.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-6}"
+BENCHES='BenchmarkTreeUpdate$|BenchmarkTreeUpdateBatch|BenchmarkTreePointQuery|BenchmarkTreeInnerProduct|BenchmarkMonitorIngest'
+RAW=BENCH_hotpath.txt
+OUT=BENCH_hotpath.json
+
+# Capture to temporaries first so a failed run leaves any previous
+# snapshot untouched.
+go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" . | tee "$RAW.tmp"
+mv "$RAW.tmp" "$RAW"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$RAW" > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+
+echo "wrote $RAW and $OUT"
