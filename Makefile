@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench bench-hotpath
+.PHONY: build test test-short vet race verify cover bench bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,18 @@ vet:
 	$(GO) vet ./...
 
 # The concurrency-sensitive packages: the sharded monitor's parallel
-# ingest/scan and the core tree it drives.
+# ingest/scan, the core tree it drives, and the wire server's
+# per-connection goroutines.
 race:
-	$(GO) test -race ./internal/multi/ ./internal/core/
+	$(GO) test -race ./internal/multi/ ./internal/core/ ./internal/wire/
 
 verify: build vet test race
+
+# Per-package coverage (printed per package by go test) plus an
+# aggregate profile; inspect with `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

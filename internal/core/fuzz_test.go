@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUpdateBatchEquivalence is the fuzz-driven form of the
+// batch-equivalence property: arbitrary input bytes choose the tree
+// geometry, the stream values, and the batch split points, and
+// UpdateBatch must always leave the tree bit-identical (via the binary
+// snapshot) to feeding the same values one at a time through Update.
+// Like all Go fuzz targets, the checked-in corpus runs as part of the
+// normal test suite.
+func FuzzUpdateBatchEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 2, 1, 10, 200, 30, 40, 5, 60, 255, 0, 128})
+	f.Add([]byte{4, 3, 2, 9, 9, 9, 9, 9, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{7, 130, 13}, 60))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		windows := []int{4, 8, 16, 32, 64}
+		n := windows[int(data[0])%len(windows)]
+		levels := 0
+		for 1<<uint(levels) < n {
+			levels++
+		}
+		opts := Options{
+			WindowSize:   n,
+			Coefficients: 1 << uint(int(data[1])%4),
+			MinLevel:     int(data[2]) % levels,
+		}
+		seq, err := New(opts)
+		if err != nil {
+			t.Skip() // geometry rejected by validation; nothing to compare
+		}
+		bat, err := New(opts)
+		if err != nil {
+			t.Fatalf("same options accepted then rejected: %v", err)
+		}
+		payload := data[3:]
+		values := make([]float64, len(payload))
+		for i, b := range payload {
+			values[i] = (float64(b) - 127.5) * 3
+		}
+		for _, v := range values {
+			seq.Update(v)
+		}
+		// The same bytes double as batch sizes, so the fuzzer controls
+		// exactly where the batches straddle refresh boundaries.
+		for i, j := 0, 0; i < len(values); j++ {
+			size := int(payload[j%len(payload)]) % (len(values) - i + 1)
+			if size == 0 {
+				bat.Update(values[i])
+				i++
+				continue
+			}
+			bat.UpdateBatch(values[i : i+size])
+			i += size
+		}
+		sb, err := seq.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := bat.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, bb) {
+			t.Fatalf("geometry %+v, %d values: batch state diverges from sequential state", opts, len(values))
+		}
+	})
+}

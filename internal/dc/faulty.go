@@ -1,0 +1,90 @@
+package dc
+
+import (
+	"fmt"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// Faulty is Divergence Caching deployed over the fault-injected network
+// substrate: the wrapped System models the protocol's refresh-width
+// adaptation and message economics as before, while a netsim.Engine
+// replicates the source window to every client over reliable
+// (seq/ack/retry) flows. Clients that miss updates answer from their
+// last-known replica with an explicit staleness/error bound; a crash
+// evicts the client's caches and rate histories via EvictNode.
+type Faulty struct {
+	sys *System
+	eng *netsim.Engine
+}
+
+// NewFaulty creates a fault-tolerant Divergence Caching deployment over
+// the network's topology. The engine inherits the protocol's window size
+// and value range.
+func NewFaulty(net *netsim.Network, opts Options, ecfg netsim.EngineConfig) (*Faulty, error) {
+	if net == nil {
+		return nil, fmt.Errorf("dc: faulty deployment needs a network")
+	}
+	sys, err := New(net.Topology(), opts)
+	if err != nil {
+		return nil, err
+	}
+	ecfg.WindowSize = opts.WindowSize
+	if ecfg.ValueLo == 0 && ecfg.ValueHi == 0 {
+		ecfg.ValueLo, ecfg.ValueHi = opts.ValueLo, opts.ValueHi
+	}
+	eng, err := netsim.NewEngine(net, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetCrashHook(func(id netsim.NodeID) {
+		if err := sys.EvictNode(id); err != nil {
+			panic(err) // unreachable: the engine never crashes the root
+		}
+	})
+	return &Faulty{sys: sys, eng: eng}, nil
+}
+
+// Name identifies the protocol in experiment output.
+func (f *Faulty) Name() string { return f.sys.Name() }
+
+// System returns the wrapped perfect-network protocol.
+func (f *Faulty) System() *System { return f.sys }
+
+// Engine returns the replication transport engine.
+func (f *Faulty) Engine() *netsim.Engine { return f.eng }
+
+// Messages returns the wrapped protocol's message counter.
+func (f *Faulty) Messages() *netsim.Counter { return f.sys.Messages() }
+
+// SetTime forwards the simulation clock to the protocol's rate
+// estimator.
+func (f *Faulty) SetTime(t float64) { f.sys.SetTime(t) }
+
+// OnData consumes a new stream value at the source and pushes it to all
+// replicas over the lossy network.
+func (f *Faulty) OnData(v float64) {
+	f.sys.OnData(v)
+	f.eng.OnData(v)
+}
+
+// OnPhaseEnd forwards the (no-op) phase boundary.
+func (f *Faulty) OnPhaseEnd() { f.sys.OnPhaseEnd() }
+
+// OnQuery answers q at the given node, degrading to a staleness-bounded
+// replica answer when the client has missed updates.
+func (f *Faulty) OnQuery(at netsim.NodeID, q query.Query) (netsim.Answer, error) {
+	if f.eng.Network().Down(at) {
+		return netsim.Answer{}, fmt.Errorf("dc: node %d is down", at)
+	}
+	if f.eng.Staleness(at) == 0 {
+		v, err := f.sys.OnQuery(at, q)
+		if err != nil {
+			return netsim.Answer{}, err
+		}
+		f.eng.NoteFresh()
+		return netsim.Answer{Value: v, Bound: q.Precision}, nil
+	}
+	return f.eng.Answer(at, q)
+}

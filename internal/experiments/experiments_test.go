@@ -16,6 +16,7 @@ func TestIDsComplete(t *testing.T) {
 		"tab1",
 		"ablation-basis", "ablation-bucketing", "ablation-coeffs", "ablation-levels", "ablation-phase",
 		"sensitivity-querylen",
+		"lossy",
 	}
 	got := IDs()
 	index := make(map[string]bool, len(got))

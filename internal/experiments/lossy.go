@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/netsim/scenario"
+)
+
+func init() {
+	register("lossy", runLossy)
+}
+
+// runLossy is the lossy-network ablation: the three replication
+// protocols (SWAT-ASR, DC, APS) deployed over the fault-injected
+// substrate, swept across ambient per-link drop probabilities. Loss is
+// injected once the windows are warm and healed shortly before the end,
+// so the table shows both how the reliable transport absorbs loss
+// (retries, resyncs, degraded answers with explicit bounds) and that
+// every replica reconverges to the source once the network heals.
+func runLossy(scale Scale) (*Result, error) {
+	drops := []float64{0, 0.1, 0.25, 0.5}
+	dataCount := 60
+	if scale == Paper {
+		dataCount = 240
+	}
+	res := &Result{
+		ID:          "lossy",
+		Description: "replication protocols over a lossy network: transport overhead and graceful degradation vs drop rate",
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("fault-injected substrate, 7-node binary tree, %d arrivals, loss healed before the end", dataCount),
+		Columns: []string{"protocol", "drop", "sent", "delivered", "dropped",
+			"retries", "giveups", "resyncs", "degraded", "meanbound", "reconverged"},
+	}
+	worstDegraded := 0.0
+	for _, proto := range []string{"asr", "dc", "aps"} {
+		for _, p := range drops {
+			var script scenario.Script
+			if p > 0 {
+				script = scenario.Script{
+					scenario.DropAllAt(10, p),
+					scenario.HealAllAt(float64(dataCount) - 15),
+				}
+			}
+			h, err := scenario.New(scenario.Config{
+				Protocol:  proto,
+				Seed:      11,
+				DataCount: dataCount,
+				Faults:    netsim.LinkFaults{LatencyBase: 0.01},
+				Script:    script,
+			})
+			if err != nil {
+				return nil, err
+			}
+			h.Net.SetLogging(false)
+			run, err := h.Run()
+			if err != nil {
+				return nil, err
+			}
+			if len(run.Violations) != 0 {
+				return nil, fmt.Errorf("experiments: lossy run %s/%g violated invariants: %v",
+					proto, p, run.Violations)
+			}
+			answered, degraded := 0, 0
+			for _, a := range run.Answers {
+				if a.Err != "" {
+					continue
+				}
+				answered++
+				if a.Ans.Degraded {
+					degraded++
+				}
+			}
+			degFrac := 0.0
+			if answered > 0 {
+				degFrac = float64(degraded) / float64(answered)
+			}
+			if degFrac > worstDegraded {
+				worstDegraded = degFrac
+			}
+			_, bounds := h.Dep.Engine().StalenessStats()
+			converged := "yes"
+			if err := h.Dep.Engine().Converged(); err != nil {
+				converged = "NO"
+			}
+			c := h.Net.Counters()
+			tab.AddRow(h.Dep.Name(), f(p),
+				fmt.Sprint(c.Get(netsim.CntSent)),
+				fmt.Sprint(c.Get(netsim.CntDelivered)),
+				fmt.Sprint(c.Get(netsim.CntDropped)),
+				fmt.Sprint(c.Get(netsim.CntRetry)),
+				fmt.Sprint(c.Get(netsim.CntGiveUp)),
+				fmt.Sprint(c.Get(netsim.CntResyncReq)),
+				f(degFrac),
+				f(bounds.Mean()),
+				converged)
+			if converged == "NO" {
+				return nil, fmt.Errorf("experiments: %s did not reconverge after healing at drop=%g", proto, p)
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		"every degraded answer carried a staleness bound verified against the exact value; zero silent wrong answers",
+		fmt.Sprintf("worst-case degraded-answer fraction across the sweep: %s", f(worstDegraded)),
+		"all replicas reconverged to the source window after the network healed, at every drop rate")
+	return res, nil
+}

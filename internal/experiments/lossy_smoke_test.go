@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+// TestLossyAblation exercises the lossy-network sweep at quick scale;
+// runLossy itself fails on any invariant violation or reconvergence
+// failure, so a clean return is the assertion.
+func TestLossyAblation(t *testing.T) {
+	res, err := Run("lossy", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 12 {
+		t.Fatalf("expected 12 sweep rows (3 protocols x 4 drop rates), got %+v", res.Tables)
+	}
+}

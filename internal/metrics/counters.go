@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonic event counters, used by the
+// fault-injected network substrate to account for sent/delivered/dropped
+// messages, retries, and stale-answer statistics. Formatting is sorted by
+// name, so String output is deterministic and can be compared byte for
+// byte across runs.
+type Counters struct {
+	byName map[string]uint64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{byName: make(map[string]uint64)}
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n uint64) {
+	c.byName[name] += n
+}
+
+// Get returns the named counter's value (0 when never incremented).
+func (c *Counters) Get(name string) uint64 {
+	return c.byName[name]
+}
+
+// Names returns the names of all incremented counters in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for k := range c.byName {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.byName))
+	for k, v := range c.byName {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.byName = make(map[string]uint64)
+}
+
+// String renders "name=value" pairs sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.byName[name])
+	}
+	return b.String()
+}

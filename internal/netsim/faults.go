@@ -1,0 +1,432 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/streamsum/swat/internal/metrics"
+	"github.com/streamsum/swat/internal/sim"
+)
+
+// This file adds a fault-injected message fabric on top of the perfect
+// Topology substrate: per-link drop probability, latency distributions
+// (base + uniform jitter, which induces reordering), explicit reorder
+// spikes, node crash/restart, and network partitions — all driven by a
+// single seeded RNG so every run replays identically from its seed.
+// Protocols that want delivery guarantees layer the Flow (reliable.go)
+// and Engine (replica.go) machinery over Network.
+
+// LinkFaults configures the behavior of one directed link (or, as the
+// network default, of every link without an override). The zero value is
+// a perfect link: no loss, no delay.
+type LinkFaults struct {
+	// DropProb is the probability that a message traversing this link is
+	// lost, drawn independently per traversal.
+	DropProb float64
+	// LatencyBase is the fixed per-hop delay in simulated time units.
+	LatencyBase float64
+	// LatencyJitter adds a uniform extra delay in [0, LatencyJitter).
+	// Jitter lets later messages overtake earlier ones, producing
+	// reordering.
+	LatencyJitter float64
+	// ReorderProb is the probability of an additional ReorderExtra delay
+	// spike, forcing reordering even when jitter alone is small.
+	ReorderProb float64
+	// ReorderExtra is the delay added by a reorder spike.
+	ReorderExtra float64
+	// Cut severs the link entirely (a network partition): every message
+	// traversing it is lost until the link heals.
+	Cut bool
+}
+
+// validate rejects configurations that would make runs nonsensical.
+func (lf LinkFaults) validate() error {
+	if lf.DropProb < 0 || lf.DropProb > 1 || math.IsNaN(lf.DropProb) {
+		return fmt.Errorf("netsim: drop probability %v outside [0,1]", lf.DropProb)
+	}
+	if lf.ReorderProb < 0 || lf.ReorderProb > 1 || math.IsNaN(lf.ReorderProb) {
+		return fmt.Errorf("netsim: reorder probability %v outside [0,1]", lf.ReorderProb)
+	}
+	for _, v := range []float64{lf.LatencyBase, lf.LatencyJitter, lf.ReorderExtra} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("netsim: invalid latency parameter %v", v)
+		}
+	}
+	return nil
+}
+
+// linkKey identifies a directed link.
+type linkKey struct {
+	from, to NodeID
+}
+
+// Message is one frame in flight on the fault-injected network.
+type Message struct {
+	From, To NodeID
+	// Kind routes the frame to a per-node, per-kind handler; by
+	// convention reliable flows use "data/<flow>" and "ack/<flow>".
+	Kind string
+	// Seq is the sender-assigned sequence number (transport-level).
+	Seq uint64
+	// Payload carries the protocol content.
+	Payload any
+}
+
+// LogEntry is one record of the network's deterministic message log.
+type LogEntry struct {
+	T      float64
+	From   NodeID
+	To     NodeID
+	Kind   string
+	Seq    uint64
+	Event  string // "send", "drop", "cut", "srcdown", "deliver", "lost"
+	Detail string // e.g. the edge a drop happened on, or the latency
+}
+
+// Counter names recorded by Network in its metrics.Counters set.
+const (
+	CntSent      = "net_sent"      // messages handed to Send
+	CntDelivered = "net_delivered" // messages that reached a live receiver
+	CntDropped   = "net_dropped"   // lost to random per-link drops
+	CntCut       = "net_cut"       // lost to a severed (partitioned) link
+	CntLostDown  = "net_lost_down" // lost because an endpoint was crashed
+)
+
+// Network is an event-driven, fault-injected message fabric over a tree
+// topology, clocked by a discrete-event simulator. Messages travel the
+// tree path between endpoints; each hop independently applies the link's
+// drop probability and contributes latency. All randomness comes from one
+// seeded RNG, so a run is a pure function of (seed, configuration,
+// schedule) and the message log replays byte-identically.
+type Network struct {
+	sim       *sim.Simulator
+	top       *Topology
+	rng       *rand.Rand
+	base      LinkFaults
+	overrides map[linkKey]LinkFaults
+	down      []bool
+	subs      []map[string]func(Message)
+	counters  *metrics.Counters
+	pending   int // scheduled deliveries not yet executed
+
+	logOn bool
+	log   []LogEntry
+
+	// OnCrash and OnRestart, when set, observe node state transitions
+	// (the replica engine uses them to model volatile-state loss).
+	OnCrash   func(NodeID)
+	OnRestart func(NodeID)
+}
+
+// NewNetwork creates a fault-injected network over top, clocked by s,
+// with the given default link behavior and RNG seed. Logging is enabled;
+// long-running experiments can disable it with SetLogging(false).
+func NewNetwork(s *sim.Simulator, top *Topology, base LinkFaults, seed int64) (*Network, error) {
+	if s == nil || top == nil || top.Len() < 1 {
+		return nil, fmt.Errorf("netsim: network needs a simulator and a non-empty topology")
+	}
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		sim:       s,
+		top:       top,
+		rng:       rand.New(rand.NewSource(seed)),
+		base:      base,
+		overrides: make(map[linkKey]LinkFaults),
+		down:      make([]bool, top.Len()),
+		subs:      make([]map[string]func(Message), top.Len()),
+		counters:  metrics.NewCounters(),
+		logOn:     true,
+	}
+	for i := range n.subs {
+		n.subs[i] = make(map[string]func(Message))
+	}
+	return n, nil
+}
+
+// Sim returns the simulator clocking this network.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *Topology { return n.top }
+
+// Counters returns the network's event counters.
+func (n *Network) Counters() *metrics.Counters { return n.counters }
+
+// Pending returns the number of in-flight (scheduled, undelivered)
+// messages.
+func (n *Network) Pending() int { return n.pending }
+
+// SetLogging toggles the message log.
+func (n *Network) SetLogging(on bool) { n.logOn = on }
+
+// Log returns the message log recorded so far.
+func (n *Network) Log() []LogEntry {
+	return append([]LogEntry(nil), n.log...)
+}
+
+// FormatLog renders the message log in a canonical text form; two runs
+// with the same seed, configuration, and schedule produce byte-identical
+// output.
+func (n *Network) FormatLog() string {
+	var b strings.Builder
+	for _, e := range n.log {
+		fmt.Fprintf(&b, "t=%.9g %d->%d %s seq=%d %s", e.T, e.From, e.To, e.Kind, e.Seq, e.Event)
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " %s", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (n *Network) record(e LogEntry) {
+	if n.logOn {
+		n.log = append(n.log, e)
+	}
+}
+
+// SetBaseFaults replaces the default link behavior (per-link overrides
+// and cuts are preserved).
+func (n *Network) SetBaseFaults(lf LinkFaults) error {
+	if err := lf.validate(); err != nil {
+		return err
+	}
+	n.base = lf
+	return nil
+}
+
+// SetDropProb sets the default per-link drop probability, keeping the
+// other default parameters.
+func (n *Network) SetDropProb(p float64) error {
+	lf := n.base
+	lf.DropProb = p
+	return n.SetBaseFaults(lf)
+}
+
+// SetLinkFaults overrides the behavior of the directed link from→to.
+// Both nodes must be adjacent in the topology.
+func (n *Network) SetLinkFaults(from, to NodeID, lf LinkFaults) error {
+	if !n.top.Adjacent(from, to) {
+		return fmt.Errorf("netsim: %d and %d are not adjacent", from, to)
+	}
+	if err := lf.validate(); err != nil {
+		return err
+	}
+	n.overrides[linkKey{from, to}] = lf
+	return nil
+}
+
+// linkFaults resolves the effective behavior of one directed link.
+func (n *Network) linkFaults(from, to NodeID) LinkFaults {
+	if lf, ok := n.overrides[linkKey{from, to}]; ok {
+		return lf
+	}
+	return n.base
+}
+
+// Cut severs the (bidirectional) link between adjacent nodes a and b — a
+// network partition along that edge.
+func (n *Network) Cut(a, b NodeID) error {
+	if !n.top.Adjacent(a, b) {
+		return fmt.Errorf("netsim: %d and %d are not adjacent", a, b)
+	}
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		lf := n.linkFaults(k.from, k.to)
+		lf.Cut = true
+		n.overrides[k] = lf
+	}
+	return nil
+}
+
+// HealLink restores a previously cut link.
+func (n *Network) HealLink(a, b NodeID) error {
+	if !n.top.Adjacent(a, b) {
+		return fmt.Errorf("netsim: %d and %d are not adjacent", a, b)
+	}
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		lf := n.linkFaults(k.from, k.to)
+		lf.Cut = false
+		n.overrides[k] = lf
+	}
+	return nil
+}
+
+// Crash marks a node as down: it neither sends nor receives, and frames
+// in flight toward it are lost on arrival. Crashing an already-down node
+// is a no-op.
+func (n *Network) Crash(id NodeID) error {
+	if !n.top.Valid(id) {
+		return fmt.Errorf("netsim: invalid node %d", id)
+	}
+	if n.down[id] {
+		return nil
+	}
+	n.down[id] = true
+	if n.OnCrash != nil {
+		n.OnCrash(id)
+	}
+	return nil
+}
+
+// Restart brings a crashed node back up. Restarting a live node is a
+// no-op.
+func (n *Network) Restart(id NodeID) error {
+	if !n.top.Valid(id) {
+		return fmt.Errorf("netsim: invalid node %d", id)
+	}
+	if !n.down[id] {
+		return nil
+	}
+	n.down[id] = false
+	if n.OnRestart != nil {
+		n.OnRestart(id)
+	}
+	return nil
+}
+
+// Down reports whether a node is currently crashed.
+func (n *Network) Down(id NodeID) bool {
+	return n.top.Valid(id) && n.down[id]
+}
+
+// HealAll clears every partition, restarts every crashed node, and zeroes
+// the default and per-link drop probabilities (latency settings are
+// kept) — the "network heals" step of a fault scenario.
+func (n *Network) HealAll() {
+	n.base.DropProb = 0
+	for k, lf := range n.overrides {
+		lf.Cut = false
+		lf.DropProb = 0
+		n.overrides[k] = lf
+	}
+	for id := range n.down {
+		if n.down[id] {
+			// Valid node IDs never error here.
+			if err := n.Restart(NodeID(id)); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// Subscribe registers the handler for frames of the given kind arriving
+// at the node, replacing any previous handler for that kind.
+func (n *Network) Subscribe(at NodeID, kind string, h func(Message)) error {
+	if !n.top.Valid(at) {
+		return fmt.Errorf("netsim: invalid node %d", at)
+	}
+	n.subs[at][kind] = h
+	return nil
+}
+
+// pathEdges returns the directed edges of the tree path from a to b, in
+// traversal order.
+func (n *Network) pathEdges(a, b NodeID) [][2]NodeID {
+	da, db := n.top.Depth(a), n.top.Depth(b)
+	var up, downR [][2]NodeID
+	for da > db {
+		p := n.top.Parent(a)
+		up = append(up, [2]NodeID{a, p})
+		a, da = p, da-1
+	}
+	for db > da {
+		p := n.top.Parent(b)
+		downR = append(downR, [2]NodeID{p, b})
+		b, db = p, db-1
+	}
+	for a != b {
+		pa, pb := n.top.Parent(a), n.top.Parent(b)
+		up = append(up, [2]NodeID{a, pa})
+		downR = append(downR, [2]NodeID{pb, b})
+		a, b = pa, pb
+	}
+	for i := len(downR) - 1; i >= 0; i-- {
+		up = append(up, downR[i])
+	}
+	return up
+}
+
+// Send routes one frame from→to along the tree path. Fault evaluation is
+// immediate and deterministic: each hop applies the link's cut state and
+// drop probability in path order and accumulates latency; surviving
+// frames are scheduled for delivery after the total latency. The outcome
+// is recorded in the message log either way. Send never blocks and never
+// fails the caller: loss is an accounting event, not an error.
+func (n *Network) Send(from, to NodeID, kind string, seq uint64, payload any) {
+	if !n.top.Valid(from) || !n.top.Valid(to) || from == to {
+		panic(fmt.Sprintf("netsim: send %d->%d invalid", from, to))
+	}
+	now := n.sim.Now()
+	n.counters.Add(CntSent, 1)
+	if n.down[from] {
+		n.counters.Add(CntLostDown, 1)
+		n.record(LogEntry{T: now, From: from, To: to, Kind: kind, Seq: seq, Event: "srcdown"})
+		return
+	}
+	var latency float64
+	for _, edge := range n.pathEdges(from, to) {
+		lf := n.linkFaults(edge[0], edge[1])
+		if lf.Cut {
+			n.counters.Add(CntCut, 1)
+			n.record(LogEntry{
+				T: now, From: from, To: to, Kind: kind, Seq: seq,
+				Event: "cut", Detail: fmt.Sprintf("edge=%d-%d", edge[0], edge[1]),
+			})
+			return
+		}
+		if lf.DropProb > 0 && n.rng.Float64() < lf.DropProb {
+			n.counters.Add(CntDropped, 1)
+			n.record(LogEntry{
+				T: now, From: from, To: to, Kind: kind, Seq: seq,
+				Event: "drop", Detail: fmt.Sprintf("edge=%d-%d", edge[0], edge[1]),
+			})
+			return
+		}
+		latency += lf.LatencyBase
+		if lf.LatencyJitter > 0 {
+			latency += n.rng.Float64() * lf.LatencyJitter
+		}
+		if lf.ReorderProb > 0 && n.rng.Float64() < lf.ReorderProb {
+			latency += lf.ReorderExtra
+		}
+	}
+	n.record(LogEntry{
+		T: now, From: from, To: to, Kind: kind, Seq: seq,
+		Event: "send", Detail: fmt.Sprintf("lat=%.9g", latency),
+	})
+	msg := Message{From: from, To: to, Kind: kind, Seq: seq, Payload: payload}
+	n.pending++
+	n.sim.After(latency, func() {
+		n.pending--
+		at := n.sim.Now()
+		if n.down[to] {
+			n.counters.Add(CntLostDown, 1)
+			n.record(LogEntry{T: at, From: from, To: to, Kind: kind, Seq: seq, Event: "lost"})
+			return
+		}
+		n.counters.Add(CntDelivered, 1)
+		n.record(LogEntry{T: at, From: from, To: to, Kind: kind, Seq: seq, Event: "deliver"})
+		if h := n.subs[to][kind]; h != nil {
+			h(msg)
+		}
+	})
+}
+
+// AccountingError checks the network's conservation invariant: every sent
+// message is delivered, dropped, cut, lost to a down endpoint, or still
+// in flight. It returns a descriptive error when the books don't balance.
+func (n *Network) AccountingError() error {
+	c := n.counters
+	sent := c.Get(CntSent)
+	accounted := c.Get(CntDelivered) + c.Get(CntDropped) + c.Get(CntCut) +
+		c.Get(CntLostDown) + uint64(n.pending)
+	if sent != accounted {
+		return fmt.Errorf("netsim: accounting imbalance: sent=%d but delivered+dropped+cut+lost+inflight=%d (%s, inflight=%d)",
+			sent, accounted, c, n.pending)
+	}
+	return nil
+}

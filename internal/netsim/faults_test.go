@@ -1,0 +1,419 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/sim"
+)
+
+// testNet builds a network over a 7-node complete binary tree.
+func testNet(t *testing.T, base LinkFaults, seed int64) (*sim.Simulator, *Network) {
+	t.Helper()
+	s := sim.New()
+	top, err := CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	n, err := NewNetwork(s, top, base, seed)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	return s, n
+}
+
+func TestLinkFaultsValidation(t *testing.T) {
+	s := sim.New()
+	top, _ := CompleteBinaryTree(3)
+	bad := []LinkFaults{
+		{DropProb: -0.1},
+		{DropProb: 1.5},
+		{ReorderProb: 2},
+		{LatencyBase: -1},
+		{LatencyJitter: -0.5},
+	}
+	for _, lf := range bad {
+		if _, err := NewNetwork(s, top, lf, 1); err == nil {
+			t.Errorf("NewNetwork accepted invalid faults %+v", lf)
+		}
+	}
+	if _, err := NewNetwork(nil, top, LinkFaults{}, 1); err == nil {
+		t.Error("NewNetwork accepted nil simulator")
+	}
+}
+
+func TestPerfectDelivery(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.25}, 1)
+	var got []Message
+	if err := n.Subscribe(5, "x", func(m Message) { got = append(got, m) }); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	n.Send(0, 5, "x", 7, "payload")
+	s.Run()
+	if len(got) != 1 || got[0].Seq != 7 || got[0].Payload != "payload" {
+		t.Fatalf("delivery: got %+v", got)
+	}
+	// Node 5's path from the root is 0->2->5: two hops of 0.25 latency.
+	if s.Now() != 0.5 {
+		t.Errorf("delivery time = %v, want 0.5 (2 hops x 0.25)", s.Now())
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+	if c := n.Counters(); c.Get(CntDelivered) != 1 || c.Get(CntSent) != 1 {
+		t.Errorf("counters: %s", c)
+	}
+}
+
+func TestDropAllLosesEverything(t *testing.T) {
+	s, n := testNet(t, LinkFaults{DropProb: 1}, 1)
+	delivered := 0
+	n.Subscribe(1, "x", func(Message) { delivered++ })
+	for i := 0; i < 20; i++ {
+		n.Send(0, 1, "x", uint64(i), nil)
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages over a drop-all link", delivered)
+	}
+	if c := n.Counters(); c.Get(CntDropped) != 20 {
+		t.Errorf("dropped = %d, want 20 (%s)", c.Get(CntDropped), c)
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutAndHealLink(t *testing.T) {
+	s, n := testNet(t, LinkFaults{}, 1)
+	delivered := 0
+	n.Subscribe(3, "x", func(Message) { delivered++ })
+	if err := n.Cut(1, 3); err != nil {
+		t.Fatalf("cut: %v", err)
+	}
+	if err := n.Cut(0, 5); err == nil {
+		t.Error("Cut accepted non-adjacent nodes")
+	}
+	n.Send(0, 3, "x", 1, nil) // path 0->1->3 crosses the cut edge
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("message crossed a cut link")
+	}
+	if c := n.Counters(); c.Get(CntCut) != 1 {
+		t.Errorf("cut count = %d, want 1", c.Get(CntCut))
+	}
+	if err := n.HealLink(1, 3); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	n.Send(0, 3, "x", 2, nil)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after heal, want 1", delivered)
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 1}, 1)
+	var crashes, restarts []NodeID
+	n.OnCrash = func(id NodeID) { crashes = append(crashes, id) }
+	n.OnRestart = func(id NodeID) { restarts = append(restarts, id) }
+	delivered := 0
+	n.Subscribe(2, "x", func(Message) { delivered++ })
+
+	// A frame already in flight toward a node that crashes before it
+	// arrives is lost on arrival.
+	n.Send(0, 2, "x", 1, nil)
+	if err := n.Crash(2); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := n.Crash(2); err != nil {
+		t.Fatalf("idempotent crash: %v", err)
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	if c := n.Counters(); c.Get(CntLostDown) != 1 {
+		t.Errorf("lost_down = %d, want 1", c.Get(CntLostDown))
+	}
+
+	// A crashed sender cannot send.
+	n.Send(2, 0, "x", 2, nil)
+	if c := n.Counters(); c.Get(CntLostDown) != 2 {
+		t.Errorf("srcdown not accounted: %s", c)
+	}
+
+	if err := n.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	n.Send(0, 2, "x", 3, nil)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after restart, want 1", delivered)
+	}
+	if len(crashes) != 1 || crashes[0] != 2 || len(restarts) != 1 || restarts[0] != 2 {
+		t.Errorf("hooks: crashes=%v restarts=%v", crashes, restarts)
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHealAllClearsFaults(t *testing.T) {
+	s, n := testNet(t, LinkFaults{DropProb: 1, LatencyBase: 0.5}, 1)
+	n.Cut(0, 1)
+	n.Crash(4)
+	n.HealAll()
+	delivered := 0
+	n.Subscribe(4, "x", func(Message) { delivered++ })
+	n.Send(0, 4, "x", 1, nil)
+	s.Run()
+	if delivered != 1 {
+		t.Fatal("HealAll did not restore delivery")
+	}
+	if n.Down(4) {
+		t.Error("node 4 still down after HealAll")
+	}
+	// Latency survives healing; only loss is cleared.
+	if s.Now() == 0 {
+		t.Error("HealAll should keep latency settings")
+	}
+}
+
+func TestJitterReordersFrames(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.1, LatencyJitter: 5}, 3)
+	var order []uint64
+	n.Subscribe(1, "x", func(m Message) { order = append(order, m.Seq) })
+	for i := uint64(1); i <= 32; i++ {
+		n.Send(0, 1, "x", i, nil)
+	}
+	s.Run()
+	if len(order) != 32 {
+		t.Fatalf("delivered %d of 32", len(order))
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("32 jittered frames arrived in order; expected reordering")
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() (string, string) {
+		s, n := testNet(t, LinkFaults{DropProb: 0.3, LatencyBase: 0.2, LatencyJitter: 0.7, ReorderProb: 0.2, ReorderExtra: 2}, 99)
+		for id := NodeID(1); id < 7; id++ {
+			n.Subscribe(id, "x", func(Message) {})
+		}
+		for i := 0; i < 50; i++ {
+			n.Send(0, NodeID(1+i%6), "x", uint64(i), nil)
+		}
+		s.Run()
+		return n.FormatLog(), n.Counters().String()
+	}
+	log1, c1 := run()
+	log2, c2 := run()
+	if log1 != log2 {
+		t.Error("same-seed runs produced different message logs")
+	}
+	if c1 != c2 {
+		t.Errorf("same-seed runs produced different counters: %s vs %s", c1, c2)
+	}
+	if !strings.Contains(log1, "drop") {
+		t.Error("expected drops in the log at p=0.3")
+	}
+}
+
+func TestFlowRetriesThroughLoss(t *testing.T) {
+	s, n := testNet(t, LinkFaults{DropProb: 0.3, LatencyBase: 0.05}, 7)
+	f, err := NewFlow(n, "t", 0, 1, FlowConfig{MaxRetries: 10})
+	if err != nil {
+		t.Fatalf("flow: %v", err)
+	}
+	got := map[uint64]bool{}
+	f.OnDeliver = func(seq uint64, _ any) {
+		if got[seq] {
+			t.Errorf("payload seq %d delivered twice", seq)
+		}
+		got[seq] = true
+	}
+	f.OnGiveUp = func(seq uint64, _ any) { t.Errorf("gave up on seq %d", seq) }
+	for i := 0; i < 30; i++ {
+		f.Send(i)
+	}
+	s.Run()
+	if len(got) != 30 {
+		t.Fatalf("delivered %d of 30 payloads over a 30%% lossy link", len(got))
+	}
+	if n.Counters().Get(CntRetry) == 0 {
+		t.Error("no retries recorded at 30% loss")
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowGivesUpAfterBudget(t *testing.T) {
+	s, n := testNet(t, LinkFaults{DropProb: 1}, 7)
+	f, err := NewFlow(n, "t", 0, 1, FlowConfig{MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("flow: %v", err)
+	}
+	var gaveUp []uint64
+	f.OnGiveUp = func(seq uint64, _ any) { gaveUp = append(gaveUp, seq) }
+	f.Send("doomed")
+	s.Run()
+	if len(gaveUp) != 1 {
+		t.Fatalf("give-ups = %v, want one", gaveUp)
+	}
+	// 1 original + 3 retries, all dropped.
+	if c := n.Counters(); c.Get(CntRetry) != 3 || c.Get(CntGiveUp) != 1 || c.Get(CntDropped) != 4 {
+		t.Errorf("counters: %s", c)
+	}
+}
+
+func TestFlowDedupsWhenAcksAreLost(t *testing.T) {
+	s, n := testNet(t, LinkFaults{}, 7)
+	// Data flows cleanly 0->1 but every ack 1->0 is lost, forcing the
+	// sender to retransmit; the receiver must suppress the duplicates.
+	if err := n.SetLinkFaults(1, 0, LinkFaults{DropProb: 1}); err != nil {
+		t.Fatalf("override: %v", err)
+	}
+	f, err := NewFlow(n, "t", 0, 1, FlowConfig{MaxRetries: 4})
+	if err != nil {
+		t.Fatalf("flow: %v", err)
+	}
+	delivered := 0
+	f.OnDeliver = func(uint64, any) { delivered++ }
+	f.Send("once")
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d times, want exactly once", delivered)
+	}
+	if n.Counters().Get(CntDup) != 4 {
+		t.Errorf("dup count = %d, want 4 (one per retry)", n.Counters().Get(CntDup))
+	}
+}
+
+func TestEngineReplicatesAndConverges(t *testing.T) {
+	s, n := testNet(t, LinkFaults{DropProb: 0.3, LatencyBase: 0.05, LatencyJitter: 0.1}, 11)
+	e, err := NewEngine(n, EngineConfig{WindowSize: 4, ValueLo: 0, ValueHi: 100})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		v := float64(i % 100)
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(float64(i + 1))
+	}
+	// Let retransmissions and watchdog resyncs settle, then verify every
+	// replica caught up to the source exactly.
+	n.HealAll()
+	s.RunUntil(s.Now() + 100)
+	if err := e.Converged(); err != nil {
+		t.Fatalf("replicas did not converge: %v", err)
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineStalenessBoundHolds(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	e, err := NewEngine(n, EngineConfig{WindowSize: 4, ValueLo: -10, ValueHi: 10})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	feed := func(v float64) {
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(s.Now() + 1)
+	}
+	for i := 0; i < 8; i++ {
+		feed(float64(i%21) - 10)
+	}
+	// Partition node 3 behind its parent link and keep streaming: its
+	// replica goes stale while the source moves on.
+	if err := n.Cut(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		feed(float64((8+i)%21) - 10)
+	}
+	if st := e.Staleness(3); st != 2 {
+		t.Fatalf("staleness = %d, want 2", st)
+	}
+	q, err := query.New(query.Exponential, 0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Answer(3, q)
+	if err != nil {
+		t.Fatalf("answer: %v", err)
+	}
+	if !ans.Degraded || ans.Staleness != 2 {
+		t.Errorf("answer not flagged degraded/stale: %+v", ans)
+	}
+	exact, err := query.Exact(e.SourceWindow(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ans.Value - exact; diff > ans.Bound+1e-12 || diff < -ans.Bound-1e-12 {
+		t.Errorf("|%v - %v| = %v exceeds reported bound %v", ans.Value, exact, diff, ans.Bound)
+	}
+	// Ages >= staleness are served exactly from the shifted replica, so
+	// the bound only covers the two newest (unknown) entries:
+	// (1 + 1/2) * (hi-lo)/2 = 15.
+	if ans.Bound != 15 {
+		t.Errorf("bound = %v, want 15", ans.Bound)
+	}
+	// The root is never stale.
+	if e.Staleness(0) != 0 {
+		t.Error("root reported stale")
+	}
+	rootAns, err := e.Answer(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootAns.Value != exact || rootAns.Degraded {
+		t.Errorf("root answer %+v, want exact %v", rootAns, exact)
+	}
+}
+
+func TestEngineCrashWipesReplicaAndResyncs(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	e, err := NewEngine(n, EngineConfig{WindowSize: 4, ValueLo: 0, ValueHi: 100, WatchdogPeriod: 2})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	var evicted []NodeID
+	e.SetCrashHook(func(id NodeID) { evicted = append(evicted, id) })
+	for i := 0; i < 6; i++ {
+		v := float64(10 * i)
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(float64(i + 1))
+	}
+	n.Crash(2)
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("crash hook saw %v, want [2]", evicted)
+	}
+	if e.Staleness(2) != 6 {
+		t.Errorf("crashed node staleness = %d, want 6 (volatile state lost)", e.Staleness(2))
+	}
+	n.Restart(2)
+	// The watchdog notices the lag and pulls a snapshot.
+	s.RunUntil(s.Now() + 20)
+	if err := e.Converged(); err != nil {
+		t.Fatalf("post-restart resync failed: %v", err)
+	}
+	if n.Counters().Get(CntResyncReq) == 0 || n.Counters().Get(CntResyncSnap) == 0 {
+		t.Errorf("no resync traffic recorded: %s", n.Counters())
+	}
+}

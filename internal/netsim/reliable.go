@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flow is a reliable unidirectional channel between two nodes layered on
+// the lossy Network: every payload gets a transport sequence number, the
+// receiver acknowledges each frame, and the sender retransmits with
+// exponential backoff until an ack arrives or the retry budget is
+// exhausted (timeout-based failover: OnGiveUp fires and the payload is
+// abandoned — higher layers recover via resynchronization). Delivery is
+// at-least-once with receiver-side dedup, so OnDeliver sees each payload
+// at most once, though possibly out of order.
+type Flow struct {
+	net  *Network
+	name string
+	src  NodeID
+	dst  NodeID
+
+	retryBase   float64
+	retryFactor float64
+	maxRetries  int
+
+	nextSeq uint64
+	acked   map[uint64]bool
+	seen    map[uint64]bool
+
+	// OnDeliver receives each payload exactly once at the destination.
+	OnDeliver func(seq uint64, payload any)
+	// OnGiveUp fires at the source after the last retry times out
+	// unacknowledged.
+	OnGiveUp func(seq uint64, payload any)
+}
+
+// Flow counter names (recorded in the owning network's counter set).
+const (
+	CntRetry  = "flow_retry"  // retransmissions
+	CntGiveUp = "flow_giveup" // payloads abandoned after the retry budget
+	CntDup    = "flow_dup"    // duplicate data frames suppressed at the receiver
+	CntAck    = "flow_ack"    // acks issued by the receiver
+)
+
+// FlowConfig tunes a reliable flow's retransmission behavior.
+type FlowConfig struct {
+	// RetryBase is the first retransmission timeout; retry i waits
+	// RetryBase·RetryFactor^i. 0 means 0.5 time units.
+	RetryBase float64
+	// RetryFactor is the exponential backoff factor. 0 means 2.
+	RetryFactor float64
+	// MaxRetries bounds retransmissions per payload; after the last
+	// timeout the payload is abandoned. 0 means 4; negative means no
+	// retries at all (send once).
+	MaxRetries int
+}
+
+func (c FlowConfig) withDefaults() (FlowConfig, error) {
+	if c.RetryBase == 0 {
+		c.RetryBase = 0.5
+	}
+	if c.RetryFactor == 0 {
+		c.RetryFactor = 2
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase < 0 || math.IsNaN(c.RetryBase) || math.IsInf(c.RetryBase, 0) {
+		return c, fmt.Errorf("netsim: invalid retry base %v", c.RetryBase)
+	}
+	if c.RetryFactor < 1 || math.IsNaN(c.RetryFactor) || math.IsInf(c.RetryFactor, 0) {
+		return c, fmt.Errorf("netsim: retry factor %v must be >= 1", c.RetryFactor)
+	}
+	return c, nil
+}
+
+// NewFlow creates a reliable src→dst flow named name over the network and
+// registers its frame handlers. Frames travel as kind "data/<name>" and
+// acks as "ack/<name>", so each (node pair, name) combination must be
+// unique per receiving node.
+func NewFlow(net *Network, name string, src, dst NodeID, cfg FlowConfig) (*Flow, error) {
+	if net == nil {
+		return nil, fmt.Errorf("netsim: flow needs a network")
+	}
+	if !net.top.Valid(src) || !net.top.Valid(dst) || src == dst {
+		return nil, fmt.Errorf("netsim: invalid flow endpoints %d->%d", src, dst)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{
+		net:         net,
+		name:        name,
+		src:         src,
+		dst:         dst,
+		retryBase:   cfg.RetryBase,
+		retryFactor: cfg.RetryFactor,
+		maxRetries:  cfg.MaxRetries,
+		acked:       make(map[uint64]bool),
+		seen:        make(map[uint64]bool),
+	}
+	if err := net.Subscribe(dst, f.dataKind(), f.handleData); err != nil {
+		return nil, err
+	}
+	if err := net.Subscribe(src, f.ackKind(), f.handleAck); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *Flow) dataKind() string { return "data/" + f.name }
+func (f *Flow) ackKind() string  { return "ack/" + f.name }
+
+// Send transmits payload reliably and returns its transport sequence
+// number. The first attempt goes out immediately; unacknowledged frames
+// are retransmitted with exponential backoff up to the retry budget.
+func (f *Flow) Send(payload any) uint64 {
+	f.nextSeq++
+	seq := f.nextSeq
+	f.attempt(seq, payload, 0)
+	return seq
+}
+
+// attempt transmits try-th copy of seq and arms its retransmission timer.
+func (f *Flow) attempt(seq uint64, payload any, try int) {
+	if try > 0 {
+		f.net.counters.Add(CntRetry, 1)
+	}
+	f.net.Send(f.src, f.dst, f.dataKind(), seq, payload)
+	timeout := f.retryBase * math.Pow(f.retryFactor, float64(try))
+	f.net.sim.After(timeout, func() {
+		if f.acked[seq] {
+			delete(f.acked, seq) // retire bookkeeping for acked frames
+			return
+		}
+		if try >= f.maxRetries {
+			f.net.counters.Add(CntGiveUp, 1)
+			if f.OnGiveUp != nil {
+				f.OnGiveUp(seq, payload)
+			}
+			return
+		}
+		if f.net.Down(f.src) {
+			// A crashed sender stops retrying; the payload is abandoned
+			// without a give-up callback (the node lost its state).
+			return
+		}
+		f.attempt(seq, payload, try+1)
+	})
+}
+
+// handleData runs at the destination: dedup, deliver, ack.
+func (f *Flow) handleData(m Message) {
+	if f.seen[m.Seq] {
+		f.net.counters.Add(CntDup, 1)
+	} else {
+		f.seen[m.Seq] = true
+		if f.OnDeliver != nil {
+			f.OnDeliver(m.Seq, m.Payload)
+		}
+	}
+	f.net.counters.Add(CntAck, 1)
+	f.net.Send(f.dst, f.src, f.ackKind(), m.Seq, nil)
+}
+
+// handleAck runs at the source.
+func (f *Flow) handleAck(m Message) {
+	f.acked[m.Seq] = true
+}

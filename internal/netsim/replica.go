@@ -1,0 +1,435 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/streamsum/swat/internal/metrics"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// This file implements the replication transport shared by the
+// fault-tolerant deployments of SWAT-ASR, Divergence Caching, and APS
+// (the Faulty types in internal/replication, internal/dc, internal/aps):
+// the source's sliding window is replicated to every client over reliable
+// flows, and a client that has missed updates degrades gracefully — it
+// answers from its last-known replica and reports a quantified staleness
+// and error bound instead of a silently wrong value.
+//
+// Update protocol. Every source arrival is pushed to each client as an
+// updMsg stamped with the source arrival counter. Clients apply updates
+// in arrival order, buffering small reorderings. When a client falls
+// behind — retries exhausted during a partition, a crash wiping its
+// volatile state, or too many buffered gaps — a periodic watchdog sends a
+// resync request and the source replies with a full window snapshot.
+//
+// Staleness bound. A replica that last applied arrival a while the
+// source is at arrival A is s = A - a arrivals stale. Each arrival
+// shifts the window by one position, so the value now at age g was at
+// age g-s when the replica was current: for g >= s it is known exactly
+// from the replica; for g < s it arrived after the last sync and is
+// unknown. Unknown entries are answered with the midpoint of the
+// declared value range [lo, hi], so the answer error is at most
+// Σ_{i: unknown} |w_i| · (hi-lo)/2 — the bound reported with the answer.
+
+// Engine counter names.
+const (
+	CntResyncReq  = "eng_resync_req"  // resync requests issued by clients
+	CntResyncSnap = "eng_resync_snap" // snapshots served by the source
+	CntStaleQ     = "eng_stale_query" // queries answered from a stale replica
+	CntFreshQ     = "eng_fresh_query" // queries answered fully in sync
+)
+
+// updMsg replicates one source arrival.
+type updMsg struct {
+	Arrival uint64
+	Value   float64
+}
+
+// snapMsg carries a full window snapshot for resynchronization.
+type snapMsg struct {
+	Arrival uint64
+	Values  []float64 // newest first, as stream.Window.Values returns
+}
+
+// reqMsg asks the source for a snapshot.
+type reqMsg struct {
+	Have uint64 // the requester's last applied arrival
+}
+
+// Answer is a fault-aware query result: the value plus an explicit bound
+// on how far it can be from the exact fault-free answer.
+type Answer struct {
+	// Value is the computed answer.
+	Value float64
+	// Staleness is the number of source arrivals the serving replica had
+	// not yet applied (0 when fully in sync).
+	Staleness int
+	// Bound is a guaranteed bound on |Value - exact|: the staleness bound
+	// for degraded answers, or the query's own precision δ for answers
+	// delegated to the underlying protocol while in sync.
+	Bound float64
+	// Degraded reports that the answer was served from a stale replica
+	// rather than by the wrapped protocol.
+	Degraded bool
+}
+
+// EngineConfig configures a replica engine.
+type EngineConfig struct {
+	// WindowSize is the replicated sliding window's size N.
+	WindowSize int
+	// ValueLo and ValueHi declare the stream's value range, used for the
+	// staleness bound of unknown entries.
+	ValueLo, ValueHi float64
+	// Flow tunes the reliable flows (retry/backoff budget).
+	Flow FlowConfig
+	// WatchdogPeriod is the interval of each client's resync watchdog.
+	// 0 means 10 time units.
+	WatchdogPeriod float64
+	// LagTolerance is the staleness (in arrivals) the watchdog tolerates
+	// before requesting a resync; small lags heal by themselves through
+	// retransmissions. 0 means 4.
+	LagTolerance int
+	// ReorderLimit caps the out-of-order update buffer; exceeding it
+	// triggers an immediate resync request. 0 means 32.
+	ReorderLimit int
+}
+
+func (c EngineConfig) withDefaults() (EngineConfig, error) {
+	if c.WindowSize < 1 {
+		return c, fmt.Errorf("netsim: engine window size %d", c.WindowSize)
+	}
+	if !(c.ValueHi > c.ValueLo) {
+		return c, fmt.Errorf("netsim: engine value range [%v,%v]", c.ValueLo, c.ValueHi)
+	}
+	if c.WatchdogPeriod == 0 {
+		c.WatchdogPeriod = 10
+	}
+	if c.WatchdogPeriod < 0 {
+		return c, fmt.Errorf("netsim: negative watchdog period %v", c.WatchdogPeriod)
+	}
+	if c.LagTolerance == 0 {
+		c.LagTolerance = 4
+	}
+	if c.ReorderLimit == 0 {
+		c.ReorderLimit = 32
+	}
+	return c, nil
+}
+
+// clientReplica is one client's last-known copy of the source window.
+type clientReplica struct {
+	win     *stream.Window
+	arrival uint64             // source arrival counter of the newest applied value
+	buf     map[uint64]float64 // out-of-order updates keyed by arrival
+	lastReq float64            // time of the last resync request
+	reqEver bool               // whether a resync was ever requested
+	upd     *Flow              // source -> client
+	req     *Flow              // client -> source
+}
+
+// Engine replicates the source sliding window to every non-root node of
+// the topology over the fault-injected network and serves
+// staleness-bounded answers for clients that fall behind.
+type Engine struct {
+	net  *Network
+	cfg  EngineConfig
+	src  *stream.Window
+	arr  uint64
+	reps []*clientReplica // indexed by NodeID; nil for the root
+
+	staleness *metrics.Accumulator // staleness of degraded answers
+	bounds    *metrics.Accumulator // reported bounds of degraded answers
+
+	// onCrash, when set, lets the wrapping protocol evict a crashed
+	// node's protocol-level state.
+	onCrash func(NodeID)
+}
+
+// NewEngine creates a replica engine over the network. It registers
+// crash hooks on the network and a resync watchdog per client, so it
+// must be the network's only user of OnCrash/OnRestart.
+func NewEngine(net *Network, cfg EngineConfig) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("netsim: engine needs a network")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	srcWin, err := stream.NewWindow(cfg.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		net:       net,
+		cfg:       cfg,
+		src:       srcWin,
+		reps:      make([]*clientReplica, net.top.Len()),
+		staleness: &metrics.Accumulator{},
+		bounds:    &metrics.Accumulator{},
+	}
+	root := net.top.Root()
+	for _, id := range net.top.BFSOrder() {
+		if id == root {
+			continue
+		}
+		win, err := stream.NewWindow(cfg.WindowSize)
+		if err != nil {
+			return nil, err
+		}
+		r := &clientReplica{win: win, buf: make(map[uint64]float64), lastReq: math.Inf(-1)}
+		client := id
+		r.upd, err = NewFlow(net, fmt.Sprintf("upd%d", client), root, client, cfg.Flow)
+		if err != nil {
+			return nil, err
+		}
+		r.upd.OnDeliver = func(_ uint64, payload any) { e.applyAtClient(client, payload) }
+		r.req, err = NewFlow(net, fmt.Sprintf("req%d", client), client, root, cfg.Flow)
+		if err != nil {
+			return nil, err
+		}
+		r.req.OnDeliver = func(_ uint64, payload any) { e.serveResync(client, payload) }
+		e.reps[id] = r
+		if _, err := net.sim.Every(cfg.WatchdogPeriod, cfg.WatchdogPeriod, func() {
+			e.watchdog(client)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	net.OnCrash = e.handleCrash
+	return e, nil
+}
+
+// SetCrashHook installs the protocol-level eviction callback invoked when
+// a node crashes (in addition to the engine's own replica reset).
+func (e *Engine) SetCrashHook(fn func(NodeID)) { e.onCrash = fn }
+
+// Network returns the underlying fault-injected network.
+func (e *Engine) Network() *Network { return e.net }
+
+// Arrivals returns the source arrival counter.
+func (e *Engine) Arrivals() uint64 { return e.arr }
+
+// SourceWindow returns the source's exact sliding window (the ground
+// truth replicas converge to).
+func (e *Engine) SourceWindow() *stream.Window { return e.src }
+
+// StalenessStats returns accumulators over the staleness and reported
+// bounds of degraded answers.
+func (e *Engine) StalenessStats() (staleness, bounds *metrics.Accumulator) {
+	return e.staleness, e.bounds
+}
+
+// OnData records a new source arrival and pushes it to every client over
+// the reliable update flows.
+func (e *Engine) OnData(v float64) {
+	e.arr++
+	e.src.Push(v)
+	for _, id := range e.net.top.BFSOrder() {
+		if r := e.reps[id]; r != nil {
+			r.upd.Send(updMsg{Arrival: e.arr, Value: v})
+		}
+	}
+}
+
+// applyAtClient processes a frame delivered on a client's update flow.
+func (e *Engine) applyAtClient(id NodeID, payload any) {
+	r := e.reps[id]
+	switch m := payload.(type) {
+	case updMsg:
+		if m.Arrival <= r.arrival {
+			return // stale duplicate
+		}
+		if m.Arrival == r.arrival+1 {
+			r.win.Push(m.Value)
+			r.arrival = m.Arrival
+			e.drainBuffer(r)
+			return
+		}
+		r.buf[m.Arrival] = m.Value
+		if len(r.buf) > e.cfg.ReorderLimit {
+			e.requestResync(id)
+		}
+	case snapMsg:
+		if m.Arrival <= r.arrival {
+			return
+		}
+		fresh, err := stream.NewWindow(e.cfg.WindowSize)
+		if err != nil {
+			panic(err) // unreachable: size validated at construction
+		}
+		for i := len(m.Values) - 1; i >= 0; i-- {
+			fresh.Push(m.Values[i])
+		}
+		r.win = fresh
+		r.arrival = m.Arrival
+		for a := range r.buf {
+			if a <= r.arrival {
+				delete(r.buf, a)
+			}
+		}
+		e.drainBuffer(r)
+	}
+}
+
+// drainBuffer applies consecutively buffered updates.
+func (e *Engine) drainBuffer(r *clientReplica) {
+	for {
+		v, ok := r.buf[r.arrival+1]
+		if !ok {
+			return
+		}
+		delete(r.buf, r.arrival+1)
+		r.win.Push(v)
+		r.arrival++
+	}
+}
+
+// serveResync handles a client's snapshot request at the source.
+func (e *Engine) serveResync(id NodeID, payload any) {
+	if _, ok := payload.(reqMsg); !ok {
+		return
+	}
+	if e.arr == 0 {
+		return // nothing to snapshot yet
+	}
+	e.net.counters.Add(CntResyncSnap, 1)
+	e.reps[id].upd.Send(snapMsg{Arrival: e.arr, Values: e.src.Values()})
+}
+
+// requestResync issues a snapshot request, rate-limited to one per
+// watchdog period.
+func (e *Engine) requestResync(id NodeID) {
+	r := e.reps[id]
+	now := e.net.sim.Now()
+	if r.reqEver && now-r.lastReq < e.cfg.WatchdogPeriod {
+		return
+	}
+	r.lastReq = now
+	r.reqEver = true
+	e.net.counters.Add(CntResyncReq, 1)
+	r.req.Send(reqMsg{Have: r.arrival})
+}
+
+// watchdog runs periodically at each client and requests a resync when
+// the replica has fallen too far behind.
+func (e *Engine) watchdog(id NodeID) {
+	if e.net.Down(id) {
+		return
+	}
+	if e.Staleness(id) > e.cfg.LagTolerance {
+		e.requestResync(id)
+	}
+}
+
+// handleCrash models volatile-state loss: the crashed node's replica is
+// reset to empty, and the wrapping protocol's eviction hook runs.
+func (e *Engine) handleCrash(id NodeID) {
+	if r := e.reps[id]; r != nil {
+		win, err := stream.NewWindow(e.cfg.WindowSize)
+		if err != nil {
+			panic(err) // unreachable
+		}
+		r.win = win
+		r.arrival = 0
+		r.buf = make(map[uint64]float64)
+	}
+	if e.onCrash != nil {
+		e.onCrash(id)
+	}
+}
+
+// Staleness returns how many source arrivals the node's replica is
+// missing; the root is always fresh.
+func (e *Engine) Staleness(id NodeID) int {
+	r := e.reps[id]
+	if r == nil {
+		return 0
+	}
+	return int(e.arr - r.arrival)
+}
+
+// Converged reports whether every live client replica has applied all
+// source arrivals (the reconvergence invariant after a healed fault
+// timeline).
+func (e *Engine) Converged() error {
+	for _, id := range e.net.top.BFSOrder() {
+		r := e.reps[id]
+		if r == nil {
+			continue
+		}
+		if e.net.Down(id) {
+			return fmt.Errorf("netsim: node %d still down", id)
+		}
+		if r.arrival != e.arr {
+			return fmt.Errorf("netsim: node %d at arrival %d, source at %d", id, r.arrival, e.arr)
+		}
+		want := e.src.Values()
+		got := r.win.Values()
+		if len(want) != len(got) {
+			return fmt.Errorf("netsim: node %d replica holds %d values, source %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return fmt.Errorf("netsim: node %d replica diverges at age %d: %v != %v", id, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Answer serves q from the node's replica with an explicit staleness
+// bound: entries old enough to exist in the replica are read exactly
+// (shifted by the staleness), unknown entries contribute the midpoint of
+// the declared value range and widen the bound. At the root it answers
+// exactly from the source window.
+func (e *Engine) Answer(at NodeID, q query.Query) (Answer, error) {
+	if !e.net.top.Valid(at) {
+		return Answer{}, fmt.Errorf("netsim: invalid node %d", at)
+	}
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	for _, g := range q.Ages {
+		if g >= e.cfg.WindowSize {
+			return Answer{}, fmt.Errorf("netsim: age %d outside window [0,%d)", g, e.cfg.WindowSize)
+		}
+	}
+	if e.reps[at] == nil {
+		v, err := query.Exact(e.src, q)
+		if err != nil {
+			return Answer{}, err
+		}
+		return Answer{Value: v}, nil
+	}
+	r := e.reps[at]
+	s := e.Staleness(at)
+	mid := (e.cfg.ValueLo + e.cfg.ValueHi) / 2
+	half := (e.cfg.ValueHi - e.cfg.ValueLo) / 2
+	var val, bound float64
+	for i, g := range q.Ages {
+		w := q.Weights[i]
+		if g >= s {
+			if rv, err := r.win.At(g - s); err == nil {
+				val += w * rv
+				continue
+			}
+		}
+		// The entry arrived after the last sync (or fell outside the
+		// replica): bound it by the declared value range.
+		val += w * mid
+		bound += math.Abs(w) * half
+	}
+	e.net.counters.Add(CntStaleQ, 1)
+	e.staleness.Add(float64(s))
+	e.bounds.Add(bound)
+	return Answer{Value: val, Staleness: s, Bound: bound, Degraded: true}, nil
+}
+
+// NoteFresh records an in-sync query in the engine counters (called by
+// the protocol wrappers when they delegate to the wrapped protocol).
+func (e *Engine) NoteFresh() {
+	e.net.counters.Add(CntFreshQ, 1)
+}

@@ -1,0 +1,464 @@
+// Package scenario is a deterministic failure-scenario harness for the
+// fault-tolerant protocol deployments: a table-driven DSL of scripted
+// fault timelines (drops, crashes, partitions, heals) replayed over the
+// fault-injected network, plus invariant checkers. Every run is a pure
+// function of its Config — the same seed and script yield byte-identical
+// message logs, counters, and answer records — so failure tests can
+// assert exact reconvergence against a fault-free golden twin.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/streamsum/swat/internal/aps"
+	"github.com/streamsum/swat/internal/dc"
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/replication"
+	"github.com/streamsum/swat/internal/sim"
+)
+
+// Op is one fault-timeline action kind.
+type Op int
+
+const (
+	// OpDropAll sets the network-wide default drop probability.
+	OpDropAll Op = iota
+	// OpCrash takes a node down, losing its volatile state.
+	OpCrash
+	// OpRestart brings a crashed node back up (empty-handed).
+	OpRestart
+	// OpPartition cuts the link between two adjacent nodes.
+	OpPartition
+	// OpHealLink restores a previously cut link.
+	OpHealLink
+	// OpHealAll clears every drop probability and partition and restarts
+	// every crashed node.
+	OpHealAll
+)
+
+// String names the op for logs and error messages.
+func (o Op) String() string {
+	switch o {
+	case OpDropAll:
+		return "drop-all"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpPartition:
+		return "partition"
+	case OpHealLink:
+		return "heal-link"
+	case OpHealAll:
+		return "heal-all"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Step is one entry of a fault timeline: at simulated time At, apply Op.
+type Step struct {
+	At   float64
+	Op   Op
+	Node netsim.NodeID // OpCrash, OpRestart
+	A, B netsim.NodeID // OpPartition, OpHealLink
+	Prob float64       // OpDropAll
+}
+
+// Script is a scripted fault timeline.
+type Script []Step
+
+// DropAllAt raises the default per-link drop probability to p at time t.
+func DropAllAt(t, p float64) Step { return Step{At: t, Op: OpDropAll, Prob: p} }
+
+// CrashAt crashes node id at time t.
+func CrashAt(t float64, id netsim.NodeID) Step { return Step{At: t, Op: OpCrash, Node: id} }
+
+// RestartAt restarts node id at time t.
+func RestartAt(t float64, id netsim.NodeID) Step { return Step{At: t, Op: OpRestart, Node: id} }
+
+// PartitionAt cuts the link between adjacent nodes a and b at time t.
+func PartitionAt(t float64, a, b netsim.NodeID) Step {
+	return Step{At: t, Op: OpPartition, A: a, B: b}
+}
+
+// HealLinkAt restores the link between a and b at time t.
+func HealLinkAt(t float64, a, b netsim.NodeID) Step {
+	return Step{At: t, Op: OpHealLink, A: a, B: b}
+}
+
+// HealAllAt heals every injected fault at time t.
+func HealAllAt(t float64) Step { return Step{At: t, Op: OpHealAll} }
+
+// Validate checks the script against a topology: step times must be
+// non-negative, crash/restart targets valid and never the root (the
+// stream source is the system's durable ground truth), and partitions
+// must name adjacent nodes.
+func (sc Script) Validate(top *netsim.Topology) error {
+	for i, st := range sc {
+		if st.At < 0 {
+			return fmt.Errorf("scenario: step %d (%s) at negative time %v", i, st.Op, st.At)
+		}
+		switch st.Op {
+		case OpDropAll:
+			if st.Prob < 0 || st.Prob > 1 {
+				return fmt.Errorf("scenario: step %d drop probability %v outside [0,1]", i, st.Prob)
+			}
+		case OpCrash, OpRestart:
+			if !top.Valid(st.Node) {
+				return fmt.Errorf("scenario: step %d (%s) targets invalid node %d", i, st.Op, st.Node)
+			}
+			if st.Node == top.Root() {
+				return fmt.Errorf("scenario: step %d cannot %s the root (the stream source)", i, st.Op)
+			}
+		case OpPartition, OpHealLink:
+			if !top.Adjacent(st.A, st.B) {
+				return fmt.Errorf("scenario: step %d (%s) nodes %d and %d are not adjacent", i, st.Op, st.A, st.B)
+			}
+		case OpHealAll:
+		default:
+			return fmt.Errorf("scenario: step %d has unknown op %v", i, st.Op)
+		}
+	}
+	return nil
+}
+
+// apply executes one step against the network.
+func (st Step) apply(n *netsim.Network) error {
+	switch st.Op {
+	case OpDropAll:
+		return n.SetDropProb(st.Prob)
+	case OpCrash:
+		return n.Crash(st.Node)
+	case OpRestart:
+		return n.Restart(st.Node)
+	case OpPartition:
+		return n.Cut(st.A, st.B)
+	case OpHealLink:
+		return n.HealLink(st.A, st.B)
+	case OpHealAll:
+		n.HealAll()
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown op %v", st.Op)
+	}
+}
+
+// Deployment is a fault-tolerant protocol deployment the harness can
+// drive; satisfied by replication.Faulty, dc.Faulty, and aps.Faulty.
+type Deployment interface {
+	Name() string
+	OnData(v float64)
+	OnQuery(at netsim.NodeID, q query.Query) (netsim.Answer, error)
+	OnPhaseEnd()
+	Engine() *netsim.Engine
+}
+
+// Config describes one scenario run end to end.
+type Config struct {
+	// Protocol selects the deployment: "asr", "dc", or "aps".
+	Protocol string
+	// Nodes is the size of the complete binary tree topology. 0 means 7.
+	Nodes int
+	// Seed drives every random choice of the run (network faults and the
+	// synthetic data stream). Same seed, same config, same script — same
+	// run, byte for byte.
+	Seed int64
+	// WindowSize is the sliding window size N (power of two >= 4 for the
+	// ASR protocol). 0 means 8.
+	WindowSize int
+	// ValueLo and ValueHi bound the synthetic stream's values. Both zero
+	// means [0, 100].
+	ValueLo, ValueHi float64
+	// DataInterval is the gap between stream arrivals. 0 means 1.
+	DataInterval float64
+	// DataCount is the number of stream arrivals. 0 means 100.
+	DataCount int
+	// QueryNodes are the clients probed each interval; nil means every
+	// non-root node.
+	QueryNodes []netsim.NodeID
+	// QueryStart is the arrival index after which probing begins; 0 means
+	// WindowSize+1 (the window must fill before queries are legal).
+	QueryStart int
+	// Probe is the query issued at each probe instant. A zero query means
+	// an exponential query over the min(4, WindowSize) newest values with
+	// δ=0 — zero tolerance forces every protocol to answer exactly while
+	// in sync, which is what lets a faulty run be compared against a
+	// fault-free golden twin value-for-value after healing.
+	Probe query.Query
+	// Faults is the network's baseline link behavior (latency, jitter,
+	// ambient loss) present from t=0; the Script layers timed faults on
+	// top.
+	Faults netsim.LinkFaults
+	// Engine tunes the replication transport; WindowSize/ValueLo/ValueHi
+	// are filled in from this config.
+	Engine netsim.EngineConfig
+	// Script is the fault timeline.
+	Script Script
+	// SettleTime extends the run past the last arrival so retransmissions
+	// and resyncs can finish. 0 means 50 time units.
+	SettleTime float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 7
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 8
+	}
+	if c.ValueLo == 0 && c.ValueHi == 0 {
+		c.ValueHi = 100
+	}
+	if c.DataInterval == 0 {
+		c.DataInterval = 1
+	}
+	if c.DataCount == 0 {
+		c.DataCount = 100
+	}
+	if c.QueryStart == 0 {
+		c.QueryStart = c.WindowSize + 1
+	}
+	if c.SettleTime == 0 {
+		c.SettleTime = 50
+	}
+	if c.Probe.Len() == 0 {
+		m := 4
+		if c.WindowSize < m {
+			m = c.WindowSize
+		}
+		q, err := query.New(query.Exponential, 0, m, 0)
+		if err != nil {
+			panic(err) // unreachable: m >= 1
+		}
+		c.Probe = q
+	}
+	return c
+}
+
+// AnswerRecord is one probe outcome, with the ground-truth value the
+// source held at probe time.
+type AnswerRecord struct {
+	T     float64
+	Node  netsim.NodeID
+	Ans   netsim.Answer
+	Exact float64
+	Err   string // non-empty when the probe failed (e.g. node down)
+}
+
+// Result is everything a scenario run produced, in canonical
+// (byte-comparable) forms.
+type Result struct {
+	Protocol string
+	// Log is the network's canonical message log.
+	Log string
+	// Counters is the network counter set in canonical form.
+	Counters string
+	// Answers are the probe outcomes in schedule order.
+	Answers []AnswerRecord
+	// Violations lists every invariant breach observed during the run;
+	// empty on a healthy run.
+	Violations []string
+}
+
+// AnswersText renders the probe outcomes canonically; byte-identical
+// across same-seed runs.
+func (r *Result) AnswersText() string {
+	var b strings.Builder
+	for _, a := range r.Answers {
+		if a.Err != "" {
+			fmt.Fprintf(&b, "t=%.9g node=%d err=%q\n", a.T, a.Node, a.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "t=%.9g node=%d v=%.9g exact=%.9g stale=%d bound=%.9g degraded=%t\n",
+			a.T, a.Node, a.Ans.Value, a.Exact, a.Ans.Staleness, a.Ans.Bound, a.Ans.Degraded)
+	}
+	return b.String()
+}
+
+// AnswersAfter returns the probe outcomes at or after time t.
+func (r *Result) AnswersAfter(t float64) []AnswerRecord {
+	var out []AnswerRecord
+	for _, a := range r.Answers {
+		if a.T >= t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Harness wires a scenario Config into a runnable simulation and keeps
+// the live objects reachable for post-run assertions.
+type Harness struct {
+	Cfg Config
+	Sim *sim.Simulator
+	Net *netsim.Network
+	Dep Deployment
+}
+
+// New builds the simulator, network, and protocol deployment for cfg.
+func New(cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	top, err := netsim.CompleteBinaryTree(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Script.Validate(top); err != nil {
+		return nil, err
+	}
+	for _, id := range cfg.QueryNodes {
+		if !top.Valid(id) {
+			return nil, fmt.Errorf("scenario: invalid query node %d", id)
+		}
+	}
+	if err := cfg.Probe.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: bad probe: %w", err)
+	}
+	for _, g := range cfg.Probe.Ages {
+		if g >= cfg.WindowSize {
+			return nil, fmt.Errorf("scenario: probe age %d outside window of %d", g, cfg.WindowSize)
+		}
+	}
+	s := sim.New()
+	net, err := netsim.NewNetwork(s, top, cfg.Faults, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := cfg.Engine
+	ecfg.WindowSize = cfg.WindowSize
+	ecfg.ValueLo, ecfg.ValueHi = cfg.ValueLo, cfg.ValueHi
+	var dep Deployment
+	switch cfg.Protocol {
+	case "asr":
+		dep, err = replication.NewFaulty(net, replication.Options{WindowSize: cfg.WindowSize}, ecfg)
+	case "dc":
+		dep, err = dc.NewFaulty(net, dc.Options{
+			WindowSize: cfg.WindowSize, ValueLo: cfg.ValueLo, ValueHi: cfg.ValueHi,
+		}, ecfg)
+	case "aps":
+		dep, err = aps.NewFaulty(net, aps.Options{WindowSize: cfg.WindowSize}, ecfg)
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol %q (want asr, dc, or aps)", cfg.Protocol)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{Cfg: cfg, Sim: s, Net: net, Dep: dep}, nil
+}
+
+// Run replays the scenario: the data stream, the probe schedule, and the
+// fault script, then a settle period. It returns the run's canonical
+// record. Invariants checked along the way — every answered probe must
+// satisfy |answer − exact| ≤ bound, and the network's message accounting
+// must balance at the end — land in Result.Violations.
+func (h *Harness) Run() (*Result, error) {
+	cfg := h.Cfg
+	res := &Result{Protocol: h.Dep.Name()}
+
+	// The data stream is pre-drawn from its own RNG (disjoint from the
+	// network's fault RNG) so the ground truth is identical between a
+	// faulty run and its fault-free golden twin.
+	dataRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	values := make([]float64, cfg.DataCount)
+	for i := range values {
+		values[i] = cfg.ValueLo + dataRng.Float64()*(cfg.ValueHi-cfg.ValueLo)
+	}
+
+	timed, ok := h.Dep.(interface{ SetTime(float64) })
+	for i := 0; i < cfg.DataCount; i++ {
+		v := values[i]
+		if err := h.Sim.At(float64(i+1)*cfg.DataInterval, func() {
+			if ok {
+				timed.SetTime(h.Sim.Now())
+			}
+			h.Dep.OnData(v)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	queryNodes := cfg.QueryNodes
+	if queryNodes == nil {
+		top := h.Net.Topology()
+		for _, id := range top.BFSOrder() {
+			if id != top.Root() {
+				queryNodes = append(queryNodes, id)
+			}
+		}
+	}
+	// Probes run halfway between arrivals, after the window has filled.
+	for i := cfg.QueryStart; i <= cfg.DataCount; i++ {
+		at := (float64(i) + 0.5) * cfg.DataInterval
+		if err := h.Sim.At(at, func() {
+			for _, id := range queryNodes {
+				h.probe(res, id)
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, st := range cfg.Script {
+		st := st
+		idx := i
+		if err := h.Sim.At(st.At, func() {
+			if err := st.apply(h.Net); err != nil {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("step %d (%s) failed: %v", idx, st.Op, err))
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	h.Sim.RunUntil(float64(cfg.DataCount)*cfg.DataInterval + cfg.SettleTime)
+
+	if err := h.Net.AccountingError(); err != nil {
+		res.Violations = append(res.Violations, err.Error())
+	}
+	res.Log = h.Net.FormatLog()
+	res.Counters = h.Net.Counters().String()
+	return res, nil
+}
+
+// probe issues the configured probe query at one node and records the
+// outcome, checking the answer-bound invariant against the source's
+// ground truth.
+func (h *Harness) probe(res *Result, id netsim.NodeID) {
+	now := h.Sim.Now()
+	exact, err := query.Exact(h.Dep.Engine().SourceWindow(), h.Cfg.Probe)
+	if err != nil {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("t=%.9g exact evaluation failed: %v", now, err))
+		return
+	}
+	rec := AnswerRecord{T: now, Node: id, Exact: exact}
+	ans, err := h.Dep.OnQuery(id, h.Cfg.Probe)
+	if err != nil {
+		// An explicit refusal (e.g. the node is down) is graceful
+		// degradation, not a violation; a silent wrong answer would be.
+		rec.Err = err.Error()
+		res.Answers = append(res.Answers, rec)
+		return
+	}
+	rec.Ans = ans
+	res.Answers = append(res.Answers, rec)
+	const eps = 1e-9
+	if diff := ans.Value - exact; diff > ans.Bound+eps || diff < -ans.Bound-eps {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"t=%.9g node=%d answer %v strays %v from exact %v, beyond its bound %v",
+			now, id, ans.Value, diff, exact, ans.Bound))
+	}
+}
+
+// Run is the one-shot convenience: build the harness and replay it.
+func Run(cfg Config) (*Result, error) {
+	h, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.Run()
+}

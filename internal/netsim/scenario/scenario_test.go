@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/netsim"
+)
+
+// protocols under test; every scenario test exercises all three
+// fault-tolerant deployments.
+var protocols = []string{"asr", "dc", "aps"}
+
+// faultyConfig is the shared drop + crash + partition + heal timeline:
+// ambient 25% loss from t=30, node 3 partitioned behind its parent at
+// t=40, node 2 crashed at t=50 and restarted at t=70, everything healed
+// at t=80, with the stream running to t=120.
+func faultyConfig(protocol string, seed int64) Config {
+	return Config{
+		Protocol:  protocol,
+		Seed:      seed,
+		DataCount: 120,
+		Faults:    netsim.LinkFaults{LatencyBase: 0.01, LatencyJitter: 0.02},
+		Script: Script{
+			DropAllAt(30, 0.25),
+			PartitionAt(40, 1, 3),
+			CrashAt(50, 2),
+			RestartAt(70, 2),
+			HealAllAt(80),
+		},
+	}
+}
+
+// goldenConfig is the fault-free twin: same seed (same data stream),
+// same latency, no loss, no script.
+func goldenConfig(protocol string, seed int64) Config {
+	cfg := faultyConfig(protocol, seed)
+	cfg.Script = nil
+	return cfg
+}
+
+func TestScriptValidation(t *testing.T) {
+	top, err := netsim.CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Script{
+		{CrashAt(10, 0)},       // the root (stream source) must stay up
+		{RestartAt(10, 0)},     // ... and cannot "restart"
+		{CrashAt(-1, 2)},       // negative time
+		{CrashAt(5, 99)},       // invalid node
+		{PartitionAt(5, 0, 6)}, // not adjacent
+		{DropAllAt(5, 1.5)},    // probability out of range
+		{{At: 5, Op: Op(42)}},  // unknown op
+		{HealLinkAt(5, 3, 4)},  // not adjacent (siblings)
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(top); err == nil {
+			t.Errorf("script %d validated but should not have", i)
+		}
+	}
+	good := Script{DropAllAt(0, 0.5), CrashAt(1, 6), RestartAt(2, 6), PartitionAt(3, 0, 1), HealLinkAt(4, 0, 1), HealAllAt(5)}
+	if err := good.Validate(top); err != nil {
+		t.Errorf("good script rejected: %v", err)
+	}
+}
+
+func TestHarnessRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Protocol: "quic"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := New(Config{Protocol: "asr", QueryNodes: []netsim.NodeID{99}}); err == nil {
+		t.Error("invalid query node accepted")
+	}
+	if _, err := New(faultyConfig("asr", 1)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestScenarioDeterminism replays the same seed + fault script twice per
+// protocol and requires byte-identical message logs, counters, and
+// answer records.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, p := range protocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			r1, err := Run(faultyConfig(p, 42))
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			r2, err := Run(faultyConfig(p, 42))
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if r1.Log != r2.Log {
+				t.Error("same-seed runs produced different message logs")
+			}
+			if r1.Counters != r2.Counters {
+				t.Errorf("same-seed runs produced different counters:\n%s\n%s", r1.Counters, r2.Counters)
+			}
+			if r1.AnswersText() != r2.AnswersText() {
+				t.Error("same-seed runs produced different answers")
+			}
+			// A different seed must actually change the fault draws.
+			r3, err := Run(faultyConfig(p, 43))
+			if err != nil {
+				t.Fatalf("run 3: %v", err)
+			}
+			if r1.Log == r3.Log {
+				t.Error("different seeds produced identical logs")
+			}
+		})
+	}
+}
+
+// TestReconvergenceToGolden is the end-to-end failure test: after the
+// drop/crash/partition timeline heals, every protocol must answer the
+// δ=0 probes with exactly the values its fault-free golden twin
+// produces, and every replica must hold the source window verbatim.
+func TestReconvergenceToGolden(t *testing.T) {
+	// Probes after t=95 are past the heal (t=80) plus one watchdog period
+	// and a resync round trip.
+	const settled = 95.0
+	for _, p := range protocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			fh, err := New(faultyConfig(p, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty, err := fh.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := Run(goldenConfig(p, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []*Result{faulty, golden} {
+				if len(r.Violations) != 0 {
+					t.Fatalf("invariant violations: %v", r.Violations)
+				}
+			}
+
+			// The faults must have actually bitten: degraded answers or
+			// explicit refusals during the fault window.
+			hurt := 0
+			for _, a := range faulty.Answers {
+				if a.T < settled && (a.Err != "" || a.Ans.Degraded) {
+					hurt++
+				}
+			}
+			if hurt == 0 {
+				t.Error("fault timeline left no trace in the answers; scenario too tame to test recovery")
+			}
+			if !strings.Contains(faulty.Log, "drop") || !strings.Contains(faulty.Log, "cut") {
+				t.Error("message log records no drops/cuts under the fault script")
+			}
+
+			// Post-heal, the faulty run reconverges to the golden run
+			// value-for-value.
+			fa, ga := faulty.AnswersAfter(settled), golden.AnswersAfter(settled)
+			if len(fa) == 0 || len(fa) != len(ga) {
+				t.Fatalf("post-heal answer counts differ: faulty %d, golden %d", len(fa), len(ga))
+			}
+			for i := range fa {
+				f, g := fa[i], ga[i]
+				if f.T != g.T || f.Node != g.Node {
+					t.Fatalf("probe schedules diverged: %+v vs %+v", f, g)
+				}
+				if f.Err != "" || g.Err != "" {
+					t.Fatalf("post-heal probe failed: faulty=%q golden=%q", f.Err, g.Err)
+				}
+				if f.Ans.Value != g.Ans.Value {
+					t.Errorf("t=%v node=%d: faulty answer %v != golden %v",
+						f.T, f.Node, f.Ans.Value, g.Ans.Value)
+				}
+				if f.Ans.Degraded || f.Ans.Staleness != 0 {
+					t.Errorf("t=%v node=%d still degraded after heal: %+v", f.T, f.Node, f.Ans)
+				}
+			}
+
+			// Replica-level reconvergence: every client's window equals
+			// the source's, byte for byte.
+			if err := fh.Dep.Engine().Converged(); err != nil {
+				t.Errorf("replicas did not reconverge: %v", err)
+			}
+			if err := fh.Net.AccountingError(); err != nil {
+				t.Errorf("message accounting: %v", err)
+			}
+		})
+	}
+}
+
+// TestStalenessBoundUnderPermanentPartition checks graceful degradation:
+// clients stranded behind a never-healed partition keep answering, but
+// every answer is flagged degraded and carries a bound that provably
+// contains the true value — no silent wrong answers.
+func TestStalenessBoundUnderPermanentPartition(t *testing.T) {
+	for _, p := range protocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			cfg := Config{
+				Protocol:  p,
+				Seed:      7,
+				DataCount: 80,
+				Faults:    netsim.LinkFaults{LatencyBase: 0.01},
+				// Nodes 1, 3, 4 end up stranded behind the cut edge 0-1.
+				Script: Script{PartitionAt(40, 0, 1)},
+			}
+			h, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := h.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The harness checks |answer − exact| ≤ bound at every single
+			// probe; violations would have been recorded.
+			if len(res.Violations) != 0 {
+				t.Fatalf("bound violations under partition: %v", res.Violations)
+			}
+			degraded := 0
+			for _, a := range res.AnswersAfter(60) {
+				stranded := a.Node == 1 || a.Node == 3 || a.Node == 4
+				if !stranded {
+					if a.Err != "" || a.Ans.Degraded {
+						t.Errorf("t=%v node=%d on the source side degraded: %+v err=%q", a.T, a.Node, a.Ans, a.Err)
+					}
+					continue
+				}
+				if a.Err != "" {
+					t.Errorf("t=%v node=%d refused instead of degrading: %v", a.T, a.Node, a.Err)
+					continue
+				}
+				degraded++
+				if !a.Ans.Degraded {
+					t.Errorf("t=%v node=%d stale answer not flagged degraded", a.T, a.Node)
+				}
+				if a.Ans.Staleness <= 0 {
+					t.Errorf("t=%v node=%d degraded answer reports staleness %d", a.T, a.Node, a.Ans.Staleness)
+				}
+				// Once staleness exceeds every probe age, the documented
+				// bound is Σ|wᵢ|·(hi−lo)/2 = (1+½+¼+⅛)·50 = 93.75.
+				if a.Ans.Staleness >= 4 && a.Ans.Bound != 93.75 {
+					t.Errorf("t=%v node=%d bound = %v, want 93.75", a.T, a.Node, a.Ans.Bound)
+				}
+			}
+			if degraded == 0 {
+				t.Fatal("no degraded answers recorded behind a permanent partition")
+			}
+			// Converged must detect the un-healed lag.
+			if err := h.Dep.Engine().Converged(); err == nil {
+				t.Error("Converged reported success despite a permanent partition")
+			}
+		})
+	}
+}

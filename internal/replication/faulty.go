@@ -1,0 +1,92 @@
+package replication
+
+import (
+	"fmt"
+
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// Faulty is SWAT-ASR deployed over the fault-injected network substrate.
+// The wrapped System keeps modeling the protocol's message economics
+// (directory subscriptions, expansion/contraction) exactly as in the
+// perfect-network simulation, while a netsim.Engine replicates the
+// source window to every client over reliable sequence-numbered,
+// acknowledged, retried flows. Queries at a client that has seen every
+// source arrival are answered by the protocol under its usual precision
+// contract; queries at a client that missed updates — packet loss beyond
+// the retry budget, a partition, or a crash — degrade gracefully to the
+// last-known replica with an explicit staleness/error bound instead of a
+// silently wrong answer. A crash additionally evicts the node's (and its
+// subtree's) protocol replicas via EvictNode.
+type Faulty struct {
+	sys *System
+	eng *netsim.Engine
+}
+
+// NewFaulty creates a fault-tolerant SWAT-ASR deployment over the
+// network's topology. The engine config's WindowSize is forced to the
+// protocol's window size.
+func NewFaulty(net *netsim.Network, opts Options, ecfg netsim.EngineConfig) (*Faulty, error) {
+	if net == nil {
+		return nil, fmt.Errorf("replication: faulty deployment needs a network")
+	}
+	sys, err := NewWithOptions(net.Topology(), opts)
+	if err != nil {
+		return nil, err
+	}
+	ecfg.WindowSize = opts.WindowSize
+	eng, err := netsim.NewEngine(net, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetCrashHook(func(id netsim.NodeID) {
+		// The engine never crashes the root; eviction cannot fail.
+		if err := sys.EvictNode(id); err != nil {
+			panic(err)
+		}
+	})
+	return &Faulty{sys: sys, eng: eng}, nil
+}
+
+// Name identifies the protocol in experiment output.
+func (f *Faulty) Name() string { return f.sys.Name() }
+
+// System returns the wrapped perfect-network protocol.
+func (f *Faulty) System() *System { return f.sys }
+
+// Engine returns the replication transport engine.
+func (f *Faulty) Engine() *netsim.Engine { return f.eng }
+
+// Messages returns the wrapped protocol's hop-weighted message counter
+// (the fault layer's transport frames are accounted separately in the
+// network's counters).
+func (f *Faulty) Messages() *netsim.Counter { return f.sys.Messages() }
+
+// OnData consumes a new stream value at the source and pushes it to all
+// replicas over the lossy network.
+func (f *Faulty) OnData(v float64) {
+	f.sys.OnData(v)
+	f.eng.OnData(v)
+}
+
+// OnPhaseEnd forwards the phase boundary to the protocol.
+func (f *Faulty) OnPhaseEnd() { f.sys.OnPhaseEnd() }
+
+// OnQuery answers q at the given node. In-sync clients get the
+// protocol's answer under its δ contract; stale clients get a degraded
+// answer with an explicit staleness bound.
+func (f *Faulty) OnQuery(at netsim.NodeID, q query.Query) (netsim.Answer, error) {
+	if f.eng.Network().Down(at) {
+		return netsim.Answer{}, fmt.Errorf("replication: node %d is down", at)
+	}
+	if f.eng.Staleness(at) == 0 {
+		v, err := f.sys.OnQuery(at, q)
+		if err != nil {
+			return netsim.Answer{}, err
+		}
+		f.eng.NoteFresh()
+		return netsim.Answer{Value: v, Bound: q.Precision}, nil
+	}
+	return f.eng.Answer(at, q)
+}

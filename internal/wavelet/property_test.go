@@ -1,0 +1,133 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests over randomized signals: a full transform must invert
+// exactly (within float tolerance), and a largest-B synopsis must only
+// get better as B grows. Both properties are checked for the Haar and
+// Daubechies-4 bases across a range of signal shapes and sizes.
+
+const reconstructTol = 1e-9
+
+// propertyBases are the bases the properties are asserted for.
+var propertyBases = []*Basis{Haar, DB4}
+
+// testSignals generates a deterministic mix of random and structured
+// power-of-two signals.
+func testSignals(rng *rand.Rand, n int) [][]float64 {
+	uniform := make([]float64, n)
+	gauss := make([]float64, n)
+	wave := make([]float64, n)
+	step := make([]float64, n)
+	for i := 0; i < n; i++ {
+		uniform[i] = rng.Float64()*200 - 100
+		gauss[i] = rng.NormFloat64() * 10
+		wave[i] = 5*math.Sin(2*math.Pi*float64(i)/float64(n)) + rng.Float64()
+		if i >= n/2 {
+			step[i] = 42
+		}
+	}
+	return [][]float64{uniform, gauss, wave, step}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestFullReconstructionIsExact: transforming to any depth and
+// reconstructing returns the original signal within 1e-9, for every
+// basis, depth, and signal shape.
+func TestFullReconstructionIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range propertyBases {
+		for _, n := range []int{2, 4, 8, 16, 64, 256} {
+			for si, sig := range testSignals(rng, n) {
+				for levels := 1; levels <= Log2(n); levels++ {
+					c, err := b.Transform(sig, levels)
+					if err != nil {
+						t.Fatalf("%s n=%d levels=%d: transform: %v", b.Name(), n, levels, err)
+					}
+					rec, err := b.Reconstruct(c)
+					if err != nil {
+						t.Fatalf("%s n=%d levels=%d: reconstruct: %v", b.Name(), n, levels, err)
+					}
+					if d := maxAbsDiff(sig, rec); d > reconstructTol {
+						t.Errorf("%s n=%d levels=%d signal %d: round-trip error %g > %g",
+							b.Name(), n, levels, si, d, reconstructTol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSynopsisKeepingAllCoefficientsIsExact: a largest-B synopsis with
+// B = n retains the entire decomposition, so reconstruction is exact.
+func TestSynopsisKeepingAllCoefficientsIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, b := range propertyBases {
+		for _, n := range []int{4, 16, 128} {
+			for si, sig := range testSignals(rng, n) {
+				s, err := NewSynopsis(b, sig, n)
+				if err != nil {
+					t.Fatalf("%s n=%d: synopsis: %v", b.Name(), n, err)
+				}
+				l2, err := s.L2Error(b, sig)
+				if err != nil {
+					t.Fatalf("%s n=%d: l2: %v", b.Name(), n, err)
+				}
+				if l2 > reconstructTol {
+					t.Errorf("%s n=%d signal %d: full synopsis L2 error %g > %g",
+						b.Name(), n, si, l2, reconstructTol)
+				}
+			}
+		}
+	}
+}
+
+// TestSynopsisErrorMonotoneInK: keeping more coefficients never hurts —
+// the L2 reconstruction error is non-increasing in B. (For orthonormal
+// bases this is Parseval's theorem: dropping a coefficient adds exactly
+// its squared magnitude to the squared error, so retaining a superset
+// can only shrink it.)
+func TestSynopsisErrorMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Slack for float accumulation when two coefficients tie in
+	// magnitude and the error plateaus.
+	const slack = 1e-9
+	for _, b := range propertyBases {
+		for _, n := range []int{8, 32, 64} {
+			for si, sig := range testSignals(rng, n) {
+				prev := math.Inf(1)
+				for k := 1; k <= n; k++ {
+					s, err := NewSynopsis(b, sig, k)
+					if err != nil {
+						t.Fatalf("%s n=%d k=%d: synopsis: %v", b.Name(), n, k, err)
+					}
+					l2, err := s.L2Error(b, sig)
+					if err != nil {
+						t.Fatalf("%s n=%d k=%d: l2: %v", b.Name(), n, k, err)
+					}
+					if l2 > prev+slack {
+						t.Errorf("%s n=%d signal %d: L2 error rose from %g (k=%d) to %g (k=%d)",
+							b.Name(), n, si, prev, k-1, l2, k)
+					}
+					prev = l2
+				}
+				if prev > reconstructTol {
+					t.Errorf("%s n=%d signal %d: error %g at k=n, want ~0", b.Name(), n, si, prev)
+				}
+			}
+		}
+	}
+}
