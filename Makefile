@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify cover bench bench-hotpath
+.PHONY: build test test-short vet race verify cover bench bench-hotpath bench-query bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ vet:
 race:
 	$(GO) test -race ./internal/multi/ ./internal/core/ ./internal/wire/
 
-verify: build vet test race
+verify: build vet test race bench-smoke
 
 # Per-package coverage (printed per package by go test) plus an
 # aggregate profile; inspect with `go tool cover -html=cover.out`.
@@ -36,4 +36,15 @@ bench:
 
 # Hot-path micro-benchmarks only; writes BENCH_hotpath.{txt,json}.
 bench-hotpath:
-	scripts/bench.sh
+	scripts/bench.sh 6 hotpath
+
+# Serve-side benchmarks (compiled plans, concurrent AnswerBatch,
+# histogram cache); writes BENCH_query.{txt,json}.
+bench-query:
+	scripts/bench.sh 6 query
+
+# Run every benchmark exactly once — a compile-and-run tripwire, not a
+# measurement. Part of `verify` so a benchmark that stops building or
+# starts failing is caught by the tier-1 gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .

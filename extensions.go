@@ -25,6 +25,9 @@ type MonitorOptions = multi.Options
 // CorrelatedPair is one correlated stream pair found by a Monitor.
 type CorrelatedPair = multi.Pair
 
+// StreamAnswer is one stream's response to Monitor.QueryAll.
+type StreamAnswer = multi.Answer
+
 // NewMonitor creates an empty multi-stream monitor.
 func NewMonitor(opts MonitorOptions) (*Monitor, error) { return multi.New(opts) }
 

@@ -88,6 +88,9 @@ func TestVisitNodesDoesNotAllocate(t *testing.T) {
 // TestQueryPathSteadyStateAllocations: after the first call grows the
 // scratch buffers, point and inner-product queries are allocation-free.
 func TestQueryPathSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; pooled query scratch is not allocation-free there")
+	}
 	tr := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
 	ages := []int{0, 1, 2, 3, 9, 17, 40, 63, 511, 1023}
 	weights := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Satellite tests for the documented CoverNodes contract: deterministic
+// selection order (finest level upward, R → S → L within a level, each
+// node contributing at least one newly covered age) and the contents of
+// ErrNotCovered partial covers on reduced trees.
+
+// roleRank orders roles the way the scan visits them.
+func roleRank(r Role) int { return int(r) }
+
+func TestCoverNodesDeterministicOrder(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 64, Coefficients: 2})
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	// Shuffled and duplicated query ages must not affect the cover.
+	shuffled := []int{63, 0, 31, 7, 7, 40, 22, 0, 13, 58, 1, 2, 3}
+
+	cover, err := tr.CoverNodes(all)
+	if err != nil {
+		t.Fatalf("CoverNodes(all): %v", err)
+	}
+	if len(cover) == 0 {
+		t.Fatal("empty cover for a warm tree")
+	}
+	// (1) Selection order: strictly increasing (Level, Role) with
+	// R < S < L inside a level.
+	for i := 1; i < len(cover); i++ {
+		a, b := cover[i-1], cover[i]
+		if a.Level > b.Level || (a.Level == b.Level && roleRank(a.Role) >= roleRank(b.Role)) {
+			t.Errorf("cover order violated at %d: %v before %v", i, a, b)
+		}
+	}
+	// (2) Every queried age is covered.
+	covered := make(map[int]bool)
+	for _, ni := range cover {
+		for a := ni.Start; a <= ni.End; a++ {
+			covered[a] = true
+		}
+	}
+	for _, a := range all {
+		if !covered[a] {
+			t.Errorf("age %d not covered by returned cover", a)
+		}
+	}
+	// (3) Greedy minimality: each node covers at least one age no
+	// earlier node covered.
+	seen := make(map[int]bool)
+	for _, ni := range cover {
+		contributes := false
+		for a := ni.Start; a <= ni.End; a++ {
+			if a >= 0 && a < 64 && !seen[a] {
+				contributes = true
+			}
+		}
+		if !contributes {
+			t.Errorf("node %v contributes no new age", ni)
+		}
+		for a := ni.Start; a <= ni.End; a++ {
+			seen[a] = true
+		}
+	}
+	// (4) Determinism: repeated calls and permuted input give the
+	// identical node sequence.
+	again, err := tr.CoverNodes(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cover, again) {
+		t.Error("repeated CoverNodes differs")
+	}
+	sub, err := tr.CoverNodes(shuffled)
+	if err != nil {
+		t.Fatalf("CoverNodes(shuffled): %v", err)
+	}
+	for i := 1; i < len(sub); i++ {
+		a, b := sub[i-1], sub[i]
+		if a.Level > b.Level || (a.Level == b.Level && roleRank(a.Role) >= roleRank(b.Role)) {
+			t.Errorf("shuffled cover order violated at %d: %v before %v", i, a, b)
+		}
+	}
+}
+
+func TestCoverNodesReducedTreePartialCover(t *testing.T) {
+	// MinLevel 2 on N=16: the finest maintained level refreshes every 4
+	// arrivals, so right after 3 post-refresh arrivals the ages 0..2
+	// are transiently uncovered.
+	tr := warmTree(t, Options{WindowSize: 16, MinLevel: 2})
+	if got := tr.Arrivals() % 4; got != 0 {
+		t.Fatalf("warm tree at arrivals %% 4 = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		tr.Update(float64(i))
+	}
+	cover, err := tr.CoverNodes([]int{3, 0, 2, 1, 2, 0})
+	var nc *ErrNotCovered
+	if !errors.As(err, &nc) {
+		t.Fatalf("CoverNodes = %v, want *ErrNotCovered", err)
+	}
+	// Missing ages are sorted and deduplicated.
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(nc.Ages, want) {
+		t.Errorf("ErrNotCovered.Ages = %v, want %v", nc.Ages, want)
+	}
+	// The partial cover still lists, in selection order, the nodes
+	// answering the covered ages — here age 3 via the finest R node.
+	if len(cover) == 0 {
+		t.Fatal("empty partial cover")
+	}
+	first := cover[0]
+	if first.Level != 2 || first.Role != Right {
+		t.Errorf("partial cover starts with %v, want R2", first)
+	}
+	if first.Start > 3 || first.End < 3 {
+		t.Errorf("partial cover node %v does not cover age 3", first)
+	}
+	for i := 1; i < len(cover); i++ {
+		a, b := cover[i-1], cover[i]
+		if a.Level > b.Level || (a.Level == b.Level && roleRank(a.Role) >= roleRank(b.Role)) {
+			t.Errorf("partial cover order violated at %d: %v before %v", i, a, b)
+		}
+	}
+	// Fully cold trees report every age missing and an empty cover.
+	cold, err2 := New(Options{WindowSize: 16})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	cover, err = cold.CoverNodes([]int{5, 1, 5})
+	if !errors.As(err, &nc) {
+		t.Fatalf("cold CoverNodes = %v, want *ErrNotCovered", err)
+	}
+	if want := []int{1, 5}; !reflect.DeepEqual(nc.Ages, want) {
+		t.Errorf("cold ErrNotCovered.Ages = %v, want %v", nc.Ages, want)
+	}
+	if len(cover) != 0 {
+		t.Errorf("cold partial cover = %v, want empty", cover)
+	}
+}

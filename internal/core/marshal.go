@@ -27,6 +27,8 @@ const (
 // encoding.BinaryMarshaler; a restored tree continues exactly where the
 // original left off.
 func (t *Tree) MarshalBinary() ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var buf bytes.Buffer
 	buf.WriteString(snapshotMagic)
 	w := func(v any) {
@@ -104,7 +106,7 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if err := r(&k); err != nil {
 		return fmt.Errorf("core: snapshot header: %w", err)
 	}
-	fresh, err := New(Options{
+	fresh, err := newState(Options{
 		WindowSize:   int(n),
 		Coefficients: int(k),
 		MinLevel:     int(minLevel),
@@ -177,6 +179,12 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if buf.Len() != 0 {
 		return fmt.Errorf("core: %d trailing bytes in snapshot", buf.Len())
 	}
-	*t = *fresh
+	// Publish the restored state under the writer lock, advancing the
+	// generation past the old one so compiled plans against this tree
+	// observe the restore and recompile.
+	t.mu.Lock()
+	fresh.generation = t.generation + 1
+	t.treeState = *fresh
+	t.mu.Unlock()
 	return nil
 }

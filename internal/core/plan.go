@@ -1,0 +1,183 @@
+package core
+
+import "fmt"
+
+// This file implements compiled query plans: the serve-side analogue of
+// the zero-allocation ingest path. An inner-product query's expensive
+// part is structural — the node-cover scan and the age→block routing —
+// and that structure depends only on the tree's generation, not on the
+// coefficient values. Compile runs the cover once and bakes, per
+// covering node, a block-aggregated weight vector; Eval is then a flat
+// O(Σk) dot product over the covering nodes' coefficient buffers with
+// zero allocations. In the paper's fixed-query mode (the same query
+// evaluated at every query instant, §2.7) this makes every evaluation
+// after the first near-free between arrivals, and the wavelet-histogram
+// observation that synopsis queries reduce to sparse dot products
+// (Jestes et al.) applies verbatim.
+
+// Plan is a compiled inner-product query bound to one tree. A plan
+// caches the cover structure of its query for one tree generation and
+// transparently recompiles when the tree has advanced, so Eval is
+// always exact with respect to the tree's current state: it returns
+// precisely what Tree.InnerProduct would (up to floating-point
+// summation order).
+//
+// A Plan may be used concurrently with tree ingest and with other
+// plans, but a single Plan must not be shared by multiple goroutines
+// (recompilation rewrites plan-local state). Plans are cheap: per
+// serving goroutine, compile one plan per distinct query.
+type Plan struct {
+	tree *Tree
+
+	// The compiled query, isolated copies.
+	ages    []int
+	weights []float64
+
+	// generation the terms were compiled against.
+	gen uint64
+
+	// terms holds one entry per covering node: the node's (lent)
+	// coefficient buffer and the aggregated per-block weights. Valid
+	// exactly while gen matches the tree generation — node buffers
+	// rotate only during refreshes, which bump the generation.
+	terms []planTerm
+
+	// wbuf backs the terms' weight vectors; scratch backs recompiles.
+	// Both grow to a high-water mark and are reused, so steady-state
+	// recompilation is allocation-free too.
+	wbuf    []float64
+	scratch queryScratch
+}
+
+// planTerm is one covering node's share of the dot product.
+type planTerm struct {
+	coeffs []float64 // aliases the node's buffer at compile generation
+	w      []float64 // per-block aggregated query weights, len == len(coeffs)
+}
+
+// Compile builds a plan for the inner-product query (ages, weights)
+// against the tree's current state. The slices are copied; the caller
+// may reuse them. Compilation costs one ad-hoc query evaluation; it
+// fails like InnerProduct does (out-of-window ages, cold tree).
+func (t *Tree) Compile(ages []int, weights []float64) (*Plan, error) {
+	if len(ages) != len(weights) {
+		return nil, fmt.Errorf("core: %d ages but %d weights", len(ages), len(weights))
+	}
+	if len(ages) == 0 {
+		return nil, fmt.Errorf("core: empty inner-product query")
+	}
+	p := &Plan{
+		tree:    t,
+		ages:    append([]int(nil), ages...),
+		weights: append([]float64(nil), weights...),
+	}
+	t.mu.RLock()
+	err := p.recompile()
+	t.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Len returns the compiled query length M.
+func (p *Plan) Len() int { return len(p.ages) }
+
+// recompile rebuilds the plan's terms against the tree's current state.
+// The caller must hold the tree lock (read side suffices: recompilation
+// mutates only plan-local state).
+func (p *Plan) recompile() error {
+	t := &p.tree.treeState
+	cover, missing, err := t.coverInto(&p.scratch, p.ages)
+	if err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		fb, ok := t.finestValidRight()
+		if !ok {
+			return &ErrNotCovered{Ages: append([]int(nil), missing...)}
+		}
+		cover = append(cover, fb)
+		p.scratch.cover = cover[:0] // keep growth from the fallback append
+	}
+	// Lay every term's weight vector out of one backing buffer.
+	total := 0
+	for _, ni := range cover {
+		total += len(ni.Coeffs)
+	}
+	if cap(p.wbuf) < total {
+		p.wbuf = make([]float64, total)
+	}
+	wbuf := p.wbuf[:total]
+	clear(wbuf)
+	if cap(p.terms) < len(cover) {
+		p.terms = make([]planTerm, 0, len(cover))
+	}
+	terms := p.terms[:0]
+	off := 0
+	for _, ni := range cover {
+		cl := len(ni.Coeffs)
+		terms = append(terms, planTerm{coeffs: ni.Coeffs, w: wbuf[off : off+cl : off+cl]})
+		off += cl
+	}
+	// Route each query age to its covering node and block, mirroring
+	// approximateInto exactly: missing ages go to the fallback node
+	// (appended last), and out-of-interval ages clamp to the node edge.
+	for i, a := range p.ages {
+		idx := -1
+		if containsSorted(missing, a) {
+			idx = len(cover) - 1
+		} else {
+			for j := range cover {
+				if a >= cover[j].Start && a <= cover[j].End {
+					idx = j
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("core: internal error, age %d missing from cover", a)
+		}
+		ni := &cover[idx]
+		if a < ni.Start {
+			a = ni.Start
+		} else if a > ni.End {
+			a = ni.End
+		}
+		block := (ni.End - ni.Start + 1) / len(ni.Coeffs)
+		terms[idx].w[(a-ni.Start)/block] += p.weights[i]
+	}
+	p.terms = terms
+	p.wbuf = wbuf[:0]
+	p.gen = t.generation
+	return nil
+}
+
+// Eval evaluates the compiled query against the tree's current state.
+// When the tree has not advanced since the last Eval (or Compile), this
+// is a flat dot product over the cached cover — zero allocations, no
+// cover scan, no per-age work. When the tree's generation has moved,
+// the plan recompiles first (one ad-hoc-query's worth of work, also
+// allocation-free at steady state) so the answer always matches
+// Tree.InnerProduct on the same state up to summation order. Eval runs
+// under the tree's reader lock and may be called concurrently with
+// ingest and with other plans.
+func (p *Plan) Eval() (float64, error) {
+	t := p.tree
+	t.mu.RLock()
+	if p.gen != t.generation {
+		if err := p.recompile(); err != nil {
+			t.mu.RUnlock()
+			return 0, err
+		}
+	}
+	var sum float64
+	for i := range p.terms {
+		c, w := p.terms[i].coeffs, p.terms[i].w
+		for j, cv := range c {
+			sum += cv * w[j]
+		}
+	}
+	t.mu.RUnlock()
+	return sum, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// planAgrees asserts that a compiled plan and the ad-hoc inner-product
+// path answer identically (up to floating-point summation order) on the
+// tree's current state.
+func planAgrees(t *testing.T, tr *Tree, p *Plan, ages []int, weights []float64) {
+	t.Helper()
+	want, err := tr.InnerProduct(ages, weights)
+	if err != nil {
+		t.Fatalf("InnerProduct: %v", err)
+	}
+	got, err := p.Eval()
+	if err != nil {
+		t.Fatalf("Plan.Eval: %v", err)
+	}
+	tol := 1e-9 * (1 + math.Abs(want))
+	if math.Abs(got-want) > tol {
+		t.Fatalf("Plan.Eval = %v, InnerProduct = %v (diff %g)", got, want, got-want)
+	}
+}
+
+func TestPlanMatchesInnerProduct(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"full-k1", Options{WindowSize: 256}},
+		{"full-k8", Options{WindowSize: 1024, Coefficients: 8}},
+		{"reduced", Options{WindowSize: 1024, Coefficients: 8, MinLevel: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := warmTree(t, tc.opts)
+			ageSets := [][]int{
+				{0},
+				{0, 1, 2, 3, 4, 5, 6, 7},
+				{0, 3, 9, 27, 81, 243},
+				{255, 128, 64, 0, 0, 1}, // unsorted with duplicates
+			}
+			for _, ages := range ageSets {
+				weights := make([]float64, len(ages))
+				for i := range weights {
+					weights[i] = float64(i+1) * 0.5
+				}
+				p, err := tr.Compile(ages, weights)
+				if err != nil {
+					t.Fatalf("Compile(%v): %v", ages, err)
+				}
+				planAgrees(t, tr, p, ages, weights)
+				// Repeated evaluation without updates: identical result.
+				v1, _ := p.Eval()
+				v2, _ := p.Eval()
+				if v1 != v2 {
+					t.Fatalf("repeated Eval differs: %v vs %v", v1, v2)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanRecompilesAfterUpdate(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 256, Coefficients: 4})
+	ages := []int{0, 1, 5, 17, 63, 200}
+	weights := []float64{6, 5, 4, 3, 2, 1}
+	p, err := tr.Compile(ages, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Uniform(23)
+	for step := 0; step < 300; step++ {
+		tr.Update(src.Next())
+		planAgrees(t, tr, p, ages, weights)
+	}
+	// Batched advance too.
+	batch := make([]float64, 37)
+	for i := range batch {
+		batch[i] = src.Next()
+	}
+	tr.UpdateBatch(batch)
+	planAgrees(t, tr, p, ages, weights)
+}
+
+func TestPlanGenerationAdvancesPerArrival(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 256})
+	g0 := tr.Generation()
+	tr.Update(1)
+	if g := tr.Generation(); g != g0+1 {
+		t.Errorf("generation after Update = %d, want %d", g, g0+1)
+	}
+	tr.UpdateBatch(make([]float64, 10))
+	if g := tr.Generation(); g != g0+11 {
+		t.Errorf("generation after UpdateBatch(10) = %d, want %d", g, g0+11)
+	}
+	// Reduced trees advance identically, including through the
+	// ring-only bulk path.
+	rt := warmTree(t, Options{WindowSize: 256, MinLevel: 3})
+	r0 := rt.Generation()
+	rt.UpdateBatch(make([]float64, 21))
+	if g := rt.Generation(); g != r0+21 {
+		t.Errorf("reduced tree generation after UpdateBatch(21) = %d, want %d", g, r0+21)
+	}
+}
+
+func TestPlanOnColdTree(t *testing.T) {
+	tr, err := New(Options{WindowSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Compile([]int{0}, []float64{1}); err == nil {
+		t.Fatal("Compile on cold tree succeeded")
+	} else {
+		var nc *ErrNotCovered
+		if !errors.As(err, &nc) {
+			t.Fatalf("Compile error = %v, want *ErrNotCovered", err)
+		}
+	}
+	// A plan compiled on a warm tree keeps answering after a restore
+	// from a cold snapshot fails gracefully.
+	warm := warmTree(t, Options{WindowSize: 64})
+	p, err := warm.Compile([]int{0, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Eval(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 64})
+	if _, err := tr.Compile([]int{0, 1}, []float64{1}); err == nil {
+		t.Error("Compile accepted mismatched lengths")
+	}
+	if _, err := tr.Compile(nil, nil); err == nil {
+		t.Error("Compile accepted empty query")
+	}
+	if _, err := tr.Compile([]int{64}, []float64{1}); err == nil {
+		t.Error("Compile accepted out-of-window age")
+	}
+}
+
+func TestPlanSurvivesSnapshotRestore(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 128, Coefficients: 4})
+	ages := []int{0, 2, 33}
+	weights := []float64{1, 2, 3}
+	p, err := tr.Compile(ages, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	// Restore a different warm state into the same tree; the plan must
+	// notice the generation change and recompile against the new state.
+	other := warmTree(t, Options{WindowSize: 128, Coefficients: 4})
+	src := stream.Uniform(99)
+	for i := 0; i < 57; i++ {
+		other.Update(src.Next())
+	}
+	data, err := other.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	planAgrees(t, tr, p, ages, weights)
+}
+
+// TestPlanEvalDoesNotAllocate pins the serve-side hot path at 0
+// allocs/op, both for repeated evaluation of an unchanged tree and for
+// the recompile-per-arrival worst case at steady state.
+func TestPlanEvalDoesNotAllocate(t *testing.T) {
+	for _, opts := range []Options{
+		{WindowSize: 1024, Coefficients: 4},
+		{WindowSize: 1024, Coefficients: 8, MinLevel: 4},
+	} {
+		tr := warmTree(t, opts)
+		ages := []int{0, 1, 2, 3, 9, 17, 40, 63, 511, 1023}
+		weights := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+		p, err := tr.Compile(ages, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := p.Eval(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%+v: Eval allocates %v times per call, want 0", opts, allocs)
+		}
+		src := stream.Uniform(31)
+		// Warm the recompile path's buffers once, then pin it.
+		tr.Update(src.Next())
+		if _, err := p.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(500, func() {
+			tr.Update(src.Next())
+			if _, err := p.Eval(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%+v: update+Eval allocates %v times per cycle, want 0", opts, allocs)
+		}
+	}
+}

@@ -3,24 +3,50 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"github.com/streamsum/swat/internal/query"
 )
 
 // This file implements the query side of SWAT (paper §2.4, Fig. 3(b)):
-// the node-cover algorithm and the point, range, and inner-product
-// queries built on it.
+// the node-cover algorithm and the point, range, inner-product, and
+// batched queries built on it.
 //
 // The cover scan runs over lent node views (VisitNodes-style, no
-// coefficient copies) and reuses per-tree scratch buffers, so the
-// steady-state query path performs no allocations. The exported
+// coefficient copies) and reuses scratch buffers drawn from a
+// sync.Pool, so the steady-state query path performs no allocations and
+// any number of goroutines can query one tree concurrently (each holds
+// its own scratch for the duration of the call). The exported
 // CoverNodes copies at the boundary so external callers keep isolated
 // snapshots.
+
+// queryScratch holds the per-call working memory of the query path. It
+// is pooled rather than tree-owned so concurrent readers never share
+// buffers; a query checks one out on entry and returns it before
+// returning to the caller.
+type queryScratch struct {
+	cover     []NodeInfo
+	ages      []int
+	rangeAges []int
+	vals      []float64
+	// Fixed-size backing for PointQuery, so the single-age path needs
+	// no heap-escaping stack slices.
+	pointAge [1]int
+	pointVal [1]float64
+}
+
+// scratchPool recycles query scratch across calls and trees. Buffers
+// grow to the working-set high-water mark and are reused verbatim, so
+// steady-state queries are allocation-free.
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
 // ErrNotCovered wraps ages the tree cannot approximate. It occurs only
 // before warm-up or, for reduced trees (MinLevel > 0), transiently for
 // the most recent ages; query entry points fall back to the nearest
 // valid approximation unless strict mode is requested.
 type ErrNotCovered struct {
-	// Ages lists the uncovered query ages.
+	// Ages lists the uncovered query ages, sorted ascending with
+	// duplicates removed.
 	Ages []int
 }
 
@@ -28,23 +54,26 @@ func (e *ErrNotCovered) Error() string {
 	return fmt.Sprintf("core: ages %v not covered by any tree node", e.Ages)
 }
 
-// coverLent runs the cover phase of the query algorithm over lent node
-// views: it scans nodes from the lowest level upward, R → S → L within a
-// level, and selects every node that covers at least one not-yet-covered
-// query age. The returned cover aliases t.coverScratch and its Coeffs
-// alias node buffers; missing aliases t.agesScratch and holds the
-// sorted, deduplicated uncovered ages (nil when fully covered). Both are
-// valid only until the next query or Update.
-func (t *Tree) coverLent(ages []int) (cover []NodeInfo, missing []int, err error) {
-	pending := t.agesScratch[:0]
+// coverInto runs the cover phase of the query algorithm over lent node
+// views: it scans nodes from the lowest maintained level upward, R → S
+// → L within a level, and selects every node that covers at least one
+// not-yet-covered query age. The returned cover therefore lists nodes
+// in deterministic selection order — strictly increasing (Level, Role)
+// with Role ordered R < S < L — regardless of the order of ages. The
+// cover aliases s.cover and its Coeffs alias node buffers; missing
+// aliases s.ages and holds the sorted, deduplicated uncovered ages
+// (nil when fully covered). Both are valid only while s is checked out
+// and the tree lock is held.
+func (t *treeState) coverInto(s *queryScratch, ages []int) (cover []NodeInfo, missing []int, err error) {
+	pending := s.ages[:0]
 	for _, a := range ages {
 		if a < 0 || a >= t.n {
 			return nil, nil, fmt.Errorf("core: query age %d out of window [0,%d)", a, t.n)
 		}
 		pending = append(pending, a)
 	}
-	t.agesScratch = pending // keep any growth
-	cover = t.coverScratch[:0]
+	s.ages = pending // keep any growth
+	cover = s.cover[:0]
 	for l := t.minLevel; l < t.levels && len(pending) > 0; l++ {
 		for role := Right; int(role) < t.rolesAt(l); role++ {
 			if len(pending) == 0 {
@@ -70,7 +99,7 @@ func (t *Tree) coverLent(ages []int) (cover []NodeInfo, missing []int, err error
 			}
 		}
 	}
-	t.coverScratch = cover[:0]
+	s.cover = cover[:0]
 	if len(pending) > 0 {
 		sort.Ints(pending)
 		missing = dedupSorted(pending)
@@ -90,11 +119,21 @@ func dedupSorted(xs []int) []int {
 }
 
 // CoverNodes runs the cover phase of the query algorithm and returns the
-// paper's set V as isolated snapshots, in selection order. Ages outside
-// [0, N-1] are rejected; uncovered ages (possible before warm-up or with
-// level reduction) yield *ErrNotCovered alongside the partial cover.
+// paper's set V as isolated snapshots. The cover is in deterministic
+// selection order: levels are scanned from the finest maintained level
+// upward, R → S → L within each level, and a node is included iff it
+// covers at least one query age no earlier node covered — so the
+// sequence of (Level, Role) pairs is strictly increasing. Ages outside
+// [0, N-1] are rejected. Uncovered ages (possible before warm-up or
+// with level reduction) yield *ErrNotCovered carrying the sorted,
+// deduplicated missing ages alongside the partial cover, which lists —
+// in the same selection order — the nodes covering the remaining ages.
 func (t *Tree) CoverNodes(ages []int) ([]NodeInfo, error) {
-	cover, missing, err := t.coverLent(ages)
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cover, missing, err := t.coverInto(s, ages)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +179,17 @@ func (t *Tree) ApproximateInto(dst []float64, ages []int) error {
 	if len(dst) < len(ages) {
 		return fmt.Errorf("core: dst length %d for %d ages", len(dst), len(ages))
 	}
-	cover, missing, err := t.coverLent(ages)
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.approximateInto(s, dst, ages)
+}
+
+// approximateInto is the locked core of ApproximateInto; the caller
+// holds the tree lock and owns s.
+func (t *treeState) approximateInto(s *queryScratch, dst []float64, ages []int) error {
+	cover, missing, err := t.coverInto(s, ages)
 	if err != nil {
 		return err
 	}
@@ -151,6 +200,7 @@ func (t *Tree) ApproximateInto(dst []float64, ages []int) error {
 			return &ErrNotCovered{Ages: append([]int(nil), missing...)}
 		}
 		cover = append(cover, fallbackNode)
+		s.cover = cover[:0] // keep growth from the fallback append
 	}
 	for i, a := range ages {
 		ni, ok := coveringNode(cover, a, missing)
@@ -195,7 +245,7 @@ func containsSorted(xs []int, x int) bool {
 // finestValidRight returns a lent view of the valid Right node at the
 // lowest maintained level, used as the best-effort source for
 // transiently uncovered recent ages.
-func (t *Tree) finestValidRight() (NodeInfo, bool) {
+func (t *treeState) finestValidRight() (NodeInfo, bool) {
 	for l := t.minLevel; l < t.levels; l++ {
 		if ni := t.infoView(l, Right); ni.Valid {
 			return ni, true
@@ -207,17 +257,22 @@ func (t *Tree) finestValidRight() (NodeInfo, bool) {
 // PointQuery returns the approximation for the value with the given age.
 // A point query is the inner-product query ([age],[1],δ) of the paper.
 func (t *Tree) PointQuery(age int) (float64, error) {
-	ages := [1]int{age}
-	var out [1]float64
-	if err := t.ApproximateInto(out[:], ages[:]); err != nil {
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	s.pointAge[0] = age
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.approximateInto(s, s.pointVal[:], s.pointAge[:]); err != nil {
 		return 0, err
 	}
-	return out[0], nil
+	return s.pointVal[0], nil
 }
 
 // InnerProduct evaluates the inner-product query with the given index
 // vector (ages) and weight vector, returning Σ weights[i]·d[ages[i]]
-// computed over the tree's approximations.
+// computed over the tree's approximations. For a query evaluated many
+// times against the same tree, Compile the query once and Eval the
+// returned plan instead.
 func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
 	if len(ages) != len(weights) {
 		return 0, fmt.Errorf("core: %d ages but %d weights", len(ages), len(weights))
@@ -225,11 +280,21 @@ func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
 	if len(ages) == 0 {
 		return 0, fmt.Errorf("core: empty inner-product query")
 	}
-	if cap(t.valsScratch) < len(ages) {
-		t.valsScratch = make([]float64, len(ages))
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.innerProduct(s, ages, weights)
+}
+
+// innerProduct is the locked core of InnerProduct; the caller holds the
+// tree lock and owns s.
+func (t *treeState) innerProduct(s *queryScratch, ages []int, weights []float64) (float64, error) {
+	if cap(s.vals) < len(ages) {
+		s.vals = make([]float64, len(ages))
 	}
-	vals := t.valsScratch[:len(ages)]
-	if err := t.ApproximateInto(vals, ages); err != nil {
+	vals := s.vals[:len(ages)]
+	if err := t.approximateInto(s, vals, ages); err != nil {
 		return 0, err
 	}
 	var sum float64
@@ -237,6 +302,38 @@ func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
 		sum += weights[i] * v
 	}
 	return sum, nil
+}
+
+// AnswerBatch evaluates qs[i] into dst[i] for every query in the batch.
+// dst must have length >= len(qs). The whole batch is answered under
+// one reader-lock acquisition, so it sees a single consistent tree
+// state (an UpdateBatch running concurrently is observed either by the
+// whole batch or not at all) and amortizes synchronization across the
+// batch. Steady-state calls perform no allocations. Queries that the
+// tree cannot answer abort the batch with the first error; dst entries
+// past the failing query are left unmodified.
+func (t *Tree) AnswerBatch(dst []float64, qs []query.Query) error {
+	if len(dst) < len(qs) {
+		return fmt.Errorf("core: dst length %d for %d queries", len(dst), len(qs))
+	}
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range qs {
+		if len(qs[i].Ages) != len(qs[i].Weights) {
+			return fmt.Errorf("core: query %d has %d ages but %d weights", i, len(qs[i].Ages), len(qs[i].Weights))
+		}
+		if len(qs[i].Ages) == 0 {
+			return fmt.Errorf("core: query %d is empty", i)
+		}
+		v, err := t.innerProduct(s, qs[i].Ages, qs[i].Weights)
+		if err != nil {
+			return fmt.Errorf("core: query %d: %w", i, err)
+		}
+		dst[i] = v
+	}
+	return nil
 }
 
 // RangeMatch is one result of a range query.
@@ -252,25 +349,29 @@ type RangeMatch struct {
 // [p-radius, p+radius] — the rectangle-vs-step-function intersection of
 // paper §2.4.
 func (t *Tree) RangeQuery(p, radius float64, ageFrom, ageTo int) ([]RangeMatch, error) {
-	if ageFrom < 0 || ageTo < ageFrom || ageTo >= t.n {
-		return nil, fmt.Errorf("core: range query ages [%d,%d] out of window [0,%d)", ageFrom, ageTo, t.n)
-	}
 	if radius < 0 {
 		return nil, fmt.Errorf("core: negative radius %v", radius)
 	}
-	span := ageTo - ageFrom + 1
-	if cap(t.rangeScratch) < span {
-		t.rangeScratch = make([]int, span)
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ageFrom < 0 || ageTo < ageFrom || ageTo >= t.n {
+		return nil, fmt.Errorf("core: range query ages [%d,%d] out of window [0,%d)", ageFrom, ageTo, t.n)
 	}
-	ages := t.rangeScratch[:span]
+	span := ageTo - ageFrom + 1
+	if cap(s.rangeAges) < span {
+		s.rangeAges = make([]int, span)
+	}
+	ages := s.rangeAges[:span]
 	for i := range ages {
 		ages[i] = ageFrom + i
 	}
-	if cap(t.valsScratch) < span {
-		t.valsScratch = make([]float64, span)
+	if cap(s.vals) < span {
+		s.vals = make([]float64, span)
 	}
-	vals := t.valsScratch[:span]
-	if err := t.ApproximateInto(vals, ages); err != nil {
+	vals := s.vals[:span]
+	if err := t.approximateInto(s, vals, ages); err != nil {
 		return nil, err
 	}
 	var out []RangeMatch

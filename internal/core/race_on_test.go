@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, sync.Pool intentionally drops a fraction of Puts to widen the
+// interleavings the detector can observe, so pooled-scratch paths are
+// not allocation-free there and the AllocsPerRun guards must be skipped.
+const raceEnabled = true

@@ -19,11 +19,27 @@
 // buffers of a level pointer-wise instead of copying, and the raw
 // segment feeding the finest level is gathered into a per-tree scratch
 // slice reduced in place.
+//
+// # Reader/writer discipline
+//
+// A Tree is internally synchronized with a single readers–writer lock:
+// Update, UpdateBatch, and UnmarshalBinary take the writer side; every
+// query entry point (Approximate, PointQuery, InnerProduct, RangeQuery,
+// AnswerBatch, CoverNodes, Nodes, VisitNodes, Plan.Eval, MarshalBinary,
+// Ready, ...) takes the reader side. Any number of goroutines may
+// therefore answer queries on one tree concurrently — query scratch
+// lives in a sync.Pool, not on the tree — while ingest proceeds from
+// another goroutine. A writer blocks until in-flight queries drain and
+// publishes its state atomically: an UpdateBatch is observed either not
+// at all or in full by every query (no torn reads). Callbacks lent tree
+// state (VisitNodes) run under the read lock and must not call other
+// Tree methods, which could deadlock behind a waiting writer.
 package core
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"github.com/streamsum/swat/internal/wavelet"
 )
@@ -83,11 +99,20 @@ type node struct {
 	valid bool
 }
 
-// Tree is a SWAT approximation tree. It is not safe for concurrent use;
-// callers that share a Tree across goroutines must serialize access
-// (queries reuse internal scratch buffers, so even read-read sharing
-// must be serialized).
+// Tree is a SWAT approximation tree. It is safe for concurrent use
+// under the package's reader/writer discipline: the internal lock
+// serializes writers (Update, UpdateBatch, UnmarshalBinary) against
+// each other and against queries, while queries from any number of
+// goroutines run concurrently.
 type Tree struct {
+	mu sync.RWMutex
+	treeState
+}
+
+// treeState holds all mutable tree data behind the lock, separated from
+// Tree so UnmarshalBinary can replace the state wholesale without
+// copying the lock.
+type treeState struct {
 	n        int // window size N
 	levels   int // log2 N
 	minLevel int
@@ -106,20 +131,31 @@ type Tree struct {
 	arrivals    int64
 	nodeUpdates uint64
 
+	// generation versions everything a query or compiled plan depends
+	// on: node validity, coefficient contents, and covered-age
+	// boundaries. Every arrival slides the boundaries of the nodes it
+	// does not refresh (Start = arrivals − birth), so the generation
+	// advances once per arrival; UnmarshalBinary bumps it too, since a
+	// restore replaces node buffers outright. Plans compare generations
+	// to detect staleness (see plan.go).
+	generation uint64
+
 	// rawScratch gathers the finest level's raw segment out of the ring
 	// and is reduced in place; len == len(recent).
 	rawScratch []float64
-
-	// Query scratch, reused across queries (see query.go).
-	coverScratch []NodeInfo
-	agesScratch  []int
-	rangeScratch []int
-	valsScratch  []float64
 }
 
 // New creates an empty SWAT tree. The tree answers queries only after
 // enough arrivals; Ready reports full warm-up.
 func New(opts Options) (*Tree, error) {
+	st, err := newState(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{treeState: *st}, nil
+}
+
+func newState(opts Options) (*treeState, error) {
 	n := opts.WindowSize
 	if !wavelet.IsPow2(n) || n < 4 {
 		return nil, fmt.Errorf("core: window size must be a power of two >= 4, got %d", n)
@@ -136,7 +172,7 @@ func New(opts Options) (*Tree, error) {
 		return nil, fmt.Errorf("core: min level %d out of range [0,%d]", opts.MinLevel, levels-1)
 	}
 	ringLen := 1 << uint(opts.MinLevel+1)
-	t := &Tree{
+	t := &treeState{
 		n:          n,
 		levels:     levels,
 		minLevel:   opts.MinLevel,
@@ -164,42 +200,85 @@ func New(opts Options) (*Tree, error) {
 }
 
 // rolesAt returns how many of the three roles level l maintains.
-func (t *Tree) rolesAt(l int) int {
+func (t *treeState) rolesAt(l int) int {
 	if l == t.levels-1 {
 		return 1
 	}
 	return 3
 }
 
+// Tree geometry accessors read fields that only UnmarshalBinary can
+// change, so they take the read lock like every other reader.
+
 // WindowSize returns N.
-func (t *Tree) WindowSize() int { return t.n }
+func (t *Tree) WindowSize() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
 
 // Levels returns log2(N), the number of levels of a full tree.
-func (t *Tree) Levels() int { return t.levels }
+func (t *Tree) Levels() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.levels
+}
 
 // MinLevel returns the finest maintained level (0 for a full tree).
-func (t *Tree) MinLevel() int { return t.minLevel }
+func (t *Tree) MinLevel() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.minLevel
+}
 
 // Coefficients returns k, the per-node coefficient budget.
-func (t *Tree) Coefficients() int { return t.k }
+func (t *Tree) Coefficients() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.k
+}
 
 // NumNodes returns the number of maintained nodes: 3·(levels−minLevel)−2,
 // which is the paper's 3·log N − 2 for a full tree.
-func (t *Tree) NumNodes() int { return 3*(t.levels-t.minLevel) - 2 }
+func (t *Tree) NumNodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numNodes()
+}
+
+func (t *treeState) numNodes() int { return 3*(t.levels-t.minLevel) - 2 }
 
 // Arrivals returns the number of values consumed so far.
-func (t *Tree) Arrivals() int64 { return t.arrivals }
+func (t *Tree) Arrivals() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.arrivals
+}
 
 // NodeUpdates returns the total number of node refreshes performed, used
 // to verify the paper's O(kN)-per-cycle (amortized O(k) per arrival)
 // update complexity.
-func (t *Tree) NodeUpdates() uint64 { return t.nodeUpdates }
+func (t *Tree) NodeUpdates() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodeUpdates
+}
+
+// Generation returns the tree's query-visible version. It advances on
+// every arrival (each arrival slides the covered-age boundaries of the
+// nodes it does not refresh) and on snapshot restore; compiled plans
+// cache work per generation and transparently recompile on mismatch.
+func (t *Tree) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.generation
+}
 
 // segLen returns the segment length 2^(l+1) of a level-l node.
-func (t *Tree) segLen(level int) int { return 1 << uint(level+1) }
+func (t *treeState) segLen(level int) int { return 1 << uint(level+1) }
 
 // coeffLen returns the coefficient count of a level-l node.
-func (t *Tree) coeffLen(level int) int {
+func (t *treeState) coeffLen(level int) int {
 	if s := t.segLen(level); s < t.k {
 		return s
 	}
@@ -210,7 +289,7 @@ func (t *Tree) coeffLen(level int) int {
 // ring length is a power of two, so a mask replaces the modulo; Go's
 // two's-complement & keeps the index in range even when head-age is
 // negative.
-func (t *Tree) ringAt(age int) float64 {
+func (t *treeState) ringAt(age int) float64 {
 	return t.recent[(t.recentHead-age)&t.recentMask]
 }
 
@@ -218,6 +297,12 @@ func (t *Tree) ringAt(age int) float64 {
 // tree has fully warmed up. Warm-up completes within 3·2^(levels-1)
 // arrivals.
 func (t *Tree) Ready() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ready()
+}
+
+func (t *treeState) ready() bool {
 	for l := t.minLevel; l < t.levels; l++ {
 		if !t.nodes[l][Right].valid {
 			return false
@@ -232,8 +317,16 @@ func (t *Tree) Ready() bool {
 // Update consumes the next stream value, refreshing every level l with
 // 2^l dividing the new arrival count (paper Fig. 3(a)). The shift chain
 // L ← S ← R runs before R is recomputed from the already-refreshed
-// children of the level below. The whole path is allocation-free.
+// children of the level below. The path is allocation-free; it takes
+// the writer lock, so it excludes concurrent queries for its (O(k)
+// amortized) duration.
 func (t *Tree) Update(v float64) {
+	t.mu.Lock()
+	t.update(v)
+	t.mu.Unlock()
+}
+
+func (t *treeState) update(v float64) {
 	// Record the raw value in the ring feeding the finest level.
 	t.recentHead = (t.recentHead + 1) & t.recentMask
 	t.recent[t.recentHead] = v
@@ -242,6 +335,7 @@ func (t *Tree) Update(v float64) {
 	}
 
 	t.arrivals++
+	t.generation++
 	maxLevel := bits.TrailingZeros64(uint64(t.arrivals))
 	if maxLevel > t.levels-1 {
 		maxLevel = t.levels - 1
@@ -255,12 +349,20 @@ func (t *Tree) Update(v float64) {
 // calling Update once per value — the resulting tree state is
 // bit-identical — but amortizes per-arrival bookkeeping: for reduced
 // trees (MinLevel > 0) the arrivals between two refresh boundaries
-// touch only the raw ring and are written in bulk runs.
+// touch only the raw ring and are written in bulk runs, and the writer
+// lock is taken once for the whole batch, so concurrent queries observe
+// the batch atomically (entirely applied or not at all).
 func (t *Tree) UpdateBatch(vs []float64) {
+	t.mu.Lock()
+	t.updateBatch(vs)
+	t.mu.Unlock()
+}
+
+func (t *treeState) updateBatch(vs []float64) {
 	if t.minLevel == 0 {
 		// Level 0 refreshes on every arrival; nothing to skip.
 		for _, v := range vs {
-			t.Update(v)
+			t.update(v)
 		}
 		return
 	}
@@ -283,12 +385,13 @@ func (t *Tree) UpdateBatch(vs []float64) {
 				t.recentLen = len(t.recent)
 			}
 			t.arrivals += int64(run)
+			t.generation += uint64(run)
 			i += run
 			if i == len(vs) {
 				return
 			}
 		}
-		t.Update(vs[i])
+		t.update(vs[i])
 		i++
 	}
 }
@@ -296,7 +399,7 @@ func (t *Tree) UpdateBatch(vs []float64) {
 // refreshLevel rotates the level's three coefficient buffers along the
 // L ← S ← R shift (the buffer falling off L becomes R's write target)
 // and recomputes R for the current arrival.
-func (t *Tree) refreshLevel(l int) {
+func (t *treeState) refreshLevel(l int) {
 	lv := &t.nodes[l]
 	if l < t.levels-1 {
 		spare := lv[Left].coeffs
@@ -312,7 +415,7 @@ func (t *Tree) refreshLevel(l int) {
 // fillRight computes the new contents of R_l into dst (the node's fixed
 // buffer, len == coeffLen(l)) at the current arrival, reporting whether
 // the inputs were warm enough to produce valid data.
-func (t *Tree) fillRight(l int, dst []float64) bool {
+func (t *treeState) fillRight(l int, dst []float64) bool {
 	if l == t.minLevel {
 		seg := len(t.rawScratch) // == segLen(minLevel) == ring size
 		if t.recentLen < seg {
@@ -368,7 +471,7 @@ func (ni NodeInfo) String() string {
 // infoView snapshots node (l, role) without copying: the returned
 // Coeffs alias the node's internal buffer and stay accurate only until
 // the next Update.
-func (t *Tree) infoView(l int, role Role) NodeInfo {
+func (t *treeState) infoView(l int, role Role) NodeInfo {
 	nd := &t.nodes[l][role]
 	start := int(t.arrivals - nd.birth)
 	ni := NodeInfo{
@@ -385,7 +488,7 @@ func (t *Tree) infoView(l int, role Role) NodeInfo {
 }
 
 // info snapshots node (l, role) with an isolated coefficient copy.
-func (t *Tree) info(l int, role Role) NodeInfo {
+func (t *treeState) info(l int, role Role) NodeInfo {
 	ni := t.infoView(l, role)
 	ni.Coeffs = append([]float64(nil), ni.Coeffs...)
 	return ni
@@ -396,8 +499,11 @@ func (t *Tree) info(l int, role Role) NodeInfo {
 // false. This is the zero-copy read path: the NodeInfo passed to fn
 // lends the tree's internal coefficient storage, so fn must not modify
 // the Coeffs slice or retain it past the callback (use Nodes for an
-// isolated snapshot).
+// isolated snapshot). fn runs under the tree's read lock and must not
+// call other Tree methods.
 func (t *Tree) VisitNodes(fn func(NodeInfo) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for l := t.minLevel; l < t.levels; l++ {
 		if !fn(t.infoView(l, Right)) {
 			return
@@ -417,7 +523,9 @@ func (t *Tree) VisitNodes(fn func(NodeInfo) bool) {
 // (level minLevel..top, R → S → L within a level). The snapshots are
 // isolated copies, safe to retain.
 func (t *Tree) Nodes() []NodeInfo {
-	out := make([]NodeInfo, 0, t.NumNodes())
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]NodeInfo, 0, t.numNodes())
 	for l := t.minLevel; l < t.levels; l++ {
 		out = append(out, t.info(l, Right))
 		if l < t.levels-1 {

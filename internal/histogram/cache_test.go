@@ -1,0 +1,114 @@
+package histogram
+
+import (
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Tests for the query cache: repeated queries between arrivals must
+// reuse one construction, and any arrival must invalidate it.
+
+func TestBuildCachesPerGeneration(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 64, Buckets: 8, Epsilon: 0.1})
+	src := stream.Uniform(3)
+	for i := 0; i < 64; i++ {
+		s.Update(src.Next())
+	}
+	h1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("repeated Build between arrivals rebuilt the histogram")
+	}
+	if s.Builds() != 1 {
+		t.Errorf("Builds = %d, want 1", s.Builds())
+	}
+	if s.CacheHits() != 1 {
+		t.Errorf("CacheHits = %d, want 1", s.CacheHits())
+	}
+	// Queries go through the same cache.
+	if _, err := s.InnerProduct([]int{0, 1, 2}, []float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PointQuery(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Builds() != 1 {
+		t.Errorf("Builds after cached queries = %d, want 1", s.Builds())
+	}
+	if s.CacheHits() != 3 {
+		t.Errorf("CacheHits after cached queries = %d, want 3", s.CacheHits())
+	}
+}
+
+func TestUpdateInvalidatesCache(t *testing.T) {
+	s := mustSummary(t, Options{WindowSize: 32, Buckets: 4, Epsilon: 0.1})
+	src := stream.Uniform(9)
+	for i := 0; i < 32; i++ {
+		s.Update(src.Next())
+	}
+	h1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(src.Next())
+	h2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("Build after an arrival returned the stale cached histogram")
+	}
+	if s.Builds() != 2 {
+		t.Errorf("Builds = %d, want 2", s.Builds())
+	}
+}
+
+// TestCachedAnswersMatchUncached feeds two identical summaries the same
+// stream and interleaves queries on one of them; answers must be
+// identical to the never-queried-twice baseline at every step.
+func TestCachedAnswersMatchUncached(t *testing.T) {
+	mk := func() *Summary {
+		return mustSummary(t, Options{WindowSize: 32, Buckets: 6, Epsilon: 0.2})
+	}
+	cached, fresh := mk(), mk()
+	src := stream.Weather(5)
+	ages := []int{0, 3, 7, 15}
+	weights := []float64{4, 3, 2, 1}
+	for i := 0; i < 32; i++ {
+		v := src.Next()
+		cached.Update(v)
+		fresh.Update(v)
+	}
+	for step := 0; step < 20; step++ {
+		// Query the cached summary several times per arrival; the fresh
+		// one once.
+		var got float64
+		var err error
+		for rep := 0; rep < 3; rep++ {
+			got, err = cached.InnerProduct(ages, weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := fresh.InnerProduct(ages, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("step %d: cached answer %v != uncached %v", step, got, want)
+		}
+		v := src.Next()
+		cached.Update(v)
+		fresh.Update(v)
+	}
+	if cached.CacheHits() == 0 {
+		t.Error("no cache hits despite repeated queries")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
 )
 
 // Options configures a Monitor.
@@ -296,9 +297,52 @@ func (m *Monitor) Ready(name string) bool {
 	return m.trees[idx].Ready()
 }
 
-// Tree exposes a stream's summary tree for direct queries. The tree is
-// not synchronized: callers must not use it concurrently with ingest
-// into the same monitor.
+// Answer is one stream's response to a fan-out query.
+type Answer struct {
+	// Stream is the stream's registered name.
+	Stream string
+	// Value is the stream's answer; meaningful only when Err is nil.
+	Value float64
+	// Err reports why the stream could not answer (typically a cold
+	// tree, *core.ErrNotCovered).
+	Err error
+}
+
+// QueryAll evaluates one inner-product query against every registered
+// stream, fanning the evaluation across the shard workers in parallel,
+// and returns the answers in registration order. Trees synchronize
+// reads internally (see core's reader/writer discipline), so QueryAll
+// does not take the shard ingest locks: queries proceed concurrently
+// with Observe/ObserveBatch/ObserveAllBatch on the same shards.
+// Per-stream failures (e.g. a stream that has not warmed up) are
+// reported in the answer's Err, not as a call error.
+func (m *Monitor) QueryAll(q query.Query) ([]Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	if m.closed {
+		return nil, fmt.Errorf("multi: monitor closed")
+	}
+	out := make([]Answer, len(m.names))
+	if len(out) == 0 {
+		return out, nil
+	}
+	m.fanout(func(s *shard) {
+		for _, idx := range s.streams {
+			out[idx].Stream = m.names[idx]
+			out[idx].Value, out[idx].Err = m.trees[idx].InnerProduct(q.Ages, q.Weights)
+		}
+	})
+	return out, nil
+}
+
+// Tree exposes a stream's summary tree for direct queries. The tree
+// synchronizes reads and writes internally, so querying it (including
+// via compiled plans) is safe concurrently with monitor ingest; do not
+// Update it directly, which would bypass the monitor's arrival
+// accounting.
 func (m *Monitor) Tree(name string) (*core.Tree, error) {
 	m.reg.RLock()
 	defer m.reg.RUnlock()

@@ -1,0 +1,168 @@
+package multi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+func TestQueryAllAnswersEveryStream(t *testing.T) {
+	m, err := New(Options{WindowSize: 64, Coefficients: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const streams = 10
+	for i := 0; i < streams; i++ {
+		if err := m.Add(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream i carries the constant value i, so any normalized query
+	// answers exactly i.
+	for step := 0; step < 200; step++ {
+		row := make([]float64, streams)
+		for i := range row {
+			row[i] = float64(i)
+		}
+		if err := m.ObserveAll(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := query.New(query.Linear, 0, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wsum float64
+	for _, w := range q.Weights {
+		wsum += w
+	}
+	answers, err := m.QueryAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != streams {
+		t.Fatalf("got %d answers for %d streams", len(answers), streams)
+	}
+	for i, a := range answers {
+		if a.Stream != fmt.Sprintf("s%d", i) {
+			t.Errorf("answer %d is for %q, want registration order", i, a.Stream)
+		}
+		if a.Err != nil {
+			t.Errorf("stream %q: %v", a.Stream, a.Err)
+			continue
+		}
+		if want := float64(i) * wsum; math.Abs(a.Value-want) > 1e-9 {
+			t.Errorf("stream %q answered %v, want %v", a.Stream, a.Value, want)
+		}
+	}
+}
+
+func TestQueryAllColdStreams(t *testing.T) {
+	m, err := New(Options{WindowSize: 64, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Add("warm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("cold"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := m.ObserveBatch("warm", []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := query.New(query.Point, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := m.QueryAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Err != nil {
+		t.Errorf("warm stream errored: %v", answers[0].Err)
+	}
+	if answers[1].Err == nil {
+		t.Error("cold stream answered without error")
+	}
+	// Invalid queries fail the call, not the streams.
+	if _, err := m.QueryAll(query.Query{}); err == nil {
+		t.Error("QueryAll accepted an empty query")
+	}
+	m.Close()
+	if _, err := m.QueryAll(q); err == nil {
+		t.Error("QueryAll succeeded on a closed monitor")
+	}
+}
+
+// TestQueryAllConcurrentWithIngest exercises the serve-while-ingesting
+// path under -race: queries must not block or tear while shard workers
+// apply batches to the same trees.
+func TestQueryAllConcurrentWithIngest(t *testing.T) {
+	m, err := New(Options{WindowSize: 128, Coefficients: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const streams = 8
+	for i := 0; i < streams; i++ {
+		if err := m.Add(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := stream.Uniform(11)
+	warm := make([][]float64, 300)
+	for t := range warm {
+		warm[t] = make([]float64, streams)
+		for i := range warm[t] {
+			warm[t][i] = src.Next()
+		}
+	}
+	if err := m.ObserveAllBatch(warm); err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.New(query.Exponential, 0, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ingester
+		defer wg.Done()
+		for round := 0; round < 30; round++ {
+			if err := m.ObserveAllBatch(warm[:10]); err != nil {
+				t.Errorf("ObserveAllBatch: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // queriers
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				answers, err := m.QueryAll(q)
+				if err != nil {
+					t.Errorf("QueryAll: %v", err)
+					return
+				}
+				for _, a := range answers {
+					if a.Err != nil {
+						t.Errorf("stream %q: %v", a.Stream, a.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

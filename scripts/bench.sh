@@ -1,44 +1,70 @@
 #!/usr/bin/env bash
-# Run the hot-path micro-benchmarks with allocation reporting and emit a
-# machine-readable snapshot next to the repo root.
+# Run the micro-benchmarks with allocation reporting and emit
+# machine-readable snapshots next to the repo root.
 #
-#   scripts/bench.sh [count]
+#   scripts/bench.sh [count] [stage]
 #
 # count defaults to 6 runs per benchmark (pass 1 for a quick smoke run).
-# Raw `go test -bench` output is written to BENCH_hotpath.txt and a JSON
-# digest — one object per benchmark run with ns/op, B/op, allocs/op — to
-# BENCH_hotpath.json, for diffing against a previous checkout.
+# stage selects which suites run: "hotpath", "query", or "all" (default).
+#
+# Each stage writes two artifacts:
+#   BENCH_<stage>.txt   raw `go test -bench` output — benchstat input;
+#                       compare checkouts with
+#                         benchstat old/BENCH_query.txt BENCH_query.txt
+#   BENCH_<stage>.json  one object per benchmark run with ns/op, B/op,
+#                       allocs/op, for scripted diffing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-6}"
-BENCHES='BenchmarkTreeUpdate$|BenchmarkTreeUpdateBatch|BenchmarkTreePointQuery|BenchmarkTreeInnerProduct|BenchmarkMonitorIngest'
-RAW=BENCH_hotpath.txt
-OUT=BENCH_hotpath.json
+STAGE="${2:-all}"
 
-# Capture to temporaries first so a failed run leaves any previous
+HOTPATH_BENCHES='BenchmarkTreeUpdate$|BenchmarkTreeUpdateBatch|BenchmarkTreePointQuery|BenchmarkTreeInnerProduct|BenchmarkMonitorIngest'
+QUERY_BENCHES='BenchmarkQueryAdhoc|BenchmarkQueryPlan|BenchmarkAnswerBatch|BenchmarkHistogramQuery|BenchmarkMonitorQueryAll'
+
+# run_stage <name> <bench regexp>: runs the suite, tees raw benchstat-
+# compatible text to BENCH_<name>.txt and digests it into BENCH_<name>.json.
+# Capture goes to temporaries first so a failed run leaves any previous
 # snapshot untouched.
-go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" . | tee "$RAW.tmp"
-mv "$RAW.tmp" "$RAW"
+run_stage() {
+    local name="$1" benches="$2"
+    local raw="BENCH_${name}.txt" out="BENCH_${name}.json"
 
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+    go test -run '^$' -bench "$benches" -benchmem -count="$COUNT" . | tee "$raw.tmp"
+    mv "$raw.tmp" "$raw"
+
+    awk '
+    BEGIN { print "[" }
+    /^Benchmark/ {
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i
+            if ($(i+1) == "B/op") bytes = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, $2, ns
+        if (bytes != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
+        printf "}"
     }
-    if (ns == "") next
-    if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, $2, ns
-    if (bytes != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
-    printf "}"
-}
-END { print "\n]" }
-' "$RAW" > "$OUT.tmp"
-mv "$OUT.tmp" "$OUT"
+    END { print "\n]" }
+    ' "$raw" > "$out.tmp"
+    mv "$out.tmp" "$out"
 
-echo "wrote $RAW and $OUT"
+    echo "wrote $raw and $out"
+}
+
+case "$STAGE" in
+hotpath) run_stage hotpath "$HOTPATH_BENCHES" ;;
+query) run_stage query "$QUERY_BENCHES" ;;
+all)
+    run_stage hotpath "$HOTPATH_BENCHES"
+    run_stage query "$QUERY_BENCHES"
+    ;;
+*)
+    echo "unknown stage: $STAGE (want hotpath, query, or all)" >&2
+    exit 2
+    ;;
+esac

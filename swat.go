@@ -62,6 +62,13 @@ type NodeInfo = core.NodeInfo
 // RangeMatch is one result of a Tree range query.
 type RangeMatch = core.RangeMatch
 
+// Plan is a compiled inner-product query bound to one Tree: the cover
+// scan runs once at compile time and every Eval is a flat dot product
+// over the covering nodes, recompiling transparently when the tree
+// advances. Compile a query that will be evaluated repeatedly (the
+// paper's fixed-query mode) with Tree.Compile.
+type Plan = core.Plan
+
 // ErrNotCovered reports query ages a cold or reduced tree cannot answer.
 type ErrNotCovered = core.ErrNotCovered
 
