@@ -1,0 +1,151 @@
+// Command swatlint runs the repo's custom analyzer suite
+// (internal/analysis) over Go packages: seededrand, noalloc,
+// lockcheck, and detmap — the mechanical form of the determinism,
+// zero-allocation, and lock-discipline invariants the design docs
+// promise. It is wired into `make lint` next to staticcheck and
+// govulncheck.
+//
+// Usage:
+//
+//	swatlint [-only name[,name...]] [packages]
+//
+// Packages default to ./.... Exits 1 when any diagnostic survives
+// //lint:allow suppression, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/streamsum/swat/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swatlint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			found := false
+			for _, a := range suite {
+				if a.Name == name {
+					picked = append(picked, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "swatlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+		}
+		suite = picked
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swatlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swatlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunSuite(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swatlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+			failed = true
+		}
+	}
+	if err := checkRequiredDirectives(pkgs); err != nil {
+		fmt.Println(err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// requiredDeterministic lists the packages whose replayability the
+// design docs promise; each must carry the //swat:deterministic
+// directive so seededrand and detmap keep applying to it. The
+// cross-check stops the directive from being silently dropped.
+var requiredDeterministic = []string{
+	"internal/netsim",
+	"internal/netsim/scenario",
+	"internal/sim",
+	"internal/experiments",
+	"internal/stream",
+	"internal/replication",
+	"internal/aps",
+	"internal/dc",
+}
+
+func checkRequiredDirectives(pkgs []*analysis.Package) error {
+	marked := map[string]bool{}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, suffix := range requiredDeterministic {
+			if strings.HasSuffix(pkg.ImportPath, suffix) {
+				seen[suffix] = true
+				if deterministicPkg(pkg) {
+					marked[suffix] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, suffix := range requiredDeterministic {
+		if seen[suffix] && !marked[suffix] {
+			missing = append(missing, suffix)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("swatlint: packages required to be //swat:deterministic lack the directive: %s",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func deterministicPkg(pkg *analysis.Package) bool {
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//swat:deterministic") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

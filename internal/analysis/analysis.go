@@ -1,0 +1,267 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the repo's analyzer suite (swatlint). It mechanically enforces the
+// invariants the codebase otherwise guarantees only by convention:
+//
+//   - seededrand: deterministic packages draw randomness from injected
+//     *rand.Rand values and never read the wall clock, so netsim runs
+//     replay byte-for-byte from a seed (DESIGN §2.7).
+//   - noalloc: functions annotated //swat:noalloc contain no
+//     AST-visible allocation sites on their steady-state path and are
+//     cross-checked against a testing.AllocsPerRun guard (DESIGN §2.5).
+//   - lockcheck: methods on a mutex-guarded state-embedding struct
+//     (core.Tree) acquire the mutex before touching guarded state
+//     (DESIGN §2.8).
+//   - detmap: deterministic packages never let randomized map
+//     iteration order reach observable output.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic, analysistest-style fixture
+// tests) but is built on the standard library only — go/parser,
+// go/types, and export data produced by `go list -export` — so the
+// lint gate needs no module dependencies and runs fully offline.
+//
+// # Directives
+//
+//	//swat:deterministic   (package scope) the package must be
+//	                       replayable; seededrand and detmap apply.
+//	//swat:noalloc         (func doc) the function's steady-state path
+//	                       must not allocate; noalloc applies.
+//	//swat:locked          (func doc) the function requires the caller
+//	                       to hold the guarding lock; lockcheck treats
+//	                       its body as lock-held context.
+//	//lint:allow NAME why  suppresses analyzer NAME's diagnostics on
+//	                       the same or the following source line. The
+//	                       reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a package via the Pass and
+// reports diagnostics; it mirrors x/tools' go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description shown by `swatlint -help`.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's non-test syntax, type-checked.
+	Files []*ast.File
+	// TestFiles is the package's in-package and external test syntax,
+	// parsed but NOT type-checked (analyzers use it for syntactic
+	// cross-checks such as noalloc's AllocsPerRun guard).
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive names understood by the suite.
+const (
+	DirDeterministic = "//swat:deterministic"
+	DirNoAlloc       = "//swat:noalloc"
+	DirLocked        = "//swat:locked"
+	allowPrefix      = "//lint:allow"
+)
+
+// Deterministic reports whether the package carries the
+// //swat:deterministic directive in any of its files.
+func (p *Pass) Deterministic() bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if directiveIs(c.Text, DirDeterministic) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// directiveIs reports whether a comment is exactly the given directive
+// (optionally followed by explanatory text).
+func directiveIs(text, dir string) bool {
+	if !strings.HasPrefix(text, dir) {
+		return false
+	}
+	rest := text[len(dir):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// FuncHasDirective reports whether the function's doc comment carries
+// the directive.
+func FuncHasDirective(fd *ast.FuncDecl, dir string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if directiveIs(c.Text, dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows extracts every //lint:allow directive from the files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, &allowDirective{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// knownAnalyzerName matches lint:allow targets: the suite's analyzers
+// plus external tools wired into `make lint`.
+var knownAnalyzerName = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+
+// Suite returns the full swatlint analyzer suite.
+func Suite() []*Analyzer {
+	return []*Analyzer{SeededRand, NoAlloc, LockCheck, DetMap}
+}
+
+// RunSuite runs the given analyzers over one loaded package, applies
+// //lint:allow suppression, and returns the surviving diagnostics
+// (sorted by position) plus diagnostics for malformed or unused allow
+// directives.
+func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			TestFiles: pkg.TestSyntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	allows := parseAllows(pkg.Fset, pkg.Syntax)
+	kept := raw[:0]
+	for _, d := range raw {
+		if !suppressed(d, allows) {
+			kept = append(kept, d)
+		}
+	}
+	// Malformed and unused directives are findings themselves: an allow
+	// without a reason defeats the audit trail, and one suppressing
+	// nothing is stale.
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, al := range allows {
+		switch {
+		case al.analyzer == "" || !knownAnalyzerName.MatchString(al.analyzer):
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\", got %q", al.analyzer),
+			})
+		case al.reason == "":
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("//lint:allow %s has no reason; a justification is mandatory", al.analyzer),
+			})
+		case !al.used && names[al.analyzer]:
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("unused //lint:allow %s: no diagnostic suppressed here", al.analyzer),
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// suppressed reports whether an allow directive covers the diagnostic:
+// same file, same analyzer, and the directive sits on the diagnostic's
+// line or the line directly above it.
+func suppressed(d Diagnostic, allows []*allowDirective) bool {
+	for _, al := range allows {
+		if al.analyzer != d.Analyzer || al.reason == "" {
+			continue
+		}
+		if al.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if al.pos.Line == d.Pos.Line || al.pos.Line == d.Pos.Line-1 {
+			al.used = true
+			return true
+		}
+	}
+	return false
+}

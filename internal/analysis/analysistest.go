@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// This file is a stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest: fixtures live under
+// testdata/src/<name>/, carry `// want "regexp"` comments on the lines
+// where diagnostics are expected, and RunFixture checks the analyzer's
+// output against them both ways (every diagnostic wanted, every want
+// matched). Suppression via //lint:allow runs exactly as in the real
+// driver, so fixtures can also prove the escape hatch works.
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads testdata/src/<fixture> relative to the caller's
+// directory, runs the analyzers over it (with //lint:allow
+// suppression), and reports any mismatch against the fixture's
+// `// want` annotations.
+func RunFixture(t *testing.T, fixture string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadDir(".", dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := RunSuite(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", fixture, err)
+	}
+	expects, err := parseWants(pkg.Fset, append(pkg.Syntax, pkg.TestSyntax...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !matchExpectation(expects, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched `// want %s`", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// parseWants extracts the `// want` expectations from fixture comments.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := c.Text[idx+len("// want "):]
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q: need a quoted or backquoted regexp", pos, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// matchExpectation marks and returns the first unmatched expectation on
+// the diagnostic's line whose pattern matches its message.
+func matchExpectation(expects []*expectation, d Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || e.file != d.Pos.Filename {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

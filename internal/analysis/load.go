@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file loads type-checked packages without golang.org/x/tools:
+// `go list -export -deps -json` yields compiled export data for every
+// dependency (stdlib included, built locally by the toolchain — no
+// network), the targets are parsed with go/parser, and go/types
+// resolves their imports through an export-data importer. In-package
+// and external test files are parsed too, but only syntactically:
+// analyzers use them for cross-checks (e.g. noalloc's AllocsPerRun
+// guard), never for type queries.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	// Syntax holds the type-checked non-test files.
+	Syntax []*ast.File
+	// TestSyntax holds *_test.go files (in-package and external),
+	// parsed only.
+	TestSyntax []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath      string
+	Dir             string
+	GoFiles         []string
+	TestGoFiles     []string
+	XTestGoFiles    []string
+	Export          string
+	Standard        bool
+	Incomplete      bool
+	Error           *struct{ Err string }
+	DepsErrors      []*struct{ Err string }
+	CompiledGoFiles []string
+}
+
+// goList runs `go list` in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the import-path → export-data lookup used by the
+// gc importer, from one `go list -export -deps` run over patterns.
+func exportLookup(dir string, patterns []string) (map[string]string, error) {
+	deps, err := goList(dir, append([]string{"-e", "-export", "-deps", "-json=ImportPath,Export,Standard,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+	return exports, nil
+}
+
+// Load type-checks the packages matched by patterns in the module
+// rooted at dir.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	exports, err := exportLookup(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newCachedImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles, append(t.TestGoFiles, t.XTestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files as one
+// package — the analysistest fixture path. Imports are resolved with
+// export data produced by a `go list` run in moduleDir (the enclosing
+// module provides the toolchain context; fixtures import only the
+// standard library).
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles, testFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, name)
+		} else {
+			goFiles = append(goFiles, name)
+		}
+	}
+	sort.Strings(goFiles)
+	sort.Strings(testFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	// Discover the fixture's imports to know which export data to build.
+	importSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			importSet[path] = true
+		}
+	}
+	paths := make([]string, 0, len(importSet))
+	for p := range importSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		exports, err = exportLookup(moduleDir, paths)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := newCachedImporter(fset, exports)
+	return checkPackage(fset, imp, filepath.Base(dir), dir, goFiles, testFiles)
+}
+
+// checkPackage parses the named files (relative to dir) and
+// type-checks the non-test set.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles, testFiles []string) (*Package, error) {
+	parse := func(names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	syntax, err := parse(goFiles)
+	if err != nil {
+		return nil, err
+	}
+	testSyntax, err := parse(testFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Syntax:     syntax,
+		TestSyntax: testSyntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// newCachedImporter returns a go/types importer that reads compiler
+// export data from the files named in exports. The gc importer caches
+// loaded packages internally, so shared dependencies are read once.
+func newCachedImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the go list -deps closure)", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

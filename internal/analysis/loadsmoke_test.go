@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	// The test runs with the package directory as cwd; the module root
+	// is two levels up.
+	pkgs, err := Load("../..", "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Name() != "core" {
+		t.Fatalf("got %+v", pkgs)
+	}
+	t.Log(pkgs[0].ImportPath, len(pkgs[0].Syntax), "files,", len(pkgs[0].TestSyntax), "test files")
+}

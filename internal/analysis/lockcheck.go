@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces the reader/writer discipline around mutex-guarded
+// state structs — concretely core.Tree, whose mutable data lives in an
+// embedded treeState behind an RWMutex (DESIGN §2.8). The
+// linearizability tests probe this invariant dynamically; LockCheck
+// proves the lexical half statically: no function may touch guarded
+// state through the outer struct without first acquiring the mutex.
+//
+// A guarded struct is any struct type declaring a field named "mu" of
+// type sync.Mutex or sync.RWMutex alongside an embedded struct type
+// from the same package (the guarded state). For every function in the
+// package, any selection that reaches the guarded state through an
+// outer-struct-typed expression — a promoted field or method, or the
+// embedded field itself — must be lexically preceded in the same body
+// by a mu.Lock/mu.RLock call. Exemptions, for helpers that run with
+// the lock already held: a name ending in "Locked", or the
+// //swat:locked directive in the doc comment. Methods declared
+// directly on the guarded state type are lock-held context by
+// construction (only lock-holding code can reach a state receiver) and
+// are not checked.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "require mu.Lock/RLock before any access to mutex-guarded embedded state " +
+		"(core.Tree/treeState discipline); exempt *Locked helpers and //swat:locked functions",
+	Run: runLockCheck,
+}
+
+// guardedStruct records one outer struct and its guarded embedded state.
+type guardedStruct struct {
+	outer *types.Named // e.g. core.Tree
+	state *types.Named // e.g. core.treeState
+}
+
+func runLockCheck(pass *Pass) error {
+	guarded := findGuardedStructs(pass.Pkg)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || FuncHasDirective(fd, DirLocked) {
+				continue
+			}
+			if recvNamed(pass, fd) != nil && isGuardedState(recvNamed(pass, fd), guarded) {
+				continue // methods on the state itself run under the caller's lock
+			}
+			checkLockOrder(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// findGuardedStructs scans package-level types for the mu+embedded
+// pattern.
+func findGuardedStructs(pkg *types.Package) []guardedStruct {
+	var out []guardedStruct
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var hasMu bool
+		var state *types.Named
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "mu" && isSyncMutex(f.Type()) {
+				hasMu = true
+			}
+			if f.Embedded() {
+				if n, ok := f.Type().(*types.Named); ok && n.Obj().Pkg() == pkg {
+					if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+						state = n
+					}
+				}
+			}
+		}
+		if hasMu && state != nil {
+			out = append(out, guardedStruct{outer: named, state: state})
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// recvNamed returns the named type of a method's receiver (pointer
+// stripped), or nil for plain functions.
+func recvNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func isGuardedState(n *types.Named, guarded []guardedStruct) bool {
+	for _, g := range guarded {
+		if n == g.state {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLockOrder flags guarded-state accesses not lexically preceded by
+// a mutex acquisition within the function body.
+func checkLockOrder(pass *Pass, fd *ast.FuncDecl, guarded []guardedStruct) {
+	firstLock := token.Pos(-1)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if recv := pass.TypesInfo.TypeOf(sel.X); recv != nil {
+			t := recv
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if isSyncMutex(t) && (firstLock == token.Pos(-1) || call.Pos() < firstLock) {
+				firstLock = call.Pos()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		g, target := guardedAccess(pass, sel, guarded)
+		if g == nil {
+			return true
+		}
+		if firstLock == token.Pos(-1) {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s accesses %s.%s (guarded by mu) without acquiring the lock; add mu.Lock/RLock, suffix the name with Locked, or mark it //swat:locked",
+				fd.Name.Name, g.outer.Obj().Name(), target)
+			return false
+		}
+		if sel.Sel.Pos() < firstLock {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s accesses %s.%s (guarded by mu) before the first mu.Lock/RLock in the function",
+				fd.Name.Name, g.outer.Obj().Name(), target)
+			return false
+		}
+		return true
+	})
+}
+
+// guardedAccess reports whether sel reaches guarded state through an
+// outer-struct-typed expression: the embedded state field itself, a
+// field or method promoted from it, or a method declared on the state
+// type. Selections of the mutex and of the outer struct's own fields
+// and methods are not guarded accesses.
+func guardedAccess(pass *Pass, sel *ast.SelectorExpr, guarded []guardedStruct) (*guardedStruct, string) {
+	base := pass.TypesInfo.TypeOf(sel.X)
+	if base == nil {
+		return nil, ""
+	}
+	if p, ok := base.(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	var g *guardedStruct
+	for i := range guarded {
+		if named == guarded[i].outer {
+			g = &guarded[i]
+			break
+		}
+	}
+	if g == nil {
+		return nil, ""
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil {
+		// Qualified identifiers and type selectors land here, not
+		// field/method selections.
+		return nil, ""
+	}
+	obj := s.Obj()
+	// Selecting the embedded state field itself (t.treeState).
+	if v, isVar := obj.(*types.Var); isVar && v.Embedded() && pass.TypesInfo.TypeOf(sel) == g.state.Obj().Type() {
+		return g, obj.Name()
+	}
+	// Promotions route through the embedded field: their selection index
+	// has more than one step.
+	if len(s.Index()) > 1 {
+		return g, obj.Name()
+	}
+	// Methods declared on the state type but reached via the outer type.
+	if fn, isFn := obj.(*types.Func); isFn {
+		if r := fn.Type().(*types.Signature).Recv(); r != nil {
+			rt := r.Type()
+			if p, okp := rt.(*types.Pointer); okp {
+				rt = p.Elem()
+			}
+			if rt == g.state.Obj().Type() {
+				return g, obj.Name()
+			}
+		}
+	}
+	return nil, ""
+}

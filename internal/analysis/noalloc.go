@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc checks functions annotated //swat:noalloc — the ingest and
+// query hot paths whose 0 allocs/op contract the benchmarks and
+// AllocsPerRun tests pin. The check is two-sided:
+//
+//  1. Static: the function body must contain no AST-visible
+//     allocation site on its steady-state path — make, new, slice/map
+//     composite literals, &T{...}, closures, appends to freshly made
+//     slices, fmt/errors calls, and string<->[]byte conversions.
+//     Two idioms are exempt because they are how zero-steady-state-
+//     allocation code is written:
+//     - guarded growth: a site inside an if whose condition reads
+//     cap(...) or len(...) (amortized high-water-mark buffers);
+//     - cold branches: a site inside an if branch that ends by
+//     returning or panicking (error paths are off the hot path).
+//  2. Dynamic cross-check: the package's tests must contain a
+//     testing.AllocsPerRun guard that mentions the function, so the
+//     static promise is backed by a measured one (which also covers
+//     transitive callees the AST check cannot see).
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "forbid AST-visible allocation sites in //swat:noalloc functions and require a " +
+		"testing.AllocsPerRun guard for each in the package's tests",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	// Collect the identifiers that appear inside test functions which
+	// call testing.AllocsPerRun: a //swat:noalloc function must be
+	// mentioned there (case-insensitively, so an exported wrapper's
+	// guard vouches for its unexported body) to count as guarded.
+	var guardIdents []string
+	for _, f := range pass.TestFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uses := false
+			var idents []string
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if id.Name == "AllocsPerRun" {
+						uses = true
+					}
+					idents = append(idents, id.Name)
+				}
+				return true
+			})
+			if uses {
+				guardIdents = append(guardIdents, idents...)
+			}
+		}
+	}
+	mentioned := func(name string) bool {
+		for _, id := range guardIdents {
+			if strings.EqualFold(id, name) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !FuncHasDirective(fd, DirNoAlloc) {
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			checkNoAllocBody(pass, fd)
+			if !mentioned(fd.Name.Name) {
+				pass.Reportf(fd.Name.Pos(),
+					"//swat:noalloc function %s has no testing.AllocsPerRun guard mentioning it in this package's tests; the static check needs its dynamic counterpart",
+					fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNoAllocBody walks one annotated function with an ancestor stack
+// so exemptions can inspect enclosing if statements.
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if site, what := allocSite(pass, n); site && !exemptAllocSite(stack) {
+			pass.Reportf(n.Pos(),
+				"%s in //swat:noalloc function %s: hoist to a reused buffer, guard growth with a cap check, or move off the hot path",
+				what, fd.Name.Name)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// allocSite reports whether n is an AST-visible allocation and names it.
+func allocSite(pass *Pass, n ast.Node) (bool, string) {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		switch callee := typeutilCallee(pass.TypesInfo, x).(type) {
+		case *types.Builtin:
+			switch callee.Name() {
+			case "make":
+				return true, "make"
+			case "new":
+				return true, "new"
+			case "append":
+				if freshSlice(x.Args[0]) {
+					return true, "append to a freshly allocated slice"
+				}
+			}
+		case *types.Func:
+			if pkg := callee.Pkg(); pkg != nil && callee.Type().(*types.Signature).Recv() == nil {
+				switch pkg.Path() {
+				case "fmt", "errors":
+					return true, pkg.Path() + "." + callee.Name() + " call"
+				}
+			}
+		}
+		// Conversions string <-> []byte / []rune copy their operand.
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			to, from := tv.Type, pass.TypesInfo.Types[x.Args[0]].Type
+			if from != nil && stringSliceConv(to, from) {
+				return true, "string/slice conversion"
+			}
+		}
+	case *ast.CompositeLit:
+		switch pass.TypesInfo.Types[x].Type.Underlying().(type) {
+		case *types.Slice:
+			return true, "slice literal"
+		case *types.Map:
+			return true, "map literal"
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := x.X.(*ast.CompositeLit); ok {
+				return true, "&composite literal"
+			}
+		}
+	case *ast.FuncLit:
+		return true, "function literal (closure)"
+	}
+	return false, ""
+}
+
+// typeutilCallee resolves the called object of a call expression.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// freshSlice reports whether an append target is obviously freshly
+// allocated: a nil conversion ([]T(nil)), a composite literal, or a
+// call result.
+func freshSlice(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if len(x.Args) == 1 {
+			if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+				return true // []T(nil) conversion
+			}
+		}
+		return true // call results are fresh values
+	}
+	return false
+}
+
+// stringSliceConv reports a conversion between string and []byte/[]rune.
+func stringSliceConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.String
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}
+
+// exemptAllocSite reports whether the innermost enclosing if branches
+// mark the site as guarded growth or a cold (terminating) branch. The
+// stack runs from the function body down to the site itself.
+func exemptAllocSite(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// Guarded growth: the condition inspects cap()/len() of a buffer.
+		if condReadsCapacity(ifs.Cond) {
+			return true
+		}
+		// Cold branch: the branch containing the site terminates in
+		// return or panic — it is off the steady-state path.
+		if branch := enclosingBranch(ifs, stack[i+1:]); branch != nil && terminates(branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// condReadsCapacity reports whether an expression contains a call to
+// the cap or len builtin.
+func condReadsCapacity(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingBranch returns the branch of ifs (then-block or else) that
+// leads to the rest of the stack, or nil.
+func enclosingBranch(ifs *ast.IfStmt, below []ast.Node) *ast.BlockStmt {
+	if len(below) == 0 {
+		return nil
+	}
+	switch below[0] {
+	case ifs.Body:
+		return ifs.Body
+	case ifs.Else:
+		if b, ok := ifs.Else.(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a block's final statement is a return or
+// a panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

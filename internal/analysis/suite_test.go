@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// Each fixture under testdata/src carries `// want` annotations; see
+// analysistest.go. Every fixture runs the full suite so cross-analyzer
+// silence (e.g. lockcheck over the seededrand fixture) is asserted for
+// free: any unwanted diagnostic fails the fixture.
+
+func TestSeededRandFixture(t *testing.T) { RunFixture(t, "seededrand", Suite()...) }
+
+func TestNoAllocFixture(t *testing.T) { RunFixture(t, "noalloc", Suite()...) }
+
+func TestLockCheckFixture(t *testing.T) { RunFixture(t, "lockcheck", Suite()...) }
+
+func TestDetMapFixture(t *testing.T) { RunFixture(t, "detmap", Suite()...) }
+
+// TestAllowFixture proves the //lint:allow escape hatch: suppression
+// with a reason, and diagnostics for reason-less, unused, and
+// malformed directives.
+func TestAllowFixture(t *testing.T) { RunFixture(t, "allow", Suite()...) }
+
+// TestNonDeterministicGate asserts the directive gating: a package
+// without //swat:deterministic produces no diagnostics even over
+// patterns seededrand and detmap flag elsewhere.
+func TestNonDeterministicGate(t *testing.T) { RunFixture(t, "nondet", Suite()...) }

@@ -1,0 +1,40 @@
+// Package allowfix proves the //lint:allow escape hatch end to end: a
+// directive with a reason suppresses the diagnostic on its own or the
+// following line, while misused directives — missing reason, unknown
+// analyzer name, suppressing nothing — are findings themselves.
+//
+// Block-comment expectations pin the positions of the directive-misuse
+// diagnostics, which land on the directive's own line (a line comment
+// cannot be followed by another comment).
+//
+//swat:deterministic
+package allowfix
+
+import "time"
+
+// Suppressed reads the wall clock behind an allow with a reason: if
+// suppression broke, the fixture test would fail on the unexpected
+// seededrand diagnostic (and on the directive going unused).
+func Suppressed() time.Time {
+	//lint:allow seededrand fixture exercises the escape hatch; the value is never golden-compared
+	return time.Now()
+}
+
+// MissingReason shows that a reason-less allow suppresses nothing and
+// is flagged itself.
+func MissingReason() time.Time {
+	/* // want `//lint:allow seededrand has no reason` */ //lint:allow seededrand
+	return time.Now()                                     // want `wall-clock reads break seeded replay`
+}
+
+// Unused carries a directive with nothing to suppress.
+func Unused() int {
+	/* // want `unused //lint:allow detmap` */ //lint:allow detmap stale suppression kept for the fixture
+	return 1
+}
+
+// Malformed names something that is not an analyzer.
+func Malformed() int {
+	/* // want `malformed //lint:allow` */ //lint:allow Not-An-Analyzer whatever
+	return 2
+}

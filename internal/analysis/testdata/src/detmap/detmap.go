@@ -1,0 +1,71 @@
+// Package detfix mirrors the replication tryLocal violation the
+// analyzer caught in the real tree: a float accumulation over a ranged
+// map. Float addition is not associative, so the randomized iteration
+// order shifts the sum in its last ulp from run to run — enough to
+// flip a threshold decision and break seeded replay.
+//
+//swat:deterministic
+package detfix
+
+import "sort"
+
+// FloatSum is the caught-in-the-wild pattern: += over a ranged map.
+func FloatSum(weights map[int]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w // want `write to total inside range over map weights`
+	}
+	return total
+}
+
+// Emit makes calls whose side effects observe iteration order.
+func Emit(m map[string]int, out func(string)) {
+	for k := range m {
+		out(k) // want `call out inside range over map m`
+	}
+}
+
+// Count bumps an outer counter; integer increments happen to commute,
+// but that argument belongs in a //lint:allow reason, not in the
+// analyzer.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // want `write to n inside range over map m`
+	}
+	return n
+}
+
+// First returns an arbitrary entry: which one is randomized per run.
+func First(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true // want `return of an iteration-dependent value`
+	}
+	return "", false
+}
+
+// Drain deletes every entry — spec-sanctioned and order-independent.
+func Drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Double writes each value back under its own key — per-entry updates
+// are order-independent.
+func Double(m map[string]int) {
+	for k, v := range m {
+		m[k] = 2 * v
+	}
+}
+
+// SortedKeys collects then sorts: the canonical deterministic way to
+// iterate a map.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,65 @@
+// Package lockfix mirrors core.Tree's discipline: Box embeds boxState
+// behind mu — exactly the shape whose violation (Plan.recompile
+// touching Tree.treeState lock-free) the analyzer caught in the real
+// tree.
+package lockfix
+
+import "sync"
+
+// Box is the guarded outer struct: a mutex plus embedded state.
+type Box struct {
+	mu sync.RWMutex
+	boxState
+}
+
+// boxState is the guarded state; its own methods run under the
+// caller's lock by construction.
+type boxState struct {
+	n     int
+	items []int
+}
+
+func (s *boxState) grow() { s.items = append(s.items, s.n) }
+
+// Good locks before touching guarded state.
+func (b *Box) Good() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+// Bad reads promoted state without any acquisition.
+func (b *Box) Bad() int {
+	return b.n // want `Bad accesses Box\.n \(guarded by mu\) without acquiring the lock`
+}
+
+// Early touches state before the first Lock.
+func (b *Box) Early() int {
+	v := b.n // want `Early accesses Box\.n \(guarded by mu\) before the first mu\.Lock`
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return v + b.n
+}
+
+// StateMethod reaches a state-declared method through the outer struct
+// without locking — the recompile-shaped bug.
+func StateMethod(b *Box) {
+	b.grow() // want `StateMethod accesses Box\.grow \(guarded by mu\) without acquiring the lock`
+}
+
+// EmbeddedField grabs the embedded state wholesale.
+func EmbeddedField(b *Box) *boxState {
+	return &b.boxState // want `EmbeddedField accesses Box\.boxState \(guarded by mu\) without acquiring the lock`
+}
+
+// readLocked is exempt by name suffix: it documents a lock-held
+// calling context.
+func (b *Box) readLocked() int { return b.n }
+
+// peek runs with the lock held by its caller.
+//
+//swat:locked
+func peek(b *Box) int { return b.n }
+
+var _ = (*Box).readLocked
+var _ = peek

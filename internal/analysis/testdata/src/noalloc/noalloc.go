@@ -1,0 +1,40 @@
+// Package noallocfix exercises the noalloc analyzer: //swat:noalloc
+// functions may not allocate on their steady-state path, the guarded-
+// growth and cold-branch idioms are exempt, and every annotated
+// function needs a testing.AllocsPerRun guard in the package tests.
+package noallocfix
+
+import "fmt"
+
+var buf []float64
+
+// Guarded is allocation-free at steady state and mentioned by an
+// AllocsPerRun test: both exemption idioms appear in its body.
+//
+//swat:noalloc
+func Guarded(n int) error {
+	if n < 0 {
+		return fmt.Errorf("noallocfix: negative n %d", n) // cold branch: exempt
+	}
+	if cap(buf) < n {
+		buf = make([]float64, n) // guarded growth: exempt
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	return nil
+}
+
+// Leaky allocates on its steady-state path and has no dynamic guard.
+//
+//swat:noalloc
+func Leaky(n int) []float64 { // want `has no testing\.AllocsPerRun guard`
+	out := make([]float64, n)      // want `make in //swat:noalloc function Leaky`
+	seen := map[int]bool{}         // want `map literal`
+	f := func() { seen[n] = true } // want `function literal`
+	f()
+	// The append target is freshly allocated, so the next line carries
+	// two sites: the literal itself and the append onto it.
+	return append([]float64{}, out...) // want `append to a freshly allocated slice` `slice literal`
+}

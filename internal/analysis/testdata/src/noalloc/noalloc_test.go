@@ -1,0 +1,16 @@
+package noallocfix
+
+import "testing"
+
+func TestGuardedDoesNotAllocate(t *testing.T) {
+	if err := Guarded(64); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := Guarded(64); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Guarded allocates %v times per call, want 0", allocs)
+	}
+}

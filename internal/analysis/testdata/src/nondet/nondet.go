@@ -1,0 +1,18 @@
+// Package nondet carries no //swat:deterministic directive, so
+// seededrand and detmap must stay silent over the very patterns they
+// flag elsewhere: the directives gate the checks.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample may use ambient nondeterminism freely here.
+func Sample(m map[string]float64) (float64, time.Time) {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total + rand.Float64(), time.Now()
+}

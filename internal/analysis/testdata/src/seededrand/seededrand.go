@@ -1,0 +1,28 @@
+// Package seededfix mirrors the experiments/central.go violation the
+// analyzer caught in the real tree: wall-clock reads and global
+// math/rand draws in a package that must replay from a seed.
+//
+//swat:deterministic
+package seededfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad draws from the shared, runtime-seeded source and reads the wall
+// clock — both break seeded replay.
+func Bad() float64 {
+	start := time.Now()          // want `time\.Now in deterministic package`
+	x := rand.Float64()          // want `global math/rand\.Float64`
+	n := rand.Intn(10)           // want `global math/rand\.Intn`
+	elapsed := time.Since(start) // want `time\.Since in deterministic package`
+	return x + float64(n) + elapsed.Seconds()
+}
+
+// Good uses the sanctioned forms: the allowed constructors build an
+// injected generator, and methods on it are the way to draw.
+func Good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -5,6 +5,8 @@
 // (a query needed more precision than the interval offers). The paper
 // runs it with its recommended settings α=1, τ∞=∞, τ0=2, p=1,
 // independently for each data item in the sliding window.
+//
+//swat:deterministic
 package aps
 
 import (

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/streamsum/swat/internal/query"
 	"github.com/streamsum/swat/internal/stream"
 )
 
@@ -122,6 +123,33 @@ func TestQueryPathSteadyStateAllocations(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("ApproximateInto allocates %v times per query, want 0", allocs)
+	}
+}
+
+// TestAnswerBatchDoesNotAllocate: the batched entry point shares the
+// pooled scratch with the single-query path, so a warm batch is
+// allocation-free end to end.
+func TestAnswerBatchDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; pooled query scratch is not allocation-free there")
+	}
+	tr := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
+	qs := []query.Query{
+		{Ages: []int{0, 3, 17, 511}, Weights: []float64{4, 3, 2, 1}},
+		{Ages: []int{1, 2}, Weights: []float64{0.5, 0.5}},
+		{Ages: []int{1023}, Weights: []float64{1}},
+	}
+	dst := make([]float64, len(qs))
+	// Warm the scratch buffers once.
+	if err := tr.AnswerBatch(dst, qs); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := tr.AnswerBatch(dst, qs); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("AnswerBatch allocates %v times per batch, want 0", allocs)
 	}
 }
 

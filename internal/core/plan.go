@@ -86,6 +86,8 @@ func (p *Plan) Len() int { return len(p.ages) }
 // recompile rebuilds the plan's terms against the tree's current state.
 // The caller must hold the tree lock (read side suffices: recompilation
 // mutates only plan-local state).
+//
+//swat:locked
 func (p *Plan) recompile() error {
 	t := &p.tree.treeState
 	cover, missing, err := t.coverInto(&p.scratch, p.ages)
@@ -162,6 +164,8 @@ func (p *Plan) recompile() error {
 // Tree.InnerProduct on the same state up to summation order. Eval runs
 // under the tree's reader lock and may be called concurrently with
 // ingest and with other plans.
+//
+//swat:noalloc
 func (p *Plan) Eval() (float64, error) {
 	t := p.tree
 	t.mu.RLock()

@@ -175,6 +175,8 @@ func (t *Tree) Approximate(ages []int) ([]float64, error) {
 // ApproximateInto is Approximate without allocating the result: it
 // writes the approximation for ages[i] into dst[i]. dst must have
 // length >= len(ages). Steady-state calls perform no allocations.
+//
+//swat:noalloc
 func (t *Tree) ApproximateInto(dst []float64, ages []int) error {
 	if len(dst) < len(ages) {
 		return fmt.Errorf("core: dst length %d for %d ages", len(dst), len(ages))
@@ -188,6 +190,8 @@ func (t *Tree) ApproximateInto(dst []float64, ages []int) error {
 
 // approximateInto is the locked core of ApproximateInto; the caller
 // holds the tree lock and owns s.
+//
+//swat:noalloc
 func (t *treeState) approximateInto(s *queryScratch, dst []float64, ages []int) error {
 	cover, missing, err := t.coverInto(s, ages)
 	if err != nil {
@@ -273,6 +277,8 @@ func (t *Tree) PointQuery(age int) (float64, error) {
 // computed over the tree's approximations. For a query evaluated many
 // times against the same tree, Compile the query once and Eval the
 // returned plan instead.
+//
+//swat:noalloc
 func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
 	if len(ages) != len(weights) {
 		return 0, fmt.Errorf("core: %d ages but %d weights", len(ages), len(weights))
@@ -289,6 +295,8 @@ func (t *Tree) InnerProduct(ages []int, weights []float64) (float64, error) {
 
 // innerProduct is the locked core of InnerProduct; the caller holds the
 // tree lock and owns s.
+//
+//swat:noalloc
 func (t *treeState) innerProduct(s *queryScratch, ages []int, weights []float64) (float64, error) {
 	if cap(s.vals) < len(ages) {
 		s.vals = make([]float64, len(ages))
@@ -312,6 +320,8 @@ func (t *treeState) innerProduct(s *queryScratch, ages []int, weights []float64)
 // batch. Steady-state calls perform no allocations. Queries that the
 // tree cannot answer abort the batch with the first error; dst entries
 // past the failing query are left unmodified.
+//
+//swat:noalloc
 func (t *Tree) AnswerBatch(dst []float64, qs []query.Query) error {
 	if len(dst) < len(qs) {
 		return fmt.Errorf("core: dst length %d for %d queries", len(dst), len(qs))

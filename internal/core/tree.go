@@ -320,12 +320,15 @@ func (t *treeState) ready() bool {
 // children of the level below. The path is allocation-free; it takes
 // the writer lock, so it excludes concurrent queries for its (O(k)
 // amortized) duration.
+//
+//swat:noalloc
 func (t *Tree) Update(v float64) {
 	t.mu.Lock()
 	t.update(v)
 	t.mu.Unlock()
 }
 
+//swat:noalloc
 func (t *treeState) update(v float64) {
 	// Record the raw value in the ring feeding the finest level.
 	t.recentHead = (t.recentHead + 1) & t.recentMask
@@ -352,12 +355,15 @@ func (t *treeState) update(v float64) {
 // touch only the raw ring and are written in bulk runs, and the writer
 // lock is taken once for the whole batch, so concurrent queries observe
 // the batch atomically (entirely applied or not at all).
+//
+//swat:noalloc
 func (t *Tree) UpdateBatch(vs []float64) {
 	t.mu.Lock()
 	t.updateBatch(vs)
 	t.mu.Unlock()
 }
 
+//swat:noalloc
 func (t *treeState) updateBatch(vs []float64) {
 	if t.minLevel == 0 {
 		// Level 0 refreshes on every arrival; nothing to skip.
@@ -501,6 +507,8 @@ func (t *treeState) info(l int, role Role) NodeInfo {
 // the Coeffs slice or retain it past the callback (use Nodes for an
 // isolated snapshot). fn runs under the tree's read lock and must not
 // call other Tree methods.
+//
+//swat:noalloc
 func (t *Tree) VisitNodes(fn func(NodeInfo) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

@@ -5,6 +5,8 @@
 // window of past read/write events using the adapted expected-cost
 // formulas. The algorithm runs independently for each data item in the
 // sliding window (§5), with per-client state at the server.
+//
+//swat:deterministic
 package dc
 
 import (

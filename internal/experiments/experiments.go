@@ -5,6 +5,8 @@
 // design choices. Each experiment is registered under the paper's
 // figure ID and can be run from cmd/swatbench or the top-level
 // benchmarks.
+//
+//swat:deterministic
 package experiments
 
 import (

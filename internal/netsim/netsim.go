@@ -5,6 +5,8 @@
 // message accounting by kind. Protocol logic lives in the replication,
 // dc, and aps packages; they all run over this substrate so their message
 // counts are directly comparable.
+//
+//swat:deterministic
 package netsim
 
 import (

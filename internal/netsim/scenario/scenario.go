@@ -5,6 +5,8 @@
 // function of its Config — the same seed and script yield byte-identical
 // message logs, counters, and answer records — so failure tests can
 // assert exact reconvergence against a fault-free golden twin.
+//
+//swat:deterministic
 package scenario
 
 import (

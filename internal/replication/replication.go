@@ -4,6 +4,8 @@
 // subtree of the network that expands where reads dominate and contracts
 // where writes dominate, following the Adaptive Data Replication tests of
 // Wolfson, Jajodia & Huang executed at the end of every phase.
+//
+//swat:deterministic
 package replication
 
 import (
@@ -363,8 +365,17 @@ func (s *System) answer(id netsim.NodeID, q query.Query, from netsim.NodeID) (fl
 // tryLocal answers q from node id's cache when every needed segment is
 // cached and the combined precision Σ wᵢ·width ≤ δ holds.
 func (s *System) tryLocal(id netsim.NodeID, q query.Query, weightBySeg map[int]float64, from netsim.NodeID) (float64, bool) {
+	// Iterate segments in index order, not map order: the precision sum
+	// is a float accumulation, and float addition is not associative —
+	// randomized map order would move the offered precision by an ulp
+	// between runs, enough to flip the ≤ δ decision on a boundary and
+	// break seeded replay.
 	var offered float64
-	for segIdx, wsum := range weightBySeg {
+	for segIdx := range s.segs {
+		wsum, ok := weightBySeg[segIdx]
+		if !ok {
+			continue
+		}
 		d := s.dirs[id][segIdx]
 		if !d.cached {
 			return 0, false
@@ -392,7 +403,12 @@ func (s *System) tryLocal(id netsim.NodeID, q query.Query, weightBySeg map[int]f
 // count or the per-child count of the child the query arrived from,
 // marking unknown children as interested.
 func (s *System) accountReads(id netsim.NodeID, weightBySeg map[int]float64, from netsim.NodeID) {
-	for segIdx := range weightBySeg {
+	// Segment-index order for the same reason as tryLocal: bookkeeping
+	// updates must not observe randomized map iteration order.
+	for segIdx := range s.segs {
+		if _, ok := weightBySeg[segIdx]; !ok {
+			continue
+		}
 		d := s.dirs[id][segIdx]
 		if from == netsim.NoNode {
 			d.localReads++

@@ -3,6 +3,8 @@
 // sources. It drives the paper's experiments — "we built a discrete event
 // simulator of an environment with a single data stream" (§2.7) and "we
 // schedule periodic tasks to initiate data and query arrivals" (§5).
+//
+//swat:deterministic
 package sim
 
 import (

@@ -4,6 +4,8 @@
 // daily maximum temperatures 1994–2001; see DESIGN.md §2.4 for the
 // substitution rationale), random-walk and constant-drift sources used by
 // tests, and a ring-buffer sliding window that retains the last N values.
+//
+//swat:deterministic
 package stream
 
 import (

@@ -47,6 +47,8 @@ func Averages(signal []float64, maxCoeff int) ([]float64, error) {
 // dst doubles as the reduction workspace, so it must not alias signal
 // and must have length >= max(len(signal)/2, AveragesLen(len(signal),
 // maxCoeff)). signal is left unmodified.
+//
+//swat:noalloc
 func AveragesInto(dst, signal []float64, maxCoeff int) ([]float64, error) {
 	if err := checkPow2(len(signal)); err != nil {
 		return nil, err
@@ -78,6 +80,8 @@ func AveragesInto(dst, signal []float64, maxCoeff int) ([]float64, error) {
 // repeated in-place pairwise averaging, returning the reduced prefix of
 // signal. It allocates nothing and destroys signal's contents beyond the
 // returned prefix.
+//
+//swat:noalloc
 func AveragesInPlace(signal []float64, maxCoeff int) ([]float64, error) {
 	if err := checkPow2(len(signal)); err != nil {
 		return nil, err
@@ -114,6 +118,8 @@ func CombineAverages(newer, older []float64, maxCoeff int) ([]float64, error) {
 // alias either input and must have length >= max(len(newer),
 // AveragesLen(len(newer)+len(older), maxCoeff)). The inputs are left
 // unmodified.
+//
+//swat:noalloc
 func CombineAveragesInto(dst, newer, older []float64, maxCoeff int) ([]float64, error) {
 	if len(newer) != len(older) {
 		return nil, fmt.Errorf("wavelet: cannot combine averages of lengths %d and %d", len(newer), len(older))
