@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race verify cover bench bench-hotpath bench-query bench-smoke
+.PHONY: build test test-short vet lint race verify cover bench bench-hotpath bench-query bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,21 @@ lint:
 race:
 	$(GO) test -race -short ./...
 
-verify: build vet lint test race bench-smoke
+verify: build vet lint test race bench-smoke fuzz-smoke
+
+# Short coverage-guided fuzzing on every fuzz target (frame decoding,
+# dispatch, batched-update equivalence, snapshot decoding, WAL
+# recovery). FUZZTIME bounds each target; 30s keeps verify usable while
+# still growing the corpus past the seeds. Targets run one at a time —
+# `go test -fuzz` accepts only a single matching target per package.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzServerDispatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUpdateBatchEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable -run '^$$' -fuzz '^FuzzRecoverSegment$$' -fuzztime $(FUZZTIME)
 
 # Per-package coverage (printed per package by go test) plus an
 # aggregate profile; inspect with `go tool cover -html=cover.out`.

@@ -4,10 +4,15 @@
 //
 //	swatd -addr 127.0.0.1:7467 -window 1024
 //	swatd -addr :7467 -window 256 -source weather -rate 100
+//	swatd -addr :7467 -data-dir /var/lib/swatd
 //
 // With -source set, the server generates its own stream at the given
 // rate; otherwise it summarizes only the values clients feed it with
-// data frames. Query with cmd/swatquery or any client speaking the
+// data frames. With -data-dir set the summary is crash-safe: every
+// arrival is write-ahead logged before it is applied, checkpoints
+// rotate automatically, and startup recovers the pre-crash state (see
+// internal/durable). SIGINT/SIGTERM shut down gracefully — standing
+// queries get a final flush and the store a final checkpoint. Query with cmd/swatquery or any client speaking the
 // length-prefixed JSON protocol of internal/wire.
 package main
 
@@ -16,9 +21,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/durable"
 	"github.com/streamsum/swat/internal/stream"
 	"github.com/streamsum/swat/internal/wire"
 )
@@ -64,6 +72,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for the self-generated stream")
 		ckpt     = flag.String("checkpoint", "", "snapshot file: restored at startup, saved periodically")
 		ckptSec  = flag.Float64("checkpoint-interval", 30, "seconds between checkpoint saves")
+		dataDir  = flag.String("data-dir", "", "durable mode: WAL + checkpoint directory; state is recovered at startup and every arrival is logged before it is applied")
+		fsync    = flag.String("fsync", "interval", "WAL fsync policy in durable mode: always | interval | never")
 	)
 	flag.Parse()
 
@@ -75,6 +85,35 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
 		os.Exit(2)
+	}
+	var store *durable.Store
+	if *dataDir != "" {
+		if *ckpt != "" {
+			fmt.Fprintln(os.Stderr, "swatd: -data-dir and -checkpoint are alternative persistence modes; pick one")
+			os.Exit(2)
+		}
+		var policy durable.SyncPolicy
+		switch *fsync {
+		case "always":
+			policy = durable.SyncAlways
+		case "interval":
+			policy = durable.SyncInterval
+		case "never":
+			policy = durable.SyncNever
+		default:
+			fmt.Fprintf(os.Stderr, "swatd: unknown -fsync policy %q\n", *fsync)
+			os.Exit(2)
+		}
+		store, err = durable.Open(*dataDir, srv.Tree(), durable.Options{Sync: policy})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.UseStore(store); err != nil {
+			fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("swatd: durable at %s: %s", *dataDir, store.Recovery())
 	}
 	if *ckpt != "" {
 		if err := loadCheckpoint(srv, *ckpt); err != nil {
@@ -123,13 +162,34 @@ func main() {
 			ticker := time.NewTicker(time.Duration(float64(time.Second) / *rate))
 			defer ticker.Stop()
 			for range ticker.C {
-				srv.Feed(src.Next())
+				if err := srv.Feed(src.Next()); err != nil {
+					log.Printf("swatd: feed: %v", err)
+				}
 			}
 		}()
 		log.Printf("swatd: generating %s stream at %.1f values/s", *source, *rate)
 	}
 
+	// Graceful shutdown: stop accepting, flush standing queries, then
+	// checkpoint and close the durable store so restart recovery is a
+	// snapshot load, not a log replay.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("swatd: %v: shutting down", sig)
+		if err := srv.Close(); err != nil {
+			log.Printf("swatd: shutdown: %v", err)
+		}
+	}()
+
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("swatd: %v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Fatalf("swatd: closing store: %v", err)
+		}
+		log.Printf("swatd: store flushed at %d arrivals", store.Arrivals())
 	}
 }

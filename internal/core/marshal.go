@@ -106,6 +106,18 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if err := r(&k); err != nil {
 		return fmt.Errorf("core: snapshot header: %w", err)
 	}
+	// Geometry plausibility before any allocation: a hostile header can
+	// claim a minLevel whose raw-value ring alone is gigabytes. A real
+	// snapshot physically contains its counters and full ring, so a
+	// header whose ring exceeds the remaining input is corrupt — reject
+	// it before newState sizes buffers off the lie.
+	if int(minLevel) > 30 {
+		return fmt.Errorf("core: snapshot min level %d out of range", minLevel)
+	}
+	ringLen := 1 << (minLevel + 1)
+	if need := int64(8+8+4+4) + int64(ringLen)*8; int64(buf.Len()) < need {
+		return fmt.Errorf("core: snapshot truncated: %d bytes cannot hold counters and a ring of %d values", buf.Len(), ringLen)
+	}
 	fresh, err := newState(Options{
 		WindowSize:   int(n),
 		Coefficients: int(k),
@@ -120,6 +132,9 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if err := r(&fresh.nodeUpdates); err != nil {
 		return fmt.Errorf("core: snapshot counters: %w", err)
 	}
+	if fresh.arrivals < 0 {
+		return fmt.Errorf("core: snapshot claims negative arrival counter %d", fresh.arrivals)
+	}
 	var head, rlen int32
 	if err := r(&head); err != nil {
 		return fmt.Errorf("core: snapshot ring: %w", err)
@@ -129,6 +144,9 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	}
 	if int(head) < -1 || int(head) >= len(fresh.recent) || int(rlen) < 0 || int(rlen) > len(fresh.recent) {
 		return fmt.Errorf("core: snapshot ring geometry out of range")
+	}
+	if int64(rlen) > fresh.arrivals {
+		return fmt.Errorf("core: snapshot ring holds %d values but only %d arrivals happened", rlen, fresh.arrivals)
 	}
 	fresh.recentHead = int(head)
 	fresh.recentLen = int(rlen)
@@ -150,9 +168,18 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 				return fmt.Errorf("core: snapshot node %v%d: %w", role, l, err)
 			}
 			nd := &fresh.nodes[l][role]
+			if valid > 1 {
+				return fmt.Errorf("core: snapshot node %v%d validity byte %d", role, l, valid)
+			}
 			nd.valid = valid == 1
 			if err := r(&nd.birth); err != nil {
 				return fmt.Errorf("core: snapshot node %v%d: %w", role, l, err)
+			}
+			// A node is refreshed only by an arrival, so a valid node's
+			// birth lies in [1, arrivals]; anything else is corruption
+			// that would surface as negative covered ages in queries.
+			if nd.valid && (nd.birth < 1 || nd.birth > fresh.arrivals) {
+				return fmt.Errorf("core: snapshot node %v%d birth %d outside [1,%d]", role, l, nd.birth, fresh.arrivals)
 			}
 			var count uint16
 			if err := r(&count); err != nil {

@@ -1,0 +1,54 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRecoveryEquivalenceAtEveryRecordBoundary is the satellite
+// property test: crash the store after every single append (the only
+// boundaries a SyncAlways store can be caught at with an intact log)
+// and require recovery to equal a tree fed the surviving prefix
+// directly — across checkpoint, rotation, and pruning configurations.
+func TestRecoveryEquivalenceAtEveryRecordBoundary(t *testing.T) {
+	configs := []Options{
+		{},                                       // defaults: no mid-run checkpoint
+		{CheckpointEvery: 30, SegmentBytes: 256}, // frequent snapshots, tiny segments
+		{CheckpointEvery: 75, KeepSnapshots: 1},  // single retained snapshot
+	}
+	for ci, opts := range configs {
+		t.Run(fmt.Sprintf("config%d", ci), func(t *testing.T) {
+			batches := seededBatches(int64(100+ci), 50)
+			dir := t.TempDir()
+			st, err := Open(dir, freshTree(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var history []float64
+			for i, b := range batches {
+				if err := st.Append(b); err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+				history = append(history, b...)
+
+				crash := copyDir(t, dir)
+				got := freshTree(t)
+				info, err := Recover(crash, got)
+				if err != nil {
+					t.Fatalf("recover after append %d: %v", i, err)
+				}
+				// SyncAlways: nothing in flight, so the recovered
+				// prefix is the whole history so far — exactly.
+				if info.Arrivals != uint64(len(history)) {
+					t.Fatalf("after append %d: recovered %d arrivals, want %d (info: %s)",
+						i, info.Arrivals, len(history), info)
+				}
+				requireTreeEqual(t, got, st.Tree(), fmt.Sprintf("append %d vs live", i))
+				requireTreeEqual(t, got, goldenTree(t, history), fmt.Sprintf("append %d vs twin", i))
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file framing:
+//
+//	"SWATCKPT" | u32 crc32c(arrivals|body) | u64 arrivals | body
+//
+// body is opaque to this layer (Tree.MarshalBinary for a Store, packed
+// window values for a WindowLog). Files are named snap-<arrivals>.ckpt
+// and written tmp-then-rename with fsyncs on both the file and the
+// directory, so a snapshot either exists completely or not at all.
+const (
+	snapMagic  = "SWATCKPT"
+	snapPrefix = "snap-"
+	snapExt    = ".ckpt"
+)
+
+func snapName(arrivals uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, arrivals, snapExt)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapExt) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapExt)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	arr, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return arr, true
+}
+
+// snapInfo is one snapshot found on disk.
+type snapInfo struct {
+	name     string
+	arrivals uint64
+}
+
+// listSnapshots returns the directory's snapshots, newest first.
+func listSnapshots(dir string) ([]snapInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapInfo
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if arr, ok := parseSnapName(e.Name()); ok {
+			snaps = append(snaps, snapInfo{name: e.Name(), arrivals: arr})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].arrivals > snaps[j].arrivals })
+	return snaps, nil
+}
+
+// writeSnapshot atomically persists a snapshot covering the given
+// arrival count.
+func writeSnapshot(dir string, arrivals uint64, body []byte) error {
+	buf := make([]byte, 0, len(snapMagic)+12+len(body))
+	buf = append(buf, snapMagic...)
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[4:], arrivals)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
+	crc := crc32.Checksum(buf[len(snapMagic)+4:], castagnoli)
+	binary.BigEndian.PutUint32(buf[len(snapMagic):], crc)
+
+	path := filepath.Join(dir, snapName(arrivals))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and verifies one snapshot file, returning its
+// arrival count and body.
+func readSnapshot(path string) (uint64, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < len(snapMagic)+12 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("durable: %s: not a snapshot", filepath.Base(path))
+	}
+	wantCRC := binary.BigEndian.Uint32(data[len(snapMagic):])
+	rest := data[len(snapMagic)+4:]
+	if crc32.Checksum(rest, castagnoli) != wantCRC {
+		return 0, nil, fmt.Errorf("durable: %s: snapshot checksum mismatch", filepath.Base(path))
+	}
+	arrivals := binary.BigEndian.Uint64(rest[:8])
+	return arrivals, rest[8:], nil
+}
+
+// loadNewestSnapshot tries snapshots newest-first until one verifies
+// and restore accepts its body. It returns the loaded snapshot (zero
+// snapInfo when none loaded) and how many newer ones were rejected.
+func loadNewestSnapshot(dir string, restore func(arrivals uint64, body []byte) error) (snapInfo, string, int, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return snapInfo{}, "", 0, err
+	}
+	skipped := 0
+	for _, sn := range snaps {
+		path := filepath.Join(dir, sn.name)
+		arr, body, err := readSnapshot(path)
+		if err == nil && arr == sn.arrivals {
+			if rerr := restore(arr, body); rerr == nil {
+				return sn, path, skipped, nil
+			}
+		}
+		skipped++
+	}
+	return snapInfo{}, "", skipped, nil
+}
+
+// pruneSnapshots removes all but the newest keep snapshots and returns
+// the oldest retained arrival count (0 when none), which bounds WAL
+// pruning.
+func pruneSnapshots(dir string, keep int) (uint64, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(snaps) == 0 {
+		return 0, nil
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	if len(snaps) > keep {
+		for _, sn := range snaps[keep:] {
+			if err := os.Remove(filepath.Join(dir, sn.name)); err != nil {
+				return 0, fmt.Errorf("durable: prune snapshot: %w", err)
+			}
+		}
+		snaps = snaps[:keep]
+	}
+	return snaps[len(snaps)-1].arrivals, nil
+}

@@ -1,0 +1,241 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// WindowLog persists an exact sliding window plus the arrival counter
+// of its newest value — the durable form of a netsim replica. Applied
+// updates are logged one record each; a full-window snapshot (taken on
+// resync and on the caller's checkpoint schedule) bounds replay. On
+// open, the newest valid snapshot is loaded and the WAL tail replayed,
+// so a restarted replica resumes from its last durable arrival instead
+// of arrival zero and resyncs only the delta over the network.
+//
+// The WindowLog does not hold the window values itself (the replica
+// owns them); Snapshot is handed the current values explicitly.
+type WindowLog struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	cap  int
+	wal  *wal
+
+	arrival  uint64
+	lastSnap uint64
+	info     RecoveryInfo
+	closed   bool
+}
+
+// WindowRecovery is what OpenWindowLog reconstructed from disk.
+type WindowRecovery struct {
+	// Values is the recovered window, oldest first, at most the
+	// window's capacity.
+	Values []float64
+	// Arrival is the source arrival counter of the newest value (0
+	// when nothing was recovered).
+	Arrival uint64
+	// Info quantifies the recovery.
+	Info RecoveryInfo
+}
+
+// OpenWindowLog opens (creating if needed) the durable window at dir
+// for a window of the given capacity, recovering whatever survived.
+func OpenWindowLog(dir string, capacity int, opts Options) (*WindowLog, WindowRecovery, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, WindowRecovery{}, err
+	}
+	if capacity < 1 {
+		return nil, WindowRecovery{}, fmt.Errorf("durable: window capacity %d", capacity)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, WindowRecovery{}, fmt.Errorf("durable: open window log: %w", err)
+	}
+	if err := removeStaleTmp(dir); err != nil {
+		return nil, WindowRecovery{}, err
+	}
+	rec, scan, err := recoverWindow(dir, capacity)
+	if err != nil {
+		return nil, WindowRecovery{}, err
+	}
+	w, err := openWAL(dir, opts, rec.Arrival+1, scan)
+	if err != nil {
+		return nil, WindowRecovery{}, err
+	}
+	l := &WindowLog{
+		dir:      dir,
+		opts:     opts,
+		cap:      capacity,
+		wal:      w,
+		arrival:  rec.Arrival,
+		lastSnap: rec.Info.SnapshotArrivals,
+		info:     rec.Info,
+	}
+	return l, rec, nil
+}
+
+// recoverWindow rebuilds the window from the newest valid snapshot plus
+// the surviving WAL tail.
+func recoverWindow(dir string, capacity int) (WindowRecovery, *walScan, error) {
+	var rec WindowRecovery
+	sn, path, skipped, err := loadNewestSnapshot(dir, func(arr uint64, body []byte) error {
+		values, err := decodeWindowBody(body, capacity)
+		if err != nil {
+			return err
+		}
+		rec.Values = values
+		return nil
+	})
+	if err != nil {
+		return rec, nil, err
+	}
+	rec.Arrival = sn.arrivals
+	rec.Info.SnapshotArrivals = sn.arrivals
+	rec.Info.SnapshotPath = path
+	rec.Info.SnapshotsSkipped = skipped
+	scan, err := replayWAL(dir, sn.arrivals, func(_ uint64, values []float64) error {
+		rec.Values = append(rec.Values, values...)
+		if len(rec.Values) > capacity {
+			rec.Values = append(rec.Values[:0], rec.Values[len(rec.Values)-capacity:]...)
+		}
+		return nil
+	})
+	if err != nil {
+		return rec, nil, err
+	}
+	rec.Arrival = scan.next
+	rec.Info.Arrivals = scan.next
+	rec.Info.ReplayedRecords = scan.records
+	rec.Info.ReplayedValues = scan.values
+	rec.Info.Truncated = scan.truncated
+	rec.Info.TruncatedSegment = scan.truncSeg
+	rec.Info.TruncatedOffset = scan.truncOffset
+	rec.Info.TruncateReason = scan.reason
+	return rec, scan, nil
+}
+
+// Window snapshot body: u32 count | count × f64 (oldest first).
+func encodeWindowBody(values []float64) []byte {
+	body := make([]byte, 4+8*len(values))
+	binary.BigEndian.PutUint32(body, uint32(len(values)))
+	for i, v := range values {
+		binary.BigEndian.PutUint64(body[4+8*i:], math.Float64bits(v))
+	}
+	return body
+}
+
+func decodeWindowBody(body []byte, capacity int) ([]float64, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("durable: window snapshot too short")
+	}
+	count := int(binary.BigEndian.Uint32(body))
+	if count > capacity || 4+8*count != len(body) {
+		return nil, fmt.Errorf("durable: window snapshot count %d inconsistent with %d bytes (capacity %d)", count, len(body), capacity)
+	}
+	values := make([]float64, count)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.BigEndian.Uint64(body[4+8*i:]))
+	}
+	return values, nil
+}
+
+// Append logs one applied update. arrival must be exactly one past the
+// log's current arrival — the replica applies updates in order, and so
+// does its log.
+func (l *WindowLog) Append(arrival uint64, v float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if arrival != l.arrival+1 {
+		return fmt.Errorf("durable: window append at arrival %d, log at %d", arrival, l.arrival)
+	}
+	vs := [1]float64{v}
+	if err := l.wal.append(arrival, vs[:]); err != nil {
+		return err
+	}
+	l.arrival = arrival
+	return nil
+}
+
+// Snapshot persists the full window (oldest first) as of the given
+// arrival — called after a resync installs a fresh window, and on the
+// caller's checkpoint schedule. The arrival may jump forward past
+// logged updates (a resync snapshot covers the gap); it must not move
+// backward.
+func (l *WindowLog) Snapshot(arrival uint64, values []float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if arrival < l.arrival {
+		return fmt.Errorf("durable: window snapshot at arrival %d behind log at %d", arrival, l.arrival)
+	}
+	if len(values) > l.cap {
+		return fmt.Errorf("durable: window snapshot of %d values exceeds capacity %d", len(values), l.cap)
+	}
+	if err := writeSnapshot(l.dir, arrival, encodeWindowBody(values)); err != nil {
+		return err
+	}
+	l.arrival = arrival
+	l.lastSnap = arrival
+	l.wal.next = arrival + 1
+	if err := l.wal.rotate(); err != nil {
+		return err
+	}
+	covered, err := pruneSnapshots(l.dir, l.opts.KeepSnapshots)
+	if err != nil {
+		return err
+	}
+	return pruneSegments(l.dir, covered)
+}
+
+// SinceSnapshot returns how many arrivals were appended since the last
+// snapshot — the caller's checkpoint-scheduling signal.
+func (l *WindowLog) SinceSnapshot() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.arrival - l.lastSnap
+}
+
+// Arrival returns the log's durable arrival counter.
+func (l *WindowLog) Arrival() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.arrival
+}
+
+// Recovery reports what OpenWindowLog recovered.
+func (l *WindowLog) Recovery() RecoveryInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.info
+}
+
+// Sync flushes buffered appends (no-op under SyncAlways).
+func (l *WindowLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.wal.sync()
+}
+
+// Close flushes and closes the log. Idempotent.
+func (l *WindowLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.wal.close()
+}

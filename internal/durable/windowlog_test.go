@@ -1,0 +1,122 @@
+package durable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowLogAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	wl, rec, err := OpenWindowLog(dir, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Arrival != 0 || len(rec.Values) != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var history []float64
+	for a := uint64(1); a <= 20; a++ {
+		v := rng.Float64() * 100
+		history = append(history, v)
+		if err := wl.Append(a, v); err != nil {
+			t.Fatalf("Append(%d): %v", a, err)
+		}
+	}
+	// Abandon without Close (kill -9); SyncAlways means all 20 are
+	// durable.
+	crash := copyDir(t, dir)
+	_, rec2, err := OpenWindowLog(crash, 8, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if rec2.Arrival != 20 {
+		t.Fatalf("recovered arrival %d, want 20", rec2.Arrival)
+	}
+	want := history[len(history)-8:]
+	if len(rec2.Values) != len(want) {
+		t.Fatalf("recovered %d values, want %d", len(rec2.Values), len(want))
+	}
+	for i := range want {
+		if rec2.Values[i] != want[i] {
+			t.Fatalf("recovered value[%d] = %v, want %v", i, rec2.Values[i], want[i])
+		}
+	}
+	if err := wl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowLogSnapshotJumpAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	wl, _, err := OpenWindowLog(dir, 4, Options{KeepSnapshots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(1); a <= 5; a++ {
+		if err := wl.Append(a, float64(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A resync snapshot jumps the arrival counter past a gap the log
+	// never saw.
+	if err := wl.Snapshot(30, []float64{27, 28, 29, 30}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if got := wl.Arrival(); got != 30 {
+		t.Fatalf("arrival after snapshot = %d, want 30", got)
+	}
+	if err := wl.Append(31, 31); err != nil {
+		t.Fatalf("Append after snapshot: %v", err)
+	}
+	if got := wl.SinceSnapshot(); got != 1 {
+		t.Errorf("SinceSnapshot = %d, want 1", got)
+	}
+
+	crash := copyDir(t, dir)
+	_, rec, err := OpenWindowLog(crash, 4, Options{KeepSnapshots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Arrival != 31 {
+		t.Fatalf("recovered arrival %d, want 31", rec.Arrival)
+	}
+	want := []float64{28, 29, 30, 31}
+	for i := range want {
+		if rec.Values[i] != want[i] {
+			t.Fatalf("recovered values %v, want %v", rec.Values, want)
+		}
+	}
+	if err := wl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowLogContiguityAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	wl, _, err := OpenWindowLog(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Append(2, 1); err == nil {
+		t.Error("gap append accepted")
+	}
+	if err := wl.Append(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Snapshot(0, nil); err == nil {
+		t.Error("backward snapshot accepted")
+	}
+	if err := wl.Snapshot(5, []float64{1, 2, 3, 4, 5}); err == nil {
+		t.Error("oversized snapshot accepted")
+	}
+	if err := wl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Append(2, 2); err != ErrClosed {
+		t.Errorf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := OpenWindowLog(t.TempDir(), 0, Options{}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}

@@ -17,13 +17,16 @@
 package multi
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 
 	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/durable"
 	"github.com/streamsum/swat/internal/query"
 )
 
@@ -40,6 +43,14 @@ type Options struct {
 	// over, each served by its own worker goroutine. 0 means
 	// GOMAXPROCS.
 	Shards int
+	// DataDir, when non-empty, makes every stream durable: each stream
+	// gets a WAL+checkpoint store in its own subdirectory, arrivals are
+	// logged before they reach the tree, and re-Adding a stream after a
+	// restart recovers its summary from disk (see Recovery).
+	DataDir string
+	// Durable tunes the per-stream stores (checkpoint cadence, fsync
+	// policy, segment size). Ignored unless DataDir is set.
+	Durable durable.Options
 }
 
 // shard owns an interleaved subset of the streams. Its mutex guards the
@@ -68,6 +79,12 @@ type Monitor struct {
 	names  []string
 	byName map[string]int
 	trees  []*core.Tree
+
+	// stores and recovered parallel trees when DataDir is set; stores is
+	// nil in the purely in-memory mode. A stream's store is guarded by
+	// the same shard lock as its tree.
+	stores    []*durable.Store
+	recovered []durable.RecoveryInfo
 
 	arrived []int64
 	shards  []*shard
@@ -106,20 +123,30 @@ func New(opts Options) (*Monitor, error) {
 	return m, nil
 }
 
-// Close stops the shard workers. The monitor must not be used after
-// Close; Close is idempotent.
-func (m *Monitor) Close() {
+// Close stops the shard workers and, in durable mode, flushes every
+// stream's store (final checkpoint + WAL sync) before returning the
+// joined flush errors. The monitor must not be used after Close; Close
+// is idempotent.
+func (m *Monitor) Close() error {
 	m.reg.Lock()
 	if m.closed {
 		m.reg.Unlock()
-		return
+		return nil
 	}
 	m.closed = true
 	for _, s := range m.shards {
 		close(s.jobs)
 	}
+	stores := m.stores
 	m.reg.Unlock()
 	m.wg.Wait()
+	var errs []error
+	for i, st := range stores {
+		if err := st.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("stream %q: %w", m.names[i], err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // shardOf returns the shard owning stream index idx.
@@ -144,14 +171,66 @@ func (m *Monitor) Add(name string) error {
 	if err != nil {
 		return err
 	}
+	var (
+		st   *durable.Store
+		info durable.RecoveryInfo
+	)
+	if m.opts.DataDir != "" {
+		st, err = durable.Open(filepath.Join(m.opts.DataDir, streamDir(name)), tree, m.opts.Durable)
+		if err != nil {
+			return fmt.Errorf("multi: stream %q: %w", name, err)
+		}
+		info = st.Recovery()
+	}
 	idx := len(m.names)
 	m.byName[name] = idx
 	m.names = append(m.names, name)
 	m.trees = append(m.trees, tree)
-	m.arrived = append(m.arrived, 0)
+	if m.opts.DataDir != "" {
+		m.stores = append(m.stores, st)
+		m.recovered = append(m.recovered, info)
+	}
+	m.arrived = append(m.arrived, int64(info.Arrivals))
 	s := m.shardOf(idx)
 	s.streams = append(s.streams, idx)
 	return nil
+}
+
+// streamDir maps an arbitrary stream name to a filesystem-safe
+// directory name: bytes outside [A-Za-z0-9_-] become %XX, and the "s-"
+// prefix keeps names like ".." or ".hidden" from meaning anything to
+// the filesystem. The mapping is injective, so distinct streams never
+// share a store.
+func streamDir(name string) string {
+	const hexdigits = "0123456789ABCDEF"
+	out := []byte("s-")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '%', hexdigits[c>>4], hexdigits[c&0xf])
+		}
+	}
+	return string(out)
+}
+
+// Recovery reports what the named stream recovered from disk when it
+// was Added: the restored arrival count, the snapshot used, how much
+// WAL tail was replayed, and whether a damaged tail was truncated. The
+// zero RecoveryInfo is returned for streams in a non-durable monitor.
+func (m *Monitor) Recovery(name string) (durable.RecoveryInfo, error) {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	idx, ok := m.byName[name]
+	if !ok {
+		return durable.RecoveryInfo{}, fmt.Errorf("multi: unknown stream %q", name)
+	}
+	if m.stores == nil {
+		return durable.RecoveryInfo{}, nil
+	}
+	return m.recovered[idx], nil
 }
 
 // Streams returns the registered stream names in registration order.
@@ -178,9 +257,15 @@ func (m *Monitor) Observe(name string, v float64) error {
 	}
 	s := m.shardOf(idx)
 	s.mu.Lock()
-	m.trees[idx].Update(v)
+	defer s.mu.Unlock()
+	if m.stores != nil {
+		if err := m.stores[idx].Append1(v); err != nil {
+			return fmt.Errorf("multi: stream %q: %w", name, err)
+		}
+	} else {
+		m.trees[idx].Update(v)
+	}
 	m.arrived[idx]++
-	s.mu.Unlock()
 	return nil
 }
 
@@ -195,9 +280,21 @@ func (m *Monitor) ObserveBatch(name string, vs []float64) error {
 	}
 	s := m.shardOf(idx)
 	s.mu.Lock()
-	m.trees[idx].UpdateBatch(vs)
+	defer s.mu.Unlock()
+	return m.ingestLocked(idx, vs)
+}
+
+// ingestLocked applies one stream's run of values, write-ahead logging
+// it first in durable mode. The caller holds the stream's shard lock.
+func (m *Monitor) ingestLocked(idx int, vs []float64) error {
+	if m.stores != nil {
+		if err := m.stores[idx].Append(vs); err != nil {
+			return fmt.Errorf("multi: stream %q: %w", m.names[idx], err)
+		}
+	} else {
+		m.trees[idx].UpdateBatch(vs)
+	}
 	m.arrived[idx] += int64(len(vs))
-	s.mu.Unlock()
 	return nil
 }
 
@@ -211,15 +308,23 @@ func (m *Monitor) ObserveAll(values []float64) error {
 	}
 	// A single row per stream is too little work to amortize a fan-out;
 	// walk the shards inline under their locks.
+	var errs []error
 	for _, s := range m.shards {
 		s.mu.Lock()
 		for _, idx := range s.streams {
-			m.trees[idx].Update(values[idx])
+			if m.stores != nil {
+				if err := m.stores[idx].Append1(values[idx]); err != nil {
+					errs = append(errs, fmt.Errorf("multi: stream %q: %w", m.names[idx], err))
+					continue
+				}
+			} else {
+				m.trees[idx].Update(values[idx])
+			}
 			m.arrived[idx]++
 		}
 		s.mu.Unlock()
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // ObserveAllBatch appends a sequence of synchronized arrival rows:
@@ -243,6 +348,7 @@ func (m *Monitor) ObserveAllBatch(rows [][]float64) error {
 	if len(rows) == 0 || len(m.names) == 0 {
 		return nil
 	}
+	errs := make([]error, len(m.shards))
 	m.fanout(func(s *shard) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -252,11 +358,13 @@ func (m *Monitor) ObserveAllBatch(rows [][]float64) error {
 				col = append(col, row[idx])
 			}
 			s.batchBuf = col
-			m.trees[idx].UpdateBatch(col)
-			m.arrived[idx] += int64(len(rows))
+			if err := m.ingestLocked(idx, col); err != nil {
+				errs[s.idx] = err
+				return
+			}
 		}
 	})
-	return nil
+	return errors.Join(errs...)
 }
 
 // fanout runs fn once per non-empty shard on the shard workers and

@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 
+	"github.com/streamsum/swat/internal/durable"
 	"github.com/streamsum/swat/internal/metrics"
 	"github.com/streamsum/swat/internal/query"
 	"github.com/streamsum/swat/internal/stream"
@@ -94,6 +97,17 @@ type EngineConfig struct {
 	// ReorderLimit caps the out-of-order update buffer; exceeding it
 	// triggers an immediate resync request. 0 means 32.
 	ReorderLimit int
+	// DataDir, when non-empty, gives every client replica a durable
+	// window log under DataDir/node-<id>: applied updates are logged,
+	// resync snapshots checkpoint the log, and a restarted node
+	// recovers its window and applied arrival counter from disk — so it
+	// resyncs only the arrivals it actually missed instead of the whole
+	// window. (The simulator models restart recovery; media-level
+	// corruption is the durable package's own test territory.)
+	DataDir string
+	// Durable tunes the per-node window logs (checkpoint cadence,
+	// fsync policy, segment size). Ignored unless DataDir is set.
+	Durable durable.Options
 }
 
 func (c EngineConfig) withDefaults() (EngineConfig, error) {
@@ -127,6 +141,12 @@ type clientReplica struct {
 	reqEver bool               // whether a resync was ever requested
 	upd     *Flow              // source -> client
 	req     *Flow              // client -> source
+
+	// Durable mode only: the node's window log, its directory (for the
+	// restart re-open), and what the last open recovered.
+	log       *durable.WindowLog
+	logDir    string
+	recovered durable.WindowRecovery
 }
 
 // Engine replicates the source sliding window to every non-root node of
@@ -139,8 +159,22 @@ type Engine struct {
 	arr  uint64
 	reps []*clientReplica // indexed by NodeID; nil for the root
 
+	// Durable mode only: the source's own window log, so a rebuilt
+	// engine over the same DataDir resumes the arrival sequence the
+	// replicas' logs are positioned in.
+	srcLog       *durable.WindowLog
+	srcLogDir    string
+	srcRecovered durable.WindowRecovery
+
 	staleness *metrics.Accumulator // staleness of degraded answers
 	bounds    *metrics.Accumulator // reported bounds of degraded answers
+
+	// ckEvery is the durable-mode checkpoint cadence in applied
+	// arrivals; 0 when the engine is not durable.
+	ckEvery uint64
+	// logErr latches the first window-log I/O failure; Converged and
+	// LogHealth surface it instead of silently dropping durability.
+	logErr error
 
 	// onCrash, when set, lets the wrapping protocol evict a crashed
 	// node's protocol-level state.
@@ -181,6 +215,12 @@ func NewEngine(net *Network, cfg EngineConfig) (*Engine, error) {
 		}
 		r := &clientReplica{win: win, buf: make(map[uint64]float64), lastReq: math.Inf(-1)}
 		client := id
+		if cfg.DataDir != "" {
+			r.logDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", client))
+			if err := openReplicaLog(r, cfg); err != nil {
+				return nil, err
+			}
+		}
 		r.upd, err = NewFlow(net, fmt.Sprintf("upd%d", client), root, client, cfg.Flow)
 		if err != nil {
 			return nil, err
@@ -198,8 +238,89 @@ func NewEngine(net *Network, cfg EngineConfig) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.DataDir != "" {
+		e.ckEvery = uint64(cfg.Durable.CheckpointEvery)
+		if e.ckEvery == 0 {
+			// Window snapshots are tiny in the sim; checkpoint often so
+			// restart replay stays short.
+			e.ckEvery = 256
+		}
+		e.srcLogDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", root))
+		if err := e.openSourceLog(); err != nil {
+			return nil, err
+		}
+	}
 	net.OnCrash = e.handleCrash
+	net.OnRestart = e.handleRestart
 	return e, nil
+}
+
+// openSourceLog opens (or re-opens after a root restart) the source's
+// window log and restores the source window and arrival counter.
+func (e *Engine) openSourceLog() error {
+	log, rec, err := durable.OpenWindowLog(e.srcLogDir, e.cfg.WindowSize, e.cfg.Durable)
+	if err != nil {
+		return fmt.Errorf("netsim: source window log: %w", err)
+	}
+	win, err := stream.NewWindow(e.cfg.WindowSize)
+	if err != nil {
+		log.Close()
+		return err
+	}
+	for _, v := range rec.Values { // oldest first
+		win.Push(v)
+	}
+	e.srcLog, e.srcRecovered = log, rec
+	e.src = win
+	e.arr = rec.Arrival
+	return nil
+}
+
+// openReplicaLog opens (or re-opens after a restart) a client's window
+// log and installs the recovered window and arrival counter.
+func openReplicaLog(r *clientReplica, cfg EngineConfig) error {
+	log, rec, err := durable.OpenWindowLog(r.logDir, cfg.WindowSize, cfg.Durable)
+	if err != nil {
+		return fmt.Errorf("netsim: node window log: %w", err)
+	}
+	win, err := stream.NewWindow(cfg.WindowSize)
+	if err != nil {
+		log.Close()
+		return err
+	}
+	for _, v := range rec.Values { // oldest first
+		win.Push(v)
+	}
+	r.log, r.recovered = log, rec
+	r.win = win
+	r.arrival = rec.Arrival
+	r.buf = make(map[uint64]float64)
+	return nil
+}
+
+// Close flushes and closes the durable window logs (a no-op for a
+// non-durable engine). The simulation must be drained first.
+func (e *Engine) Close() error {
+	var errs []error
+	if e.srcLog != nil {
+		if err := e.srcLog.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("netsim: source log: %w", err))
+		}
+		e.srcLog = nil
+	}
+	for id, r := range e.reps {
+		if r == nil || r.log == nil {
+			continue
+		}
+		if err := r.log.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("netsim: node %d log: %w", id, err))
+		}
+		r.log = nil
+	}
+	if e.logErr != nil {
+		errs = append(errs, e.logErr)
+	}
+	return errors.Join(errs...)
 }
 
 // SetCrashHook installs the protocol-level eviction callback invoked when
@@ -227,6 +348,13 @@ func (e *Engine) StalenessStats() (staleness, bounds *metrics.Accumulator) {
 func (e *Engine) OnData(v float64) {
 	e.arr++
 	e.src.Push(v)
+	if e.srcLog != nil {
+		if err := e.srcLog.Append(e.arr, v); err != nil {
+			e.noteLogErr(err)
+		} else if e.srcLog.SinceSnapshot() >= e.ckEvery {
+			e.snapshotWindow(e.srcLog, e.src, e.arr)
+		}
+	}
 	for _, id := range e.net.top.BFSOrder() {
 		if r := e.reps[id]; r != nil {
 			r.upd.Send(updMsg{Arrival: e.arr, Value: v})
@@ -243,8 +371,7 @@ func (e *Engine) applyAtClient(id NodeID, payload any) {
 			return // stale duplicate
 		}
 		if m.Arrival == r.arrival+1 {
-			r.win.Push(m.Value)
-			r.arrival = m.Arrival
+			e.pushApplied(r, m.Arrival, m.Value)
 			e.drainBuffer(r)
 			return
 		}
@@ -270,7 +397,49 @@ func (e *Engine) applyAtClient(id NodeID, payload any) {
 				delete(r.buf, a)
 			}
 		}
+		// The log must jump with the replica before the buffer drains:
+		// a resync snapshot covers the gap the missed updates left.
+		if r.log != nil {
+			e.snapshotWindow(r.log, r.win, r.arrival)
+		}
 		e.drainBuffer(r)
+	}
+}
+
+// pushApplied applies one in-order update to the replica window and,
+// in durable mode, its log — checkpointing on the engine's cadence.
+func (e *Engine) pushApplied(r *clientReplica, arrival uint64, v float64) {
+	r.win.Push(v)
+	r.arrival = arrival
+	if r.log == nil {
+		return
+	}
+	if err := r.log.Append(arrival, v); err != nil {
+		e.noteLogErr(err)
+		return
+	}
+	if r.log.SinceSnapshot() >= e.ckEvery {
+		e.snapshotWindow(r.log, r.win, r.arrival)
+	}
+}
+
+// snapshotWindow checkpoints a window (converted to the oldest-first
+// order snapshots use) at its applied arrival.
+func (e *Engine) snapshotWindow(log *durable.WindowLog, win *stream.Window, arrival uint64) {
+	vals := win.Values() // newest first
+	oldest := make([]float64, len(vals))
+	for i, v := range vals {
+		oldest[len(vals)-1-i] = v
+	}
+	if err := log.Snapshot(arrival, oldest); err != nil {
+		e.noteLogErr(err)
+	}
+}
+
+// noteLogErr latches the first durability failure.
+func (e *Engine) noteLogErr(err error) {
+	if e.logErr == nil {
+		e.logErr = err
 	}
 }
 
@@ -282,8 +451,7 @@ func (e *Engine) drainBuffer(r *clientReplica) {
 			return
 		}
 		delete(r.buf, r.arrival+1)
-		r.win.Push(v)
-		r.arrival++
+		e.pushApplied(r, r.arrival+1, v)
 	}
 }
 
@@ -325,8 +493,17 @@ func (e *Engine) watchdog(id NodeID) {
 }
 
 // handleCrash models volatile-state loss: the crashed node's replica is
-// reset to empty, and the wrapping protocol's eviction hook runs.
+// reset to empty, its window log (if any) is closed like the process
+// died, and the wrapping protocol's eviction hook runs.
 func (e *Engine) handleCrash(id NodeID) {
+	if e.reps[id] == nil && e.srcLog != nil {
+		// The root crashed: its process dies with the log closed; the
+		// source state survives on disk and restart recovers it.
+		if err := e.srcLog.Close(); err != nil {
+			e.noteLogErr(err)
+		}
+		e.srcLog = nil
+	}
 	if r := e.reps[id]; r != nil {
 		win, err := stream.NewWindow(e.cfg.WindowSize)
 		if err != nil {
@@ -335,11 +512,56 @@ func (e *Engine) handleCrash(id NodeID) {
 		r.win = win
 		r.arrival = 0
 		r.buf = make(map[uint64]float64)
+		if r.log != nil {
+			if err := r.log.Close(); err != nil {
+				e.noteLogErr(err)
+			}
+			r.log = nil
+		}
 	}
 	if e.onCrash != nil {
 		e.onCrash(id)
 	}
 }
+
+// handleRestart models the process coming back: a durable node re-opens
+// its window log, recovers the persisted window and applied arrival
+// counter, and resumes from there — the watchdog then resyncs only the
+// arrivals missed while down, instead of the whole window from zero.
+func (e *Engine) handleRestart(id NodeID) {
+	r := e.reps[id]
+	if r == nil {
+		if e.srcLogDir != "" && e.srcLog == nil {
+			if err := e.openSourceLog(); err != nil {
+				e.noteLogErr(err)
+			}
+		}
+		return
+	}
+	if r.logDir == "" {
+		return
+	}
+	if err := openReplicaLog(r, e.cfg); err != nil {
+		e.noteLogErr(err)
+	}
+}
+
+// Recovered reports what the node's window log recovered at its most
+// recent open (engine construction or the last restart). It is the
+// zero value for the root, and for every node of a non-durable engine.
+func (e *Engine) Recovered(id NodeID) durable.WindowRecovery {
+	if !e.net.top.Valid(id) {
+		return durable.WindowRecovery{}
+	}
+	if e.reps[id] == nil {
+		return e.srcRecovered
+	}
+	return e.reps[id].recovered
+}
+
+// LogHealth returns the first durability failure the engine hit, if
+// any. Converged also surfaces it.
+func (e *Engine) LogHealth() error { return e.logErr }
 
 // Staleness returns how many source arrivals the node's replica is
 // missing; the root is always fresh.
@@ -355,6 +577,9 @@ func (e *Engine) Staleness(id NodeID) int {
 // source arrivals (the reconvergence invariant after a healed fault
 // timeline).
 func (e *Engine) Converged() error {
+	if e.logErr != nil {
+		return fmt.Errorf("netsim: durability failure: %w", e.logErr)
+	}
 	for _, id := range e.net.top.BFSOrder() {
 		r := e.reps[id]
 		if r == nil {

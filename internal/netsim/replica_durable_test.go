@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/durable"
+)
+
+func durableEngineCfg(dir string) EngineConfig {
+	return EngineConfig{
+		WindowSize:     4,
+		ValueLo:        0,
+		ValueHi:        100,
+		WatchdogPeriod: 2,
+		DataDir:        dir,
+		Durable:        durable.Options{CheckpointEvery: 8},
+	}
+}
+
+// TestDurableEngineRestartRecoversFromLog is the durable counterpart of
+// TestEngineCrashWipesReplicaAndResyncs: the restarted node recovers
+// its applied arrival counter from its window log, so right after the
+// restart it is stale only by the arrivals it actually missed while
+// down — not by the whole history.
+func TestDurableEngineRestartRecoversFromLog(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	e, err := NewEngine(n, durableEngineCfg(t.TempDir()))
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	defer e.Close()
+	feed := func(v float64) {
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(s.Now() + 1)
+	}
+	for i := 0; i < 6; i++ {
+		feed(float64(10 * i))
+	}
+	if err := n.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	// Volatile state is gone while down, exactly as without durability.
+	if e.Staleness(2) != 6 {
+		t.Errorf("crashed node staleness = %d, want 6", e.Staleness(2))
+	}
+	// Two arrivals pass the node by while it is down.
+	feed(60)
+	feed(70)
+	if err := n.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	rec := e.Recovered(2)
+	if rec.Arrival != 6 {
+		t.Fatalf("restart recovered arrival %d, want 6 (info: %s)", rec.Arrival, rec.Info)
+	}
+	// Bounded recovery staleness: only the two missed arrivals remain.
+	if st := e.Staleness(2); st != 2 {
+		t.Errorf("post-restart staleness = %d, want 2 (missed while down)", st)
+	}
+	s.RunUntil(s.Now() + 20)
+	if err := e.Converged(); err != nil {
+		t.Fatalf("post-restart resync failed: %v", err)
+	}
+}
+
+// TestDurableEngineRebuildResumesSequence tears the whole engine down
+// (process exit) and builds a fresh simulator + engine over the same
+// data directory: the source resumes its arrival sequence and every
+// replica starts where its log left off.
+func TestDurableEngineRebuildResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	var history []float64
+
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	e, err := NewEngine(n, durableEngineCfg(dir))
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		v := float64(i)
+		history = append(history, v)
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(s.Now() + 1)
+	}
+	s.RunUntil(s.Now() + 20)
+	if err := e.Converged(); err != nil {
+		t.Fatalf("pre-shutdown convergence: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, n2 := testNet(t, LinkFaults{LatencyBase: 0.01}, 12)
+	e2, err := NewEngine(n2, durableEngineCfg(dir))
+	if err != nil {
+		t.Fatalf("rebuilt engine: %v", err)
+	}
+	defer e2.Close()
+	if e2.Arrivals() != uint64(len(history)) {
+		t.Fatalf("rebuilt source at arrival %d, want %d", e2.Arrivals(), len(history))
+	}
+	if root := e2.Recovered(0); root.Arrival != uint64(len(history)) {
+		t.Fatalf("source recovery at arrival %d, want %d", root.Arrival, len(history))
+	}
+	for _, id := range n2.Topology().BFSOrder() {
+		if id == n2.Topology().Root() {
+			continue
+		}
+		rec := e2.Recovered(id)
+		if rec.Arrival != uint64(len(history)) {
+			t.Fatalf("node %d recovered arrival %d, want %d (info: %s)",
+				id, rec.Arrival, len(history), rec.Info)
+		}
+	}
+	// Everything is already in sync from disk: no resync traffic needed
+	// for the engine to report convergence immediately.
+	if err := e2.Converged(); err != nil {
+		t.Fatalf("rebuilt engine not converged from logs alone: %v", err)
+	}
+	// And the sequence continues: new arrivals extend the logs.
+	for i := 0; i < 5; i++ {
+		v := float64(100 + i)
+		s2.After(0, func() { e2.OnData(v) })
+		s2.RunUntil(s2.Now() + 1)
+	}
+	s2.RunUntil(s2.Now() + 20)
+	if err := e2.Converged(); err != nil {
+		t.Fatalf("post-rebuild convergence: %v", err)
+	}
+	if e2.Arrivals() != uint64(len(history))+5 {
+		t.Fatalf("arrival counter %d did not resume the sequence", e2.Arrivals())
+	}
+}
+
+// TestDurableEngineLogHealth pins that durability failures surface
+// through Converged instead of being dropped.
+func TestDurableEngineLogHealth(t *testing.T) {
+	_, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	e, err := NewEngine(n, durableEngineCfg(t.TempDir()))
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	defer e.Close()
+	if err := e.LogHealth(); err != nil {
+		t.Fatalf("fresh engine unhealthy: %v", err)
+	}
+	e.noteLogErr(errFake)
+	if err := e.Converged(); err == nil || !strings.Contains(err.Error(), "durability failure") {
+		t.Fatalf("Converged did not surface the log error: %v", err)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake disk failure" }

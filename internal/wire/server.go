@@ -7,8 +7,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/durable"
 )
 
 // Server owns a SWAT tree and serves it over TCP. Data frames update the
@@ -17,16 +19,24 @@ import (
 type Server struct {
 	mu   sync.Mutex
 	tree *core.Tree
+	// store, when set via UseStore, write-ahead logs every arrival
+	// before it reaches the tree.
+	store *durable.Store
 
-	lnMu sync.Mutex
-	ln   net.Listener
-	wg   sync.WaitGroup
+	lnMu  sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{} // live connections, for shutdown
+	wg    sync.WaitGroup
 	// closed reports intentional shutdown so Serve can suppress the
 	// accept error it causes.
 	closed bool
 
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
+
+	// ShutdownTimeout bounds the final standing-query flush Close
+	// performs before cutting connections. 0 means 2 seconds.
+	ShutdownTimeout time.Duration
 
 	// Standing-query state (see subscribe.go).
 	subscribers *subscribers
@@ -40,19 +50,56 @@ func NewServer(opts core.Options) (*Server, error) {
 	}
 	return &Server{
 		tree:        tree,
+		conns:       make(map[net.Conn]struct{}),
 		Logf:        log.Printf,
 		subscribers: &subscribers{byID: make(map[net.Conn]*subscriber)},
 	}, nil
 }
 
-// Feed pushes a value into the tree directly (for servers that own the
-// data source rather than receiving data frames) and notifies standing
-// queries.
-func (s *Server) Feed(v float64) {
+// Tree exposes the server's tree, e.g. to open a durable store over it
+// before any data arrives. Do not Update it directly.
+func (s *Server) Tree() *core.Tree {
+	return s.tree
+}
+
+// UseStore routes every arrival (Feed and data frames) through the
+// durable store's write-ahead log. The store must be open over this
+// server's tree (see Tree), and must be installed before data flows.
+func (s *Server) UseStore(st *durable.Store) error {
+	if st == nil {
+		return errors.New("wire: nil store")
+	}
+	if st.Tree() != s.tree {
+		return errors.New("wire: store is not backed by this server's tree")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tree.Update(v)
+	s.store = st
+	return nil
+}
+
+// Feed pushes a value into the tree directly (for servers that own the
+// data source rather than receiving data frames) and notifies standing
+// queries. With a store installed the value is write-ahead logged
+// first, and a log failure leaves the tree untouched.
+func (s *Server) Feed(v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ingest(v); err != nil {
+		return err
+	}
 	s.notifySubscribers()
+	return nil
+}
+
+// ingest applies one arrival through the store when present. Called
+// with s.mu held.
+func (s *Server) ingest(v float64) error {
+	if s.store != nil {
+		return s.store.Append1(v)
+	}
+	s.tree.Update(v)
+	return nil
 }
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and returns the
@@ -88,6 +135,15 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("wire: accept: %w", err)
 		}
+		s.lnMu.Lock()
+		if s.closed {
+			// Raced with Close: this connection would never be cut.
+			s.lnMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -96,18 +152,42 @@ func (s *Server) Serve() error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, flushes a final notify frame to every standing
+// query under ShutdownTimeout, then cuts the remaining connections and
+// waits for their handlers. The flush means a subscriber observes the
+// tree's final state before its channel closes instead of losing
+// whatever changed since its last notification. All shutdown failures
+// are returned joined; Close is idempotent.
 func (s *Server) Close() error {
 	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.lnMu.Unlock()
-	var err error
+	var errs []error
 	if ln != nil {
-		err = ln.Close()
+		if err := ln.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("wire: close listener: %w", err))
+		}
+	}
+	timeout := s.ShutdownTimeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	errs = append(errs, s.flushSubscribers(time.Now().Add(timeout))...)
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
-	return err
+	return errors.Join(errs...)
 }
 
 // handle serves one connection until EOF or a protocol error.
@@ -115,6 +195,9 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.dropConn(conn)
 		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
 	}()
 	for {
 		req, err := ReadFrame(conn)
@@ -151,7 +234,9 @@ func (s *Server) dispatch(conn net.Conn, req *Message) *Message {
 	defer s.mu.Unlock()
 	switch req.Type {
 	case "data":
-		s.tree.Update(req.Value)
+		if err := s.ingest(req.Value); err != nil {
+			return errMsg(err)
+		}
 		s.notifySubscribers()
 		return &Message{Type: "result", Arrivals: s.tree.Arrivals()}
 	case "query":

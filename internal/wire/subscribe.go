@@ -5,6 +5,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/streamsum/swat/internal/query"
 )
@@ -98,6 +99,51 @@ func (s *Server) notifySubscribers() {
 		}
 		sub.mu.Unlock()
 	}
+}
+
+// flushSubscribers delivers one final notify frame per standing query
+// during shutdown: the query's current value, pushed even below the
+// subscription's minChange threshold so no tail-end movement is lost —
+// skipped only when nothing changed since the last notification. Every
+// write races the deadline, so a stalled subscriber cannot hold
+// shutdown hostage.
+func (s *Server) flushSubscribers(deadline time.Time) []error {
+	state := s.subscribers
+	state.mu.Lock()
+	conns := make([]*subscriber, 0, len(state.byID))
+	for _, sub := range state.byID {
+		conns = append(conns, sub)
+	}
+	state.mu.Unlock()
+	var errs []error
+	for _, sub := range conns {
+		sub.mu.Lock()
+		if err := sub.conn.SetWriteDeadline(deadline); err != nil {
+			sub.mu.Unlock()
+			continue // connection already dead; nothing to flush
+		}
+		for id, ws := range sub.subs {
+			s.mu.Lock()
+			v, err := s.tree.InnerProduct(ws.q.Ages, ws.q.Weights)
+			arrivals := s.tree.Arrivals()
+			s.mu.Unlock()
+			if err != nil {
+				continue // never answerable: nothing to flush
+			}
+			if ws.fired && v == ws.last {
+				continue // subscriber already has this value
+			}
+			frame := &Message{Type: "notify", Age: id, Value: v, Arrivals: arrivals}
+			if err := WriteFrame(sub.conn, frame); err != nil {
+				errs = append(errs, fmt.Errorf("wire: flush %v: %w", sub.conn.RemoteAddr(), err))
+				break
+			}
+			ws.fired = true
+			ws.last = v
+		}
+		sub.mu.Unlock()
+	}
+	return errs
 }
 
 // handleSubscribe processes a subscribe frame.
