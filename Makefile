@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race verify cover bench bench-hotpath bench-query bench-smoke fuzz-smoke
+.PHONY: build test test-short vet lint race verify cover bench bench-hotpath bench-query bench-wire bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,9 @@ race:
 
 verify: build vet lint test race bench-smoke fuzz-smoke
 
-# Short coverage-guided fuzzing on every fuzz target (frame decoding,
-# dispatch, batched-update equivalence, snapshot decoding, WAL
-# recovery). FUZZTIME bounds each target; 30s keeps verify usable while
+# Short coverage-guided fuzzing on every fuzz target (v1 and v2 frame
+# decoding, dispatch, batched-update equivalence, snapshot decoding,
+# WAL recovery). FUZZTIME bounds each target; 30s keeps verify usable while
 # still growing the corpus past the seeds. Targets run one at a time —
 # `go test -fuzz` accepts only a single matching target per package.
 FUZZTIME ?= 30s
@@ -48,6 +48,7 @@ FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzServerDispatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBinaryFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUpdateBatchEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/durable -run '^$$' -fuzz '^FuzzRecoverSegment$$' -fuzztime $(FUZZTIME)
@@ -69,6 +70,11 @@ bench-hotpath:
 # histogram cache); writes BENCH_query.{txt,json}.
 bench-query:
 	scripts/bench.sh 6 query
+
+# Wire-protocol benchmarks over loopback TCP (v1 JSON baseline vs the
+# v2 binary data plane); writes BENCH_wire.{txt,json}.
+bench-wire:
+	scripts/bench.sh 6 wire
 
 # Run every benchmark exactly once — a compile-and-run tripwire, not a
 # measurement. Part of `verify` so a benchmark that stops building or

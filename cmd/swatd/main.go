@@ -12,8 +12,12 @@
 // arrival is write-ahead logged before it is applied, checkpoints
 // rotate automatically, and startup recovers the pre-crash state (see
 // internal/durable). SIGINT/SIGTERM shut down gracefully — standing
-// queries get a final flush and the store a final checkpoint. Query with cmd/swatquery or any client speaking the
-// length-prefixed JSON protocol of internal/wire.
+// queries get a final flush and the store a final checkpoint. Query
+// with cmd/swatquery or any client speaking the length-prefixed JSON
+// protocol of internal/wire; high-volume feeds should use the v2
+// binary data plane (wire.DialBinary, cmd/swatload), negotiated on
+// the same port with backpressure set by -ingest-queue and
+// -ingest-policy.
 package main
 
 import (
@@ -74,6 +78,8 @@ func main() {
 		ckptSec  = flag.Float64("checkpoint-interval", 30, "seconds between checkpoint saves")
 		dataDir  = flag.String("data-dir", "", "durable mode: WAL + checkpoint directory; state is recovered at startup and every arrival is logged before it is applied")
 		fsync    = flag.String("fsync", "interval", "WAL fsync policy in durable mode: always | interval | never")
+		queue    = flag.Int("ingest-queue", 256, "binary data plane: pending-batch bound of the ingest queue")
+		policy   = flag.String("ingest-policy", "block", "binary data plane: full-queue policy, block | shed")
 	)
 	flag.Parse()
 
@@ -84,6 +90,20 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+		os.Exit(2)
+	}
+	if *queue <= 0 {
+		fmt.Fprintln(os.Stderr, "swatd: -ingest-queue must be positive")
+		os.Exit(2)
+	}
+	srv.IngestQueue = *queue
+	switch *policy {
+	case "block":
+		srv.Policy = wire.IngestBlock
+	case "shed":
+		srv.Policy = wire.IngestShed
+	default:
+		fmt.Fprintf(os.Stderr, "swatd: unknown -ingest-policy %q\n", *policy)
 		os.Exit(2)
 	}
 	var store *durable.Store

@@ -101,6 +101,7 @@ func main() {
 // directive so seededrand and detmap keep applying to it. The
 // cross-check stops the directive from being silently dropped.
 var requiredDeterministic = []string{
+	"internal/codec",
 	"internal/durable",
 	"internal/netsim",
 	"internal/netsim/scenario",

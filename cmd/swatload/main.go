@@ -1,0 +1,215 @@
+// Command swatload drives a swatd server at line rate and reports
+// ingest throughput and latency — the load-generator counterpart of
+// the wire protocol benchmarks, for measuring a real deployment
+// instead of a loopback.
+//
+// Usage:
+//
+//	swatload -addr 127.0.0.1:7467 -proto v2 -conns 4 -batch 256 -duration 10s
+//	swatload -addr 127.0.0.1:7467 -proto v1 -conns 4 -duration 10s -json
+//
+// With -proto v2 each connection streams batched binary data frames
+// (one-way) and samples ingest latency with periodic pings, which under
+// the server's block policy measure real backpressure: a ping answers
+// only after every frame before it was accepted. With -proto v1 each
+// value is a JSON round trip, so every send is its own latency sample.
+// -json emits one machine-readable result object instead of text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/streamsum/swat/internal/stream"
+	"github.com/streamsum/swat/internal/wire"
+)
+
+// result is the run summary, shaped for -json consumers.
+type result struct {
+	Proto        string  `json:"proto"`
+	Conns        int     `json:"conns"`
+	Batch        int     `json:"batch"`
+	Seconds      float64 `json:"seconds"`
+	Msgs         int64   `json:"msgs"`
+	Values       int64   `json:"values"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	ValuesPerSec float64 `json:"values_per_sec"`
+	P50Micros    float64 `json:"p50_us"`
+	P99Micros    float64 `json:"p99_us"`
+	// V2-only: the server's queue accounting after the run.
+	EnqueuedValues uint64 `json:"enqueued_values,omitempty"`
+	ShedValues     uint64 `json:"shed_values,omitempty"`
+}
+
+// percentile returns the p-th percentile of sorted durations, in
+// microseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+// connStats is one worker connection's contribution.
+type connStats struct {
+	msgs, values int64
+	lats         []time.Duration
+	err          error
+}
+
+// runV2 streams binary batches on one connection until deadline,
+// pinging every pingEvery batches for a latency sample.
+func runV2(addr string, batch int, seed int64, deadline time.Time) connStats {
+	var cs connStats
+	c, err := wire.DialBinary(addr)
+	if err != nil {
+		cs.err = err
+		return cs
+	}
+	defer c.Close()
+	src := stream.Uniform(seed)
+	vals := make([]float64, batch)
+	const pingEvery = 64
+	for time.Now().Before(deadline) {
+		for i := 0; i < pingEvery && time.Now().Before(deadline); i++ {
+			for j := range vals {
+				vals[j] = src.Next()
+			}
+			if cs.err = c.FeedBatch(vals); cs.err != nil {
+				return cs
+			}
+			cs.msgs++
+			cs.values += int64(batch)
+		}
+		d, err := c.Ping()
+		if err != nil {
+			cs.err = err
+			return cs
+		}
+		cs.lats = append(cs.lats, d)
+	}
+	// A final ping bounds delivery of everything sent on this
+	// connection before the run is declared done.
+	if _, err := c.Ping(); err != nil {
+		cs.err = err
+	}
+	return cs
+}
+
+// runV1 feeds single JSON values on one connection until deadline;
+// every send is a round trip, sampled every sampleEvery messages.
+func runV1(addr string, seed int64, deadline time.Time) connStats {
+	var cs connStats
+	c, err := wire.Dial(addr)
+	if err != nil {
+		cs.err = err
+		return cs
+	}
+	defer c.Close()
+	src := stream.Uniform(seed)
+	const sampleEvery = 128
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		if _, cs.err = c.Feed(src.Next()); cs.err != nil {
+			return cs
+		}
+		if cs.msgs%sampleEvery == 0 {
+			cs.lats = append(cs.lats, time.Since(start))
+		}
+		cs.msgs++
+		cs.values++
+	}
+	return cs
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7467", "server address")
+		proto    = flag.String("proto", "v2", "wire protocol: v1 (JSON round trips) | v2 (binary batches)")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		batch    = flag.Int("batch", 256, "values per v2 data frame")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		seed     = flag.Int64("seed", 1, "base stream seed (each connection offsets it)")
+		asJSON   = flag.Bool("json", false, "emit one JSON result object instead of text")
+	)
+	flag.Parse()
+	if *conns <= 0 || *batch <= 0 || *batch > wire.MaxBatchValues || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "swatload: -conns, -batch, and -duration must be positive (batch within the frame limit)")
+		os.Exit(2)
+	}
+	if *proto != "v1" && *proto != "v2" {
+		fmt.Fprintf(os.Stderr, "swatload: unknown -proto %q\n", *proto)
+		os.Exit(2)
+	}
+
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	all := make([]connStats, *conns)
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if *proto == "v2" {
+				all[i] = runV2(*addr, *batch, *seed+int64(i), deadline)
+			} else {
+				all[i] = runV1(*addr, *seed+int64(i), deadline)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := result{Proto: *proto, Conns: *conns, Batch: *batch, Seconds: elapsed}
+	if *proto == "v1" {
+		res.Batch = 1
+	}
+	var lats []time.Duration
+	for i, cs := range all {
+		if cs.err != nil {
+			log.Fatalf("swatload: conn %d: %v", i, cs.err)
+		}
+		res.Msgs += cs.msgs
+		res.Values += cs.values
+		lats = append(lats, cs.lats...)
+	}
+	res.MsgsPerSec = float64(res.Msgs) / elapsed
+	res.ValuesPerSec = float64(res.Values) / elapsed
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P50Micros = percentile(lats, 0.50)
+	res.P99Micros = percentile(lats, 0.99)
+
+	if *proto == "v2" {
+		c, err := wire.DialBinary(*addr)
+		if err == nil {
+			if st, err := c.Stats(); err == nil {
+				res.EnqueuedValues = st.EnqueuedValues
+				res.ShedValues = st.ShedValues
+			}
+			c.Close()
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatalf("swatload: %v", err)
+		}
+		return
+	}
+	fmt.Printf("swatload %s: %d conns, %d values/msg, %.1fs\n", res.Proto, res.Conns, res.Batch, res.Seconds)
+	fmt.Printf("  %d msgs (%.0f msgs/s), %d values (%.0f values/s)\n", res.Msgs, res.MsgsPerSec, res.Values, res.ValuesPerSec)
+	fmt.Printf("  ingest latency p50 %.0fµs, p99 %.0fµs over %d samples\n", res.P50Micros, res.P99Micros, len(lats))
+	if res.ShedValues > 0 {
+		fmt.Printf("  server shed %d values (enqueued %d) — consider -ingest-queue or block policy\n", res.ShedValues, res.EnqueuedValues)
+	}
+}

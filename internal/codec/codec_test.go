@@ -1,0 +1,139 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	body := []byte("hello, frame")
+	buf := AppendFrame(nil, body)
+	if len(buf) != HeaderLen+len(body) {
+		t.Fatalf("frame length = %d, want %d", len(buf), HeaderLen+len(body))
+	}
+	got, n, err := Next(buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || !bytes.Equal(got, body) {
+		t.Fatalf("Next = %q (%d bytes), want %q (%d)", got, n, body, len(buf))
+	}
+}
+
+func TestBeginFinishMatchesAppendFrame(t *testing.T) {
+	body := []byte{1, 2, 3, 4, 5}
+	direct := AppendFrame(nil, body)
+
+	buf := Begin(nil)
+	buf = append(buf, body...)
+	buf = Finish(buf, 0)
+	if !bytes.Equal(direct, buf) {
+		t.Fatalf("Begin/Finish %x != AppendFrame %x", buf, direct)
+	}
+
+	// Stacked frames in one buffer, each back-patched at its own start.
+	start := len(buf)
+	buf = Begin(buf)
+	buf = append(buf, body...)
+	buf = Finish(buf, start)
+	for off := 0; off < len(buf); {
+		got, n, err := Next(buf[off:], 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("frame at %d = %x", off, got)
+		}
+		off += n
+	}
+}
+
+func TestStreamingHeaderPath(t *testing.T) {
+	body := []byte("streaming")
+	var hdr [HeaderLen]byte
+	PutHeader(hdr[:], body)
+	n, crc, err := ParseHeader(hdr[:], 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(body) {
+		t.Fatalf("ParseHeader length = %d, want %d", n, len(body))
+	}
+	if err := Verify(crc, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(crc, body[:len(body)-1]); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("short body Verify = %v, want ErrChecksum", err)
+	}
+}
+
+func TestNextErrors(t *testing.T) {
+	body := []byte("abcdef")
+	frame := AppendFrame(nil, body)
+
+	if _, _, err := Next(frame[:HeaderLen-1], 1<<20); !errors.Is(err, ErrTornHeader) {
+		t.Errorf("torn header err = %v", err)
+	}
+	if _, _, err := Next(frame[:len(frame)-1], 1<<20); !errors.Is(err, ErrTornBody) {
+		t.Errorf("torn body err = %v", err)
+	}
+
+	// Flipped body bit fails the checksum.
+	bad := append([]byte(nil), frame...)
+	bad[HeaderLen] ^= 0x40
+	if _, _, err := Next(bad, 1<<20); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped body err = %v", err)
+	}
+
+	// Oversized and zero lengths are rejected before any body handling.
+	var le *LengthError
+	big := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(big, 1<<30)
+	if _, _, err := Next(big, 1<<20); !errors.As(err, &le) {
+		t.Errorf("oversized length err = %v", err)
+	}
+	zero := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(zero, 0)
+	if _, _, err := Next(zero, 1<<20); !errors.As(err, &le) {
+		t.Errorf("zero length err = %v", err)
+	}
+}
+
+// TestSteadyStateDoesNotAllocate is the AllocsPerRun cross-check for
+// the //swat:noalloc annotations: once buffers have reached their
+// high-water mark, Checksum, Begin, Finish, AppendFrame, PutHeader,
+// ParseHeader, Verify, and Next are allocation-free.
+func TestSteadyStateDoesNotAllocate(t *testing.T) {
+	body := make([]byte, 256)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	buf := make([]byte, 0, 2*(HeaderLen+len(body)))
+	var hdr [HeaderLen]byte
+	frame := AppendFrame(nil, body)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = Checksum(body)
+		buf = buf[:0]
+		buf = Begin(buf)
+		buf = append(buf, body...)
+		buf = Finish(buf, 0)
+		buf = AppendFrame(buf, body)
+		PutHeader(hdr[:], body)
+		n, crc, err := ParseHeader(hdr[:], 1<<20)
+		if err != nil || n != len(body) {
+			t.Fatalf("ParseHeader: %d, %v", n, err)
+		}
+		if err := Verify(crc, body); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Next(frame, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state codec path allocates %v per run, want 0", allocs)
+	}
+}

@@ -12,7 +12,8 @@
 //	snap-<arrivals, hex>.ckpt      tree snapshots, newest wins
 //
 // Every WAL record is length-prefixed and carries a CRC32C of its
-// payload:
+// payload, framed by the shared internal/codec record format that the
+// wire protocol's binary frames also use:
 //
 //	u32 payloadLen | u32 crc32c(payload) | payload
 //	payload: u64 firstArrival | u32 count | count × f64 (IEEE bits)
@@ -50,13 +51,7 @@ package durable
 
 import (
 	"fmt"
-	"hash/crc32"
 )
-
-// castagnoli is the CRC32C polynomial table shared by WAL records and
-// snapshots; Castagnoli detects all 1- and 2-bit errors and has
-// hardware support on amd64/arm64.
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // SyncPolicy controls when the WAL fsyncs its active segment.
 type SyncPolicy int

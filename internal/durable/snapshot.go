@@ -3,12 +3,13 @@ package durable
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/streamsum/swat/internal/codec"
 )
 
 // Snapshot file framing:
@@ -78,7 +79,7 @@ func writeSnapshot(dir string, arrivals uint64, body []byte) error {
 	binary.BigEndian.PutUint64(hdr[4:], arrivals)
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, body...)
-	crc := crc32.Checksum(buf[len(snapMagic)+4:], castagnoli)
+	crc := codec.Checksum(buf[len(snapMagic)+4:])
 	binary.BigEndian.PutUint32(buf[len(snapMagic):], crc)
 
 	path := filepath.Join(dir, snapName(arrivals))
@@ -120,7 +121,7 @@ func readSnapshot(path string) (uint64, []byte, error) {
 	}
 	wantCRC := binary.BigEndian.Uint32(data[len(snapMagic):])
 	rest := data[len(snapMagic)+4:]
-	if crc32.Checksum(rest, castagnoli) != wantCRC {
+	if codec.Checksum(rest) != wantCRC {
 		return 0, nil, fmt.Errorf("durable: %s: snapshot checksum mismatch", filepath.Base(path))
 	}
 	arrivals := binary.BigEndian.Uint64(rest[:8])

@@ -2,8 +2,8 @@ package durable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -11,18 +11,22 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/streamsum/swat/internal/codec"
 )
 
 // Segment file framing. Every segment opens with an 8-byte magic;
-// records follow back to back. The segment's file name carries the
-// arrival number of its first record, so recovery can order segments
-// and prune covered ones without reading them.
+// records follow back to back, each framed by the shared
+// internal/codec record format (u32 len | u32 crc32c | body) that the
+// wire protocol's binary frames also use. The segment's file name
+// carries the arrival number of its first record, so recovery can
+// order segments and prune covered ones without reading them.
 const (
 	segMagic  = "SWATWAL1"
 	segPrefix = "wal-"
 	segExt    = ".seg"
 
-	recHeaderLen = 8  // u32 payloadLen | u32 crc32c(payload)
+	recHeaderLen = codec.HeaderLen
 	recMinBody   = 12 // u64 firstArrival | u32 count
 	// maxRecordBytes rejects absurd length prefixes before allocating:
 	// a record is one UpdateBatch, and no caller batches gigabytes.
@@ -74,24 +78,22 @@ func listSegments(dir string) ([]segInfo, error) {
 	return segs, nil
 }
 
-// encodeRecord appends one framed record to buf and returns it.
+// encodeRecord appends one framed record to buf and returns it. The
+// framing is the shared codec's; only the body layout (firstArrival,
+// count, IEEE bits) is this package's.
 func encodeRecord(buf []byte, first uint64, values []float64) []byte {
-	body := recMinBody + 8*len(values)
-	var hdr [recHeaderLen + recMinBody]byte
-	binary.BigEndian.PutUint32(hdr[0:], uint32(body))
-	// CRC written after the body is assembled.
-	binary.BigEndian.PutUint64(hdr[8:], first)
-	binary.BigEndian.PutUint32(hdr[16:], uint32(len(values)))
 	start := len(buf)
+	buf = codec.Begin(buf)
+	var hdr [recMinBody]byte
+	binary.BigEndian.PutUint64(hdr[0:], first)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(values)))
 	buf = append(buf, hdr[:]...)
 	for _, v := range values {
 		var b [8]byte
 		binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
 		buf = append(buf, b[:]...)
 	}
-	crc := crc32.Checksum(buf[start+recHeaderLen:], castagnoli)
-	binary.BigEndian.PutUint32(buf[start+4:], crc)
-	return buf
+	return codec.Finish(buf, start)
 }
 
 // wal is the append side of a segment log. It is not internally locked;
@@ -347,25 +349,16 @@ func replaySegment(dir string, seg segInfo, sc *walScan, apply func(uint64, []fl
 	rest := data[off:]
 	var values []float64
 	for len(rest) > 0 {
-		if len(rest) < recHeaderLen {
-			bad(off, "torn record header")
+		body, n, err := codec.Next(rest, maxRecordBytes)
+		if err != nil {
+			bad(off, recFlaw(err))
 			return true, nil
 		}
-		bodyLen := int64(binary.BigEndian.Uint32(rest[0:4]))
-		wantCRC := binary.BigEndian.Uint32(rest[4:8])
-		if bodyLen < recMinBody || bodyLen > maxRecordBytes {
-			bad(off, fmt.Sprintf("record length %d out of range", bodyLen))
+		if int64(len(body)) < recMinBody {
+			bad(off, fmt.Sprintf("record length %d out of range", len(body)))
 			return true, nil
 		}
-		if int64(len(rest)) < recHeaderLen+bodyLen {
-			bad(off, "torn record body")
-			return true, nil
-		}
-		body := rest[recHeaderLen : recHeaderLen+bodyLen]
-		if crc32.Checksum(body, castagnoli) != wantCRC {
-			bad(off, "record checksum mismatch")
-			return true, nil
-		}
+		bodyLen := int64(len(body))
 		first := binary.BigEndian.Uint64(body[0:8])
 		count := int64(binary.BigEndian.Uint32(body[8:12]))
 		if count == 0 || recMinBody+8*count != bodyLen {
@@ -393,10 +386,28 @@ func replaySegment(dir string, seg segInfo, sc *walScan, apply func(uint64, []fl
 			sc.next = end
 			sc.records++
 		}
-		off += recHeaderLen + bodyLen
-		rest = rest[recHeaderLen+bodyLen:]
+		off += int64(n)
+		rest = rest[n:]
 	}
 	return false, nil
+}
+
+// recFlaw maps a shared-codec framing error to the recovery reason
+// strings this package has always reported.
+func recFlaw(err error) string {
+	switch {
+	case errors.Is(err, codec.ErrTornHeader):
+		return "torn record header"
+	case errors.Is(err, codec.ErrTornBody):
+		return "torn record body"
+	case errors.Is(err, codec.ErrChecksum):
+		return "record checksum mismatch"
+	}
+	var le *codec.LengthError
+	if errors.As(err, &le) {
+		return fmt.Sprintf("record length %d out of range", le.Len)
+	}
+	return err.Error()
 }
 
 // syncDir fsyncs a directory so renames and removals in it are durable.

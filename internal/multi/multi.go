@@ -284,6 +284,86 @@ func (m *Monitor) ObserveBatch(name string, vs []float64) error {
 	return m.ingestLocked(idx, vs)
 }
 
+// StreamRef is a pre-resolved handle to one registered stream: the
+// name→index lookup (and its error path) is paid once in Ref, so the
+// per-batch ingest path is just two lock acquisitions and the tree's
+// batched update. Streams are never removed from a monitor, so a ref
+// stays valid for the monitor's lifetime. The zero StreamRef is
+// invalid; obtain refs from Ref.
+type StreamRef struct {
+	m   *Monitor
+	idx int
+}
+
+// Ref resolves a registered stream name to a reusable handle for
+// repeated ingest (the line-rate path wire servers and loaders use).
+func (m *Monitor) Ref(name string) (StreamRef, error) {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	idx, ok := m.byName[name]
+	if !ok {
+		return StreamRef{}, fmt.Errorf("multi: unknown stream %q", name)
+	}
+	return StreamRef{m: m, idx: idx}, nil
+}
+
+// Name returns the stream's registered name.
+func (r StreamRef) Name() string {
+	r.m.reg.RLock()
+	defer r.m.reg.RUnlock()
+	return r.m.names[r.idx]
+}
+
+// Observe appends the next value of the referenced stream, skipping
+// the per-call name lookup of Monitor.Observe.
+//
+//swat:noalloc
+func (r StreamRef) Observe(v float64) error {
+	m := r.m
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	s := m.shardOf(r.idx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.stores != nil {
+		if err := m.stores[r.idx].Append1(v); err != nil {
+			return fmt.Errorf("multi: stream %q: %w", m.names[r.idx], err)
+		}
+		m.arrived[r.idx]++
+		return nil
+	}
+	m.trees[r.idx].Update(v)
+	m.arrived[r.idx]++
+	return nil
+}
+
+// ObserveBatch appends a run of consecutive values to the referenced
+// stream, like Monitor.ObserveBatch without the name lookup: on the
+// in-memory path the batch goes straight into the tree's batched
+// update with no allocation.
+//
+//swat:noalloc
+func (r StreamRef) ObserveBatch(vs []float64) error {
+	m := r.m
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	s := m.shardOf(r.idx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.ingestLocked(r.idx, vs)
+}
+
+// Arrived reports how many values the referenced stream has absorbed.
+func (r StreamRef) Arrived() int64 {
+	m := r.m
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	s := m.shardOf(r.idx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.arrived[r.idx]
+}
+
 // ingestLocked applies one stream's run of values, write-ahead logging
 // it first in durable mode. The caller holds the stream's shard lock.
 func (m *Monitor) ingestLocked(idx int, vs []float64) error {

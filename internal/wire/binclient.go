@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/streamsum/swat/internal/codec"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// BinClient is a synchronous v2 binary connection to a wire.Server.
+// Its buffers are reused across calls, so steady-state FeedBatch and
+// QueryBatch perform no allocations. It is not safe for concurrent
+// use; open one BinClient per goroutine.
+type BinClient struct {
+	conn net.Conn
+	// bw buffers the send side so a stream of small data frames costs
+	// one syscall per buffer, not per frame. Data frames may sit in the
+	// buffer until it fills; every round trip (QueryBatch, Stats, Ping)
+	// flushes first, and Flush forces delivery explicitly.
+	bw   *bufio.Writer
+	rbuf []byte
+	wbuf []byte
+
+	// next is the running value index the next FeedBatch will claim.
+	next uint64
+
+	// policy and queueCap are the server's negotiated backpressure
+	// parameters from the hello ack.
+	policy   IngestPolicy
+	queueCap int
+}
+
+// DialBinary connects to a server and negotiates protocol v2. Servers
+// predating v2 close the connection on the magic, which surfaces here
+// as a handshake error rather than silent misbehavior.
+func DialBinary(addr string) (*BinClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &BinClient{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+	c.wbuf = append(c.wbuf, binMagic[:]...)
+	c.wbuf = appendHelloFrame(c.wbuf)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: v2 hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: v2 hello: %w", err)
+	}
+	body, rbuf, err := readBinFrame(conn, c.rbuf)
+	c.rbuf = rbuf
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: v2 handshake: %w", err)
+	}
+	if len(body) == 7 && body[0] == bfHelloAck && body[1] == binVersion {
+		c.policy = IngestPolicy(body[2])
+		c.queueCap = int(binary.BigEndian.Uint32(body[3:]))
+		return c, nil
+	}
+	defer conn.Close()
+	if len(body) > 1 && body[0] == bfError {
+		return nil, fmt.Errorf("wire: server: %s", body[1:])
+	}
+	return nil, errors.New("wire: malformed v2 hello ack")
+}
+
+// Flush pushes any buffered data frames to the server.
+func (c *BinClient) Flush() error { return c.bw.Flush() }
+
+// Close flushes buffered frames best-effort and closes the connection.
+func (c *BinClient) Close() error {
+	ferr := c.bw.Flush()
+	if err := c.conn.Close(); err != nil {
+		return err
+	}
+	return ferr
+}
+
+// ServerPolicy returns the backpressure policy the server negotiated.
+func (c *BinClient) ServerPolicy() IngestPolicy { return c.policy }
+
+// ServerQueueCap returns the server's ingest queue bound, in batches.
+func (c *BinClient) ServerQueueCap() int { return c.queueCap }
+
+// FeedBatch streams a batch of consecutive values, one-way: no
+// round-trip, no per-value envelope. Batches above MaxBatchValues are
+// split across frames. Frames are write-buffered — small batches may
+// sit until the buffer fills, a round trip runs, or Flush is called.
+// Whether the values were applied or shed is visible through Stats;
+// use Ping to bound delivery.
+//
+//swat:noalloc
+func (c *BinClient) FeedBatch(vs []float64) error {
+	for len(vs) > MaxBatchValues {
+		if err := c.FeedBatch(vs[:MaxBatchValues]); err != nil {
+			return err
+		}
+		vs = vs[MaxBatchValues:]
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	c.wbuf = appendDataFrame(c.wbuf[:0], c.next, vs)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	c.next += uint64(len(vs))
+	return nil
+}
+
+// Sent returns how many values this connection has streamed.
+func (c *BinClient) Sent() uint64 { return c.next }
+
+// roundTripBin writes wbuf (flushing any buffered data frames ahead of
+// it) and reads one response frame, surfacing server error frames as
+// errors.
+//
+//swat:noalloc
+func (c *BinClient) roundTripBin() ([]byte, error) {
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	body, rbuf, err := readBinFrame(c.conn, c.rbuf)
+	c.rbuf = rbuf
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, errFrameTruncated
+	}
+	if body[0] == bfError {
+		return nil, fmt.Errorf("wire: server: %s", body[1:])
+	}
+	return body, nil
+}
+
+// QueryBatch evaluates qs on the server in one frame, writing answers
+// into dst (len(dst) must equal len(qs)). All queries are answered
+// against a single consistent tree state.
+//
+//swat:noalloc
+func (c *BinClient) QueryBatch(qs []query.Query, dst []float64) error {
+	if len(dst) != len(qs) {
+		return fmt.Errorf("wire: %d answer slots for %d queries", len(dst), len(qs))
+	}
+	if len(qs) == 0 {
+		return nil
+	}
+	c.wbuf = appendQueryFrame(c.wbuf[:0], qs)
+	body, err := c.roundTripBin()
+	if err != nil {
+		return err
+	}
+	if body[0] != bfAnswer {
+		return errFrameType
+	}
+	return decodeAnswerFrame(body[1:], dst)
+}
+
+// Stats fetches the server's tree counters and backpressure state.
+func (c *BinClient) Stats() (StatsV2, error) {
+	c.wbuf = codec.Finish(append(codec.Begin(c.wbuf[:0]), bfStats), 0)
+	body, err := c.roundTripBin()
+	if err != nil {
+		return StatsV2{}, err
+	}
+	if body[0] != bfStatsRes {
+		return StatsV2{}, errFrameType
+	}
+	return decodeStatsResFrame(body[1:])
+}
+
+// Ping round-trips a token through the server's connection handler and
+// returns the elapsed time. Under the block policy a full ingest queue
+// stalls the handler, so ping latency is the live backpressure signal:
+// it covers every data frame sent before it on this connection.
+func (c *BinClient) Ping() (time.Duration, error) {
+	start := time.Now()
+	c.wbuf = appendU64Frame(c.wbuf[:0], bfPing, uint64(start.UnixNano()))
+	body, err := c.roundTripBin()
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 9 || body[0] != bfPong {
+		return 0, errFrameType
+	}
+	if got := binary.BigEndian.Uint64(body[1:]); got != uint64(start.UnixNano()) {
+		return 0, errors.New("wire: pong token mismatch")
+	}
+	return time.Since(start), nil
+}

@@ -13,6 +13,9 @@ import (
 // for concurrent use; open one Client per goroutine.
 type Client struct {
 	conn net.Conn
+	// rbuf is the reusable frame-body read buffer, grown to its
+	// high-water mark across round-trips.
+	rbuf []byte
 }
 
 // Dial connects to a server.
@@ -32,7 +35,8 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 	if err := WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}
-	resp, err := ReadFrame(c.conn)
+	resp, rbuf, err := ReadFrameBuf(c.conn, c.rbuf)
+	c.rbuf = rbuf
 	if err != nil {
 		return nil, err
 	}

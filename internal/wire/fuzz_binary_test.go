@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/streamsum/swat/internal/codec"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// FuzzDecodeBinaryFrame hardens the v2 frame layer against arbitrary
+// bytes: readBinFrame plus every body decoder must reject corruption
+// with an error — never panic, and never trust a hostile length field
+// into a huge allocation (the codec's MaxFrame bound and the per-type
+// structural checks are what this pins).
+func FuzzDecodeBinaryFrame(f *testing.F) {
+	// Seed corpus: one valid frame per type, plus corruptions.
+	f.Add(appendDataFrame(nil, 0, []float64{1, 2, 3}))
+	f.Add(appendQueryFrame(nil, []query.Query{
+		{Ages: []int{0, 1}, Weights: []float64{1, 0.5}},
+	}))
+	f.Add(appendAnswerFrame(nil, []float64{2.5}))
+	f.Add(appendStatsResFrame(nil, StatsV2{Arrivals: 9, Ready: true}))
+	f.Add(appendU64Frame(nil, bfPing, 42))
+	f.Add(appendHelloFrame(nil))
+	f.Add(appendHelloAckFrame(nil, IngestShed, 64))
+	f.Add(appendErrorFrame(nil, "boom"))
+	// Flipped CRC byte.
+	bad := appendDataFrame(nil, 0, []float64{1})
+	bad[5] ^= 0xFF
+	f.Add(bad)
+	// Truncations and garbage.
+	good := appendQueryFrame(nil, []query.Query{{Ages: []int{3}, Weights: []float64{2}}})
+	f.Add(good[:len(good)-3])
+	f.Add(good[:codec.HeaderLen])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, buf, err := readBinFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		if len(body) == 0 {
+			t.Fatal("readBinFrame accepted an empty body")
+		}
+		if len(buf) > MaxFrame {
+			t.Fatalf("frame buffer grew to %d, beyond MaxFrame", len(buf))
+		}
+		payload := body[1:]
+		switch body[0] {
+		case bfData:
+			first, vals, err := decodeDataFrame(payload, nil)
+			if err == nil {
+				// Accepted data frames must re-encode identically.
+				re := appendDataFrame(nil, first, vals)
+				rebody, _, rerr := codec.Next(re, MaxFrame)
+				if rerr != nil || !bytes.Equal(rebody, body) {
+					t.Fatalf("data frame did not round-trip: %v", rerr)
+				}
+			}
+		case bfQuery:
+			var sc binQueryScratch
+			if err := decodeQueryFrame(payload, &sc); err == nil {
+				if len(sc.qs) == 0 {
+					t.Fatal("accepted query frame decoded to no queries")
+				}
+				for _, q := range sc.qs {
+					if len(q.Ages) == 0 || len(q.Ages) != len(q.Weights) {
+						t.Fatalf("malformed decoded query %+v", q)
+					}
+				}
+				re := appendQueryFrame(nil, sc.qs)
+				rebody, _, rerr := codec.Next(re, MaxFrame)
+				if rerr != nil || !bytes.Equal(rebody, body) {
+					t.Fatalf("query frame did not round-trip: %v", rerr)
+				}
+			}
+		case bfAnswer:
+			if len(payload) >= 4 {
+				n := int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3]))
+				if n >= 0 && n <= MaxBatchValues {
+					_ = decodeAnswerFrame(payload, make([]float64, n))
+				}
+			}
+		case bfStatsRes:
+			// The ready flag decodes leniently (anything non-1 is false),
+			// so only canonical encodings are required to round-trip.
+			if st, err := decodeStatsResFrame(payload); err == nil && payload[16] <= 1 {
+				re := appendStatsResFrame(nil, st)
+				rebody, _, rerr := codec.Next(re, MaxFrame)
+				if rerr != nil || !bytes.Equal(rebody, body) {
+					t.Fatalf("stats frame did not round-trip: %v", rerr)
+				}
+			}
+		}
+	})
+}

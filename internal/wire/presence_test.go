@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+)
+
+// Regression tests for the omitempty ambiguity on Message's scalar
+// request fields: age 0 ("the most recent value") and value 0 are
+// meaningful requests, so they must be explicit on the wire instead of
+// vanishing behind omitempty and decoding as "field absent".
+
+// TestZeroScalarsExplicitOnWire pins the encoding contract itself.
+func TestZeroScalarsExplicitOnWire(t *testing.T) {
+	cases := []struct {
+		m    *Message
+		want []string
+	}{
+		{&Message{Type: "point"}, []string{`"age":0`}},
+		{&Message{Type: "data"}, []string{`"value":0`}},
+		{&Message{Type: "range"}, []string{`"center":0`, `"radius":0`, `"from":0`, `"to":0`}},
+		{&Message{Type: "query"}, []string{`"precision":0`}},
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range c.want {
+			if !strings.Contains(string(b), want) {
+				t.Errorf("%s frame %s does not carry %s explicitly", c.m.Type, b, want)
+			}
+		}
+	}
+}
+
+// TestZeroScalarRoundTrip pushes the two historically ambiguous frames
+// through a real frame round-trip.
+func TestZeroScalarRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Message{Type: "data", Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, &Message{Type: "point", Age: 0}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Value != 0 {
+		t.Errorf("data value = %v", data.Value)
+	}
+	point, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Age != 0 {
+		t.Errorf("point age = %v", point.Age)
+	}
+}
+
+// TestLegacyOmittedScalarsStillDecode keeps the other half of the
+// contract: older clients that omit zero scalars (the previous
+// omitempty encoding) must keep working, with absent decoding as zero.
+func TestLegacyOmittedScalarsStillDecode(t *testing.T) {
+	var m Message
+	if err := json.Unmarshal([]byte(`{"type":"point"}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != "point" || m.Age != 0 {
+		t.Errorf("legacy frame decoded to %+v", m)
+	}
+}
+
+// TestValueZeroAndAgeZeroEndToEnd drives both ambiguous requests
+// through a live server: feeding the value 0 must count as an arrival,
+// and a point query at age 0 must return that value.
+func TestValueZeroAndAgeZeroEndToEnd(t *testing.T) {
+	addr, srv, shutdown := startServer(t, core.Options{WindowSize: 16})
+	defer shutdown()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Feed(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arrivals, err := c.Feed(0) // the ambiguous frame: value 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != 17 {
+		t.Errorf("arrivals = %d, want 17", arrivals)
+	}
+	got, err := c.Point(0) // the ambiguous query: age 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire answer must match the tree's own answer for age 0 — if
+	// the age field were dropped by omitempty, the server would answer
+	// the right query only by coincidence.
+	want, err := srv.Tree().PointQuery(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("point(0) over the wire = %v, direct = %v", got, want)
+	}
+	// And the summary must have absorbed the value-0 arrival: the
+	// newest value's estimate reflects 0, not another 5.
+	if got == 5 {
+		t.Error("point(0) ignored the value-0 data frame")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, sync.Pool intentionally drops a fraction of Puts to widen the
+// interleavings the detector can observe, so handler paths that draw
+// tree query scratch from a pool are not allocation-free there and
+// their AllocsPerRun guards must be skipped.
+const raceEnabled = true

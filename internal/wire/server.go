@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -13,9 +14,13 @@ import (
 	"github.com/streamsum/swat/internal/durable"
 )
 
-// Server owns a SWAT tree and serves it over TCP. Data frames update the
-// tree; query frames read it. The tree is guarded by a mutex, so many
-// clients can talk to one server concurrently.
+// Server owns a SWAT tree and serves it over TCP, speaking both wire
+// protocols on one port: v1 length-prefixed JSON (negotiated by
+// default) and the v2 binary data plane (negotiated by the "SWA2"
+// magic, see binary.go). v1 data frames update the tree synchronously;
+// v2 data frames flow through a bounded ingest queue with explicit
+// backpressure (see backpressure.go). The tree is internally locked,
+// so many clients can talk to one server concurrently.
 type Server struct {
 	mu   sync.Mutex
 	tree *core.Tree
@@ -37,6 +42,16 @@ type Server struct {
 	// ShutdownTimeout bounds the final standing-query flush Close
 	// performs before cutting connections. 0 means 2 seconds.
 	ShutdownTimeout time.Duration
+
+	// IngestQueue bounds the binary data plane's pending batches; 0
+	// means 256. Set before Listen.
+	IngestQueue int
+	// Policy selects what a full ingest queue does with the next v2
+	// data batch: IngestBlock (default) or IngestShed.
+	Policy IngestPolicy
+
+	ingest     *ingestQueue
+	ingestDone chan struct{}
 
 	// Standing-query state (see subscribe.go).
 	subscribers *subscribers
@@ -85,16 +100,16 @@ func (s *Server) UseStore(st *durable.Store) error {
 func (s *Server) Feed(v float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.ingest(v); err != nil {
+	if err := s.ingestOne(v); err != nil {
 		return err
 	}
 	s.notifySubscribers()
 	return nil
 }
 
-// ingest applies one arrival through the store when present. Called
+// ingestOne applies one arrival through the store when present. Called
 // with s.mu held.
-func (s *Server) ingest(v float64) error {
+func (s *Server) ingestOne(v float64) error {
 	if s.store != nil {
 		return s.store.Append1(v)
 	}
@@ -102,8 +117,8 @@ func (s *Server) ingest(v float64) error {
 	return nil
 }
 
-// Listen starts listening on addr (e.g. "127.0.0.1:0") and returns the
-// bound address.
+// Listen starts listening on addr (e.g. "127.0.0.1:0"), starts the
+// binary data plane's ingest worker, and returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -111,8 +126,57 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.lnMu.Lock()
 	s.ln = ln
+	s.startIngestLocked()
 	s.lnMu.Unlock()
 	return ln.Addr(), nil
+}
+
+// startIngestLocked creates the bounded ingest queue and its worker.
+// Caller holds lnMu; idempotent so tests can drive the binary path
+// without a listener.
+func (s *Server) startIngestLocked() {
+	if s.ingest != nil {
+		return
+	}
+	capBatches := s.IngestQueue
+	if capBatches <= 0 {
+		capBatches = 256
+	}
+	s.ingest = newIngestQueue(capBatches)
+	s.ingestDone = make(chan struct{})
+	go s.ingestLoop()
+}
+
+// ingestLoop is the single worker draining the binary data plane: it
+// applies each queued batch to the tree (through the WAL when a store
+// is installed) and fires standing queries. One drainer keeps batch
+// application in arrival order per connection and lets every
+// connection reader run at socket speed.
+func (s *Server) ingestLoop() {
+	defer close(s.ingestDone)
+	for b := range s.ingest.ch {
+		s.mu.Lock()
+		err := s.ingestBatch(b.vals)
+		if err == nil && s.hasSubscribers() {
+			s.notifySubscribers()
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.ingest.errs.Add(1)
+			s.Logf("wire: ingest: %v", err)
+		}
+		s.ingest.put(b)
+	}
+}
+
+// ingestBatch applies one batch through the store when present. Called
+// with s.mu held.
+func (s *Server) ingestBatch(vs []float64) error {
+	if s.store != nil {
+		return s.store.Append(vs)
+	}
+	s.tree.UpdateBatch(vs)
+	return nil
 }
 
 // Serve accepts connections until Close is called. Listen must have been
@@ -161,12 +225,17 @@ func (s *Server) Serve() error {
 func (s *Server) Close() error {
 	s.lnMu.Lock()
 	if s.closed {
+		done := s.ingestDone
 		s.lnMu.Unlock()
 		s.wg.Wait()
+		if done != nil {
+			<-done
+		}
 		return nil
 	}
 	s.closed = true
 	ln := s.ln
+	ingest := s.ingest
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -187,10 +256,21 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// All connection readers are gone, so nothing can enqueue anymore:
+	// let the worker drain the remaining batches and exit. Readers
+	// blocked on a full queue above were unblocked by the worker, which
+	// keeps draining until the channel closes here.
+	if ingest != nil {
+		close(ingest.ch)
+		<-s.ingestDone
+	}
 	return errors.Join(errs...)
 }
 
-// handle serves one connection until EOF or a protocol error.
+// handle serves one connection until EOF or a protocol error. The
+// first four bytes negotiate the protocol: the "SWA2" magic selects
+// the v2 binary plane, anything else is the opening length prefix of a
+// v1 JSON connection.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.dropConn(conn)
@@ -199,8 +279,27 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.lnMu.Unlock()
 	}()
+	var first [4]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		if err != io.EOF {
+			s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	if first == binMagic {
+		s.handleBinary(conn)
+		return
+	}
+	s.handleV1(conn, binary.BigEndian.Uint32(first[:]))
+}
+
+// handleV1 runs the JSON request/response loop. firstLen is the length
+// prefix the negotiation already consumed. The frame body buffer is
+// reused across the connection's lifetime (satellite of the v2 work:
+// v1 compat mode no longer pays a make per frame).
+func (s *Server) handleV1(conn net.Conn, firstLen uint32) {
+	req, buf, err := readFrameBody(conn, firstLen, nil)
 	for {
-		req, err := ReadFrame(conn)
 		if err != nil {
 			if err != io.EOF {
 				s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
@@ -208,10 +307,11 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		resp := s.dispatch(conn, req)
-		if err := s.writeResponse(conn, resp); err != nil {
-			s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+		if werr := s.writeResponse(conn, resp); werr != nil {
+			s.Logf("wire: %v: %v", conn.RemoteAddr(), werr)
 			return
 		}
+		req, buf, err = ReadFrameBuf(conn, buf)
 	}
 }
 
@@ -234,7 +334,7 @@ func (s *Server) dispatch(conn net.Conn, req *Message) *Message {
 	defer s.mu.Unlock()
 	switch req.Type {
 	case "data":
-		if err := s.ingest(req.Value); err != nil {
+		if err := s.ingestOne(req.Value); err != nil {
 			return errMsg(err)
 		}
 		s.notifySubscribers()

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// binConn is one v2 connection's reusable state: frame read/write
+// buffers and query scratch grown to their high-water marks, plus the
+// connection's data-sequence cursor.
+type binConn struct {
+	conn net.Conn
+	// br buffers the read side: raw frame reads would cost two
+	// syscalls per frame (header + body), which dominates small-batch
+	// ingest. One buffer per connection, allocated at accept time.
+	br   *bufio.Reader
+	rbuf []byte
+	wbuf []byte
+	q    binQueryScratch
+
+	// expect is the firstIndex the next data frame must carry; started
+	// latches after the first data frame fixes the origin.
+	expect  uint64
+	started bool
+}
+
+// handleBinary serves one v2 connection after its magic has been
+// consumed: hello/helloAck handshake, then the frame loop. Malformed
+// frames are answered with an error frame and drop the connection —
+// once framing is untrustworthy nothing after it is worth parsing.
+func (s *Server) handleBinary(conn net.Conn) {
+	s.lnMu.Lock()
+	s.startIngestLocked() // tests may drive a handler without Listen
+	s.lnMu.Unlock()
+	bc := &binConn{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
+	body, rbuf, err := readBinFrame(bc.br, bc.rbuf)
+	bc.rbuf = rbuf
+	if err != nil || len(body) != 2 || body[0] != bfHello {
+		s.Logf("wire: %v: bad v2 hello: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if body[1] != binVersion {
+		s.binError(bc, fmt.Errorf("unsupported protocol version %d", body[1]))
+		return
+	}
+	bc.wbuf = appendHelloAckFrame(bc.wbuf[:0], s.Policy, cap(s.ingest.ch))
+	if _, err := conn.Write(bc.wbuf); err != nil {
+		s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	for {
+		body, rbuf, err := readBinFrame(bc.br, bc.rbuf)
+		bc.rbuf = rbuf
+		if err != nil {
+			if err != io.EOF {
+				s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatchBinary(bc, body); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
+				s.binError(bc, err)
+			}
+			return
+		}
+	}
+}
+
+// dispatchBinary executes one v2 frame. A returned error is fatal to
+// the connection.
+//
+//swat:noalloc
+func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
+	if len(body) == 0 {
+		return errFrameTruncated
+	}
+	switch body[0] {
+	case bfData:
+		return s.handleData(bc, body[1:])
+	case bfQuery:
+		return s.handleQueryBatch(bc, body[1:])
+	case bfStats:
+		bc.wbuf = appendStatsResFrame(bc.wbuf[:0], s.statsV2())
+		_, err := bc.conn.Write(bc.wbuf)
+		return err
+	case bfPing:
+		if len(body) != 9 {
+			return errFrameTruncated
+		}
+		bc.wbuf = appendU64Frame(bc.wbuf[:0], bfPong, binary.BigEndian.Uint64(body[1:]))
+		_, err := bc.conn.Write(bc.wbuf)
+		return err
+	default:
+		return errFrameType
+	}
+}
+
+// handleData decodes one data frame into a recycled batch and hands it
+// to the ingest queue under the server's backpressure policy. No
+// response frame: the data plane is one-way.
+//
+//swat:noalloc
+func (s *Server) handleData(bc *binConn, payload []byte) error {
+	b := s.ingest.get()
+	first, vals, err := decodeDataFrame(payload, b.vals[:0])
+	if err != nil {
+		s.ingest.put(b)
+		return err
+	}
+	b.vals = vals
+	if bc.started && first != bc.expect {
+		s.ingest.put(b)
+		return errBatchSequence
+	}
+	bc.started = true
+	bc.expect = first + uint64(len(vals))
+	s.ingest.offer(b, s.Policy)
+	return nil
+}
+
+// handleQueryBatch answers one batched-query frame under a single tree
+// read-lock acquisition. Query evaluation failures (cold tree, bad
+// ages) are soft: the client gets an error frame and the connection
+// lives on, mirroring v1.
+//
+//swat:noalloc
+func (s *Server) handleQueryBatch(bc *binConn, payload []byte) error {
+	if err := decodeQueryFrame(payload, &bc.q); err != nil {
+		return err
+	}
+	n := len(bc.q.qs)
+	if cap(bc.q.answers) < n {
+		bc.q.answers = make([]float64, n)
+	}
+	dst := bc.q.answers[:n]
+	if err := s.tree.AnswerBatch(dst, bc.q.qs); err != nil {
+		s.binError(bc, err)
+		return nil
+	}
+	bc.wbuf = appendAnswerFrame(bc.wbuf[:0], dst)
+	_, err := bc.conn.Write(bc.wbuf)
+	return err
+}
+
+// statsV2 assembles the v2 stats frame payload: tree counters plus the
+// ingest queue's backpressure accounting.
+func (s *Server) statsV2() StatsV2 {
+	return StatsV2{
+		Arrivals:       s.tree.Arrivals(),
+		Window:         s.tree.WindowSize(),
+		Nodes:          s.tree.NumNodes(),
+		Ready:          s.tree.Ready(),
+		Policy:         s.Policy,
+		QueueCap:       cap(s.ingest.ch),
+		QueueLen:       len(s.ingest.ch),
+		EnqueuedValues: s.ingest.enqueued.Load(),
+		ShedValues:     s.ingest.shed.Load(),
+		IngestErrors:   s.ingest.errs.Load(),
+	}
+}
+
+// binError pushes an error frame, best-effort.
+func (s *Server) binError(bc *binConn, err error) {
+	bc.wbuf = appendErrorFrame(bc.wbuf[:0], err.Error())
+	if _, werr := bc.conn.Write(bc.wbuf); werr != nil {
+		s.Logf("wire: %v: %v", bc.conn.RemoteAddr(), werr)
+	}
+}

@@ -68,6 +68,15 @@ func (s *Server) dropConn(conn net.Conn) {
 	delete(state.byID, conn)
 }
 
+// hasSubscribers reports whether any standing query is registered, so
+// the binary ingest worker can skip the notify pass (and its snapshot
+// slice) entirely on the common subscriber-free path.
+func (s *Server) hasSubscribers() bool {
+	s.subscribers.mu.Lock()
+	defer s.subscribers.mu.Unlock()
+	return len(s.subscribers.byID) > 0
+}
+
 // notifySubscribers evaluates all standing queries against the current
 // tree and pushes notify frames for those whose value moved. Called with
 // s.mu held (from dispatch) right after a data update.
@@ -191,11 +200,16 @@ func (c *Client) Subscribe(q query.Query, minChange float64) (int, <-chan Notifi
 	ch := make(chan Notification, 16)
 	go func() {
 		defer close(ch)
+		// The subscription loop owns the connection's read side from
+		// here on, so it inherits the client's reusable body buffer.
+		buf := c.rbuf
+		c.rbuf = nil
 		for {
-			m, err := ReadFrame(c.conn)
-			if err != nil {
+			m, next, rerr := ReadFrameBuf(c.conn, buf)
+			if rerr != nil {
 				return
 			}
+			buf = next
 			if m.Type != "notify" {
 				continue
 			}
