@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race verify cover bench bench-hotpath bench-query bench-wire bench-smoke fuzz-smoke
+.PHONY: build test test-short vet lint race race-merge verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,14 @@ lint:
 race:
 	$(GO) test -race -short ./...
 
-verify: build vet lint test race bench-smoke fuzz-smoke
+# The merge algebra property suite (commutativity, associativity,
+# identity, geometry reconciliation) under the race detector — it
+# drives Tree.Merge/MergeSummary/Export through the tree's locking, so
+# racing it pins the merge path's lock discipline explicitly.
+race-merge:
+	$(GO) test -race -count=1 -run 'TestMerge|TestSummary' ./internal/core ./internal/multi
+
+verify: build vet lint test race race-merge bench-smoke fuzz-smoke
 
 # Short coverage-guided fuzzing on every fuzz target (v1 and v2 frame
 # decoding, dispatch, batched-update equivalence, snapshot decoding,
@@ -51,6 +58,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBinaryFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUpdateBatchEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMergeEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/durable -run '^$$' -fuzz '^FuzzRecoverSegment$$' -fuzztime $(FUZZTIME)
 
 # Per-package coverage (printed per package by go test) plus an
@@ -75,6 +83,11 @@ bench-query:
 # v2 binary data plane); writes BENCH_wire.{txt,json}.
 bench-wire:
 	scripts/bench.sh 6 wire
+
+# Summary merge and canonical-encoding benchmarks (the distributed
+# roll-up path); writes BENCH_merge.{txt,json}.
+bench-merge:
+	scripts/bench.sh 6 merge
 
 # Run every benchmark exactly once — a compile-and-run tripwire, not a
 # measurement. Part of `verify` so a benchmark that stops building or

@@ -1,0 +1,113 @@
+package swat_test
+
+// Merge-path benchmarks: rolling exported summaries together and the
+// canonical summary encoding itself. These are the costs of the
+// distributed roll-up flow — an aggregator merging a fleet of edge
+// summaries, and every node exporting its state for shipment — so both
+// are measured allocation-aware, and the encoder additionally carries
+// an AllocsPerRun guard (TestAppendSummaryDoesNotAllocate in
+// internal/core) pinning its steady state at zero.
+
+import (
+	"testing"
+
+	swat "github.com/streamsum/swat"
+)
+
+// mergeBenchSummaries exports two warm same-geometry trees, the
+// aligned-merge fast path an aggregator sees from symmetric edges.
+func mergeBenchSummaries(b *testing.B, n, k int) (*swat.Summary, *swat.Summary) {
+	b.Helper()
+	mk := func(seed int64) *swat.Summary {
+		tree, err := swat.NewTree(swat.TreeOptions{WindowSize: n, Coefficients: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := swat.Uniform(seed)
+		for i := 0; i < 3*n; i++ {
+			tree.Update(src.Next())
+		}
+		return tree.Export()
+	}
+	return mk(1), mk(2)
+}
+
+func benchTreeMerge(b *testing.B, n, k int) {
+	sa, sb := mergeBenchSummaries(b, n, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swat.MergeSummaries(sa, sb, swat.MergeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeMerge1k(b *testing.B)  { benchTreeMerge(b, 1<<10, 4) }
+func BenchmarkTreeMerge64k(b *testing.B) { benchTreeMerge(b, 1<<16, 4) }
+
+// BenchmarkTreeMergeSkewed measures the reconciliation path: the lagging
+// summary is fast-forwarded and the result carries taint spans.
+func BenchmarkTreeMergeSkewed(b *testing.B) {
+	const n = 1 << 10
+	sa, _ := mergeBenchSummaries(b, n, 4)
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: n, Coefficients: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := swat.Uniform(3)
+	for i := 0; i < 3*n-17; i++ {
+		tree.Update(src.Next())
+	}
+	sb := tree.Export()
+	opts := swat.MergeOptions{ValueLo: 0, ValueHi: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swat.MergeSummaries(sa, sb, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummaryEncode measures the canonical wire encoding with a
+// reused buffer — the steady state of periodic summary shipment.
+func BenchmarkSummaryEncode(b *testing.B) {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 1 << 16, Coefficients: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := swat.Uniform(4)
+	for i := 0; i < 3<<16; i++ {
+		tree.Update(src.Next())
+	}
+	buf := tree.AppendSummary(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tree.AppendSummary(buf[:0])
+	}
+}
+
+// BenchmarkSummaryDecode is the receiving side: frame to validated
+// Summary.
+func BenchmarkSummaryDecode(b *testing.B) {
+	tree, err := swat.NewTree(swat.TreeOptions{WindowSize: 1 << 16, Coefficients: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := swat.Uniform(5)
+	for i := 0; i < 3<<16; i++ {
+		tree.Update(src.Next())
+	}
+	frame := tree.AppendSummary(nil)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swat.DecodeSummary(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -111,6 +111,7 @@ var requiredDeterministic = []string{
 	"internal/replication",
 	"internal/aps",
 	"internal/dc",
+	"internal/core",
 }
 
 func checkRequiredDirectives(pkgs []*analysis.Package) error {

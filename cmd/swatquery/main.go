@@ -7,26 +7,39 @@
 //	swatquery ip -kind exponential -start 0 -len 16
 //	swatquery range -center 22 -radius 3 -from 0 -to 63
 //	swatquery feed -value 17.5
+//	swatquery summary -out cpu.swsm
+//	swatquery merge -with 10.0.0.2:7467,10.0.0.3:7467 -lo 0 -hi 1 -age 5
 //
 // The subcommand selects the operation; flags after it configure it.
+// summary and merge speak wire protocol v2 (the others use v1): summary
+// fetches the server tree's mergeable summary, and merge rolls up the
+// summaries of several servers locally — the distributed-roll-up flow of
+// internal/core/merge.go driven from the command line.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"github.com/streamsum/swat/internal/core"
 	"github.com/streamsum/swat/internal/query"
 	"github.com/streamsum/swat/internal/wire"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: swatquery [-addr host:port] <stats|point|ip|range|feed> [flags]
+	fmt.Fprintln(os.Stderr, `usage: swatquery [-addr host:port] <stats|point|ip|range|feed|summary|merge> [flags]
   stats                                  show server tree state
   point -age N                           point query
   ip    -kind exponential|linear -start A -len M [-precision D]
   range -center C -radius R -from A -to B
-  feed  -value V                         push one stream value`)
+  feed  -value V                         push one stream value
+  summary [-out FILE]                    fetch the mergeable summary (v2)
+  merge -with A[,B...] [-lo X -hi Y] [-age N]
+                                         merge servers' summaries locally;
+                                         -lo/-hi declare the value range
+                                         needed to bound skewed merges`)
 	os.Exit(2)
 }
 
@@ -39,6 +52,27 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
+
+	switch cmd {
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ExitOnError)
+		out := fs.String("out", "", "write the canonical encoded frame to this file")
+		parse(fs, args)
+		runSummary(*addr, *out)
+		return
+	case "merge":
+		fs := flag.NewFlagSet("merge", flag.ExitOnError)
+		with := fs.String("with", "", "comma-separated addresses to merge with")
+		lo := fs.Float64("lo", 0, "declared stream value lower bound")
+		hi := fs.Float64("hi", 0, "declared stream value upper bound")
+		age := fs.Int("age", -1, "answer a bounded point query at this age after merging")
+		parse(fs, args)
+		if *with == "" {
+			fatal(fmt.Errorf("merge needs -with"))
+		}
+		runMerge(append([]string{*addr}, strings.Split(*with, ",")...), *lo, *hi, *age)
+		return
+	}
 
 	c, err := wire.Dial(*addr)
 	if err != nil {
@@ -114,6 +148,75 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// fetchSummary pulls one server's summary over a v2 connection.
+func fetchSummary(addr string) (*core.Summary, error) {
+	c, err := wire.DialBinary(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.FetchSummary()
+}
+
+func runSummary(addr, out string) {
+	s, err := fetchSummary(addr)
+	if err != nil {
+		fatal(err)
+	}
+	valid := 0
+	for _, nd := range s.Nodes {
+		if nd.Valid {
+			valid++
+		}
+	}
+	fmt.Printf("window=%d coefficients=%d minlevel=%d arrivals=%d streams=%d nodes=%d/%d taint=%d\n",
+		s.WindowSize, s.Coefficients, s.MinLevel, s.Arrivals, s.Streams, valid, len(s.Nodes), len(s.Taint))
+	if out == "" {
+		return
+	}
+	tr, err := core.FromSummary(s)
+	if err != nil {
+		fatal(err)
+	}
+	frame := tr.AppendSummary(nil)
+	if err := os.WriteFile(out, frame, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(frame), out)
+}
+
+func runMerge(addrs []string, lo, hi float64, age int) {
+	opts := core.MergeOptions{ValueLo: lo, ValueHi: hi}
+	var acc *core.Summary
+	for _, a := range addrs {
+		s, err := fetchSummary(a)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a, err))
+		}
+		if acc == nil {
+			acc = s
+			continue
+		}
+		if acc, err = core.MergeSummaries(acc, s, opts); err != nil {
+			fatal(fmt.Errorf("merge %s: %w", a, err))
+		}
+	}
+	fmt.Printf("merged=%d window=%d streams=%d arrivals=%d taint=%d\n",
+		len(addrs), acc.WindowSize, acc.Streams, acc.Arrivals, len(acc.Taint))
+	if age < 0 {
+		return
+	}
+	tr, err := core.FromSummary(acc)
+	if err != nil {
+		fatal(err)
+	}
+	v, bound, err := tr.BoundedPoint(age)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("age=%d value=%g bound=%g\n", age, v, bound)
 }
 
 func parse(fs *flag.FlagSet, args []string) {

@@ -176,3 +176,67 @@ func TestRestoredTreeDoesNotAllocate(t *testing.T) {
 		t.Errorf("restored tree allocates %v times per arrival, want 0", allocs)
 	}
 }
+
+// TestAppendSummaryDoesNotAllocate pins the synopsis-shipping hot path
+// (AppendSummary and its locked body appendSummary): exporting into a
+// reused buffer is allocation-free, so periodic aggregation ticks add
+// no GC pressure.
+func TestAppendSummaryDoesNotAllocate(t *testing.T) {
+	tr := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
+	// Grow the buffer once.
+	buf := tr.AppendSummary(nil)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		buf = tr.AppendSummary(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("AppendSummary allocates %v times per export, want 0", allocs)
+	}
+	if _, err := DecodeSummary(buf); err != nil {
+		t.Fatalf("exported frame does not decode: %v", err)
+	}
+}
+
+// TestBoundedQueryDoesNotAllocate pins the bounded query path — the
+// shared body approximateBounds and its taint helper widenedBound —
+// at zero steady-state allocations, including on a tainted tree where
+// the span scan actually runs.
+func TestBoundedQueryDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; pooled query scratch is not allocation-free there")
+	}
+	// These guards vouch for the locked bodies the public entry points
+	// delegate to.
+	var (
+		_ = (*treeState).approximateBounds
+		_ = (*treeState).widenedBound
+	)
+	tr := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
+	other := warmTree(t, Options{WindowSize: 1024, Coefficients: 4})
+	// A skewed merge taints the tree so widenedBound has spans to scan.
+	other.Update(0.5)
+	if err := tr.Merge(other, MergeOptions{ValueLo: 0, ValueHi: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.TaintSpans()) == 0 {
+		t.Fatal("expected a tainted tree")
+	}
+	ages := []int{0, 1, 2, 3, 9, 17, 40, 63, 511, 1023}
+	weights := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	// Warm the scratch buffers once.
+	if _, _, err := tr.BoundedInnerProduct(ages, weights); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, err := tr.BoundedPoint(7); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("BoundedPoint allocates %v times per query, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, err := tr.BoundedInnerProduct(ages, weights); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("BoundedInnerProduct allocates %v times per query, want 0", allocs)
+	}
+}

@@ -17,10 +17,17 @@ import (
 //	nodes: for each level minLevel..levels-1, for each role (R, then
 //	S and L below the top level): valid u8 | birth i64 |
 //	coeffCount u16 | coeffs [count]f64
+//
+// Version 2 appends the merge bookkeeping (see merge.go) after the
+// nodes; version-1 snapshots still load, with the pre-merge defaults
+// (one source stream, no taint):
+//
+//	streams u32 | taintCount u32 | taint [count]×(from i64 | to i64 |
+//	half f64)
 
 const (
 	snapshotMagic   = "SWAT"
-	snapshotVersion = uint16(1)
+	snapshotVersion = uint16(2)
 )
 
 // MarshalBinary serializes the full tree state. It implements
@@ -70,6 +77,13 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 			}
 		}
 	}
+	w(uint32(t.streams))
+	w(uint32(len(t.taint)))
+	for _, sp := range t.taint {
+		w(sp.From)
+		w(sp.To)
+		w(math.Float64bits(sp.Half))
+	}
 	return buf.Bytes(), nil
 }
 
@@ -89,7 +103,7 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if err := r(&version); err != nil {
 		return fmt.Errorf("core: snapshot version: %w", err)
 	}
-	if version != snapshotVersion {
+	if version != 1 && version != snapshotVersion {
 		return fmt.Errorf("core: unsupported snapshot version %d", version)
 	}
 	var (
@@ -203,15 +217,46 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 			}
 		}
 	}
+	if version >= 2 {
+		var streams, taintCount uint32
+		if err := r(&streams); err != nil {
+			return fmt.Errorf("core: snapshot streams: %w", err)
+		}
+		if err := r(&taintCount); err != nil {
+			return fmt.Errorf("core: snapshot taint: %w", err)
+		}
+		fresh.streams = int(streams)
+		if fresh.streams < 1 {
+			return fmt.Errorf("core: snapshot claims %d source streams", streams)
+		}
+		if int64(taintCount)*24 > int64(buf.Len()) {
+			return fmt.Errorf("core: snapshot taint count %d exceeds remaining input", taintCount)
+		}
+		for i := 0; i < int(taintCount); i++ {
+			var sp TaintSpan
+			var bits uint64
+			if err := r(&sp.From); err != nil {
+				return fmt.Errorf("core: snapshot taint span %d: %w", i, err)
+			}
+			if err := r(&sp.To); err != nil {
+				return fmt.Errorf("core: snapshot taint span %d: %w", i, err)
+			}
+			if err := r(&bits); err != nil {
+				return fmt.Errorf("core: snapshot taint span %d: %w", i, err)
+			}
+			sp.Half = math.Float64frombits(bits)
+			if sp.From < 1 || sp.To < sp.From || sp.To > fresh.arrivals || !(sp.Half >= 0) {
+				return fmt.Errorf("core: snapshot taint span %d [%d,%d]±%v malformed", i, sp.From, sp.To, sp.Half)
+			}
+			fresh.taint = append(fresh.taint, sp)
+		}
+	}
 	if buf.Len() != 0 {
 		return fmt.Errorf("core: %d trailing bytes in snapshot", buf.Len())
 	}
 	// Publish the restored state under the writer lock, advancing the
 	// generation past the old one so compiled plans against this tree
 	// observe the restore and recompile.
-	t.mu.Lock()
-	fresh.generation = t.generation + 1
-	t.treeState = *fresh
-	t.mu.Unlock()
+	t.install(fresh)
 	return nil
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// FuzzMergeEquivalence drives the differential merge oracle with fuzzed
+// stream contents, lengths, and geometry pairs: the merge of two trees
+// must answer every covered point query within its own widened bound of
+// a twin tree fed the time-aligned sum of the raw streams, and coverage
+// must agree between the two. Run via `make fuzz-smoke` and CI.
+func FuzzMergeEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(2), uint16(96), uint16(96), uint8(0), uint8(0))
+	f.Add(int64(3), int64(4), uint16(64), uint16(50), uint8(1), uint8(2))
+	f.Add(int64(5), int64(6), uint16(200), uint16(10), uint8(0), uint8(3))
+	f.Add(int64(7), int64(8), uint16(40), uint16(33), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, lenA, lenB uint16, geomA, geomB uint8) {
+		geoms := []Options{
+			{WindowSize: 32},
+			{WindowSize: 32, Coefficients: 2},
+			{WindowSize: 32, Coefficients: 4, MinLevel: 2},
+			{WindowSize: 32, Coefficients: 2, MinLevel: 3},
+		}
+		oa := geoms[int(geomA)%len(geoms)]
+		ob := geoms[int(geomB)%len(geoms)]
+		ca, cb := int(lenA%512), int(lenB%512)
+		total := ca
+		if cb > total {
+			total = cb
+		}
+		av := genValues(seedA, total, 0.05, 0.95)
+		bv := genValues(seedB, total, 0.05, 0.95)
+
+		ta := treeOver(t, oa, av[:ca])
+		tb := treeOver(t, ob, bv[:cb])
+		merged, err := MergedTree(ta, tb, mergeRange)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+
+		// The twin replays the summed raw streams on the merged
+		// geometry. An input with zero arrivals is the merge identity —
+		// no stream at all — so it contributes nothing to the twin
+		// either; a lagging input contributes its full stream, whose
+		// unseen tail the merge's taint must cover.
+		mOpts := Options{
+			WindowSize:   32,
+			Coefficients: merged.Coefficients(),
+			MinLevel:     merged.MinLevel(),
+		}
+		sum := make([]float64, total)
+		if ca > 0 {
+			for i, v := range av {
+				sum[i] += v
+			}
+		}
+		if cb > 0 {
+			for i, v := range bv {
+				sum[i] += v
+			}
+		}
+		twin := treeOver(t, mOpts, sum)
+		if merged.Arrivals() != twin.Arrivals() {
+			t.Fatalf("arrivals %d vs twin %d", merged.Arrivals(), twin.Arrivals())
+		}
+
+		check := func(label string) {
+			for age := 0; age < 32; age++ {
+				want, errT := twin.PointQuery(age)
+				got, bound, errM := merged.BoundedPoint(age)
+				if (errT == nil) != (errM == nil) {
+					t.Fatalf("%s: age %d coverage disagrees: twin=%v merged=%v", label, age, errT, errM)
+				}
+				if errT != nil {
+					continue
+				}
+				if !(bound >= 0) || math.IsInf(bound, 0) {
+					t.Fatalf("%s: age %d: malformed bound %v", label, age, bound)
+				}
+				if d := math.Abs(got - want); d > bound+mergeTol {
+					t.Fatalf("%s: age %d: merged %v vs twin %v, |Δ|=%v exceeds bound %v",
+						label, age, got, want, d, bound)
+				}
+			}
+		}
+		check("post-merge")
+
+		// The merged tree must stay within bounds as the window slides:
+		// taint ages out, never corrupts.
+		src := stream.UniformRange(seedA^seedB, 0.1, 1.9)
+		for i := 0; i < 48; i++ {
+			v := src.Next()
+			merged.Update(v)
+			twin.Update(v)
+		}
+		check("post-slide")
+
+		// And its summary survives an encode/decode round trip intact.
+		dec, err := DecodeSummary(merged.AppendSummary(nil))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !summariesIdentical(dec, merged.Export()) {
+			t.Fatal("encode/decode changed the merged summary")
+		}
+	})
+}

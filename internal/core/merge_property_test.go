@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Algebraic property suite for the merge operator: commutativity
+// (bit-for-bit — IEEE addition commutes and taint normalization sorts),
+// associativity (up to floating-point reassociation), the empty summary
+// as identity, and self-merge doubling. Table-driven over window sizes,
+// maintained levels, and coefficient budgets.
+
+// propertyCase pairs two geometries that are merged throughout the
+// suite; Skew holds back the second input by that many arrivals.
+type propertyCase struct {
+	name   string
+	a, b   Options
+	skew   int
+	counts []int
+}
+
+func propertyCases() []propertyCase {
+	return []propertyCase{
+		{name: "n64-full", a: Options{WindowSize: 64}, b: Options{WindowSize: 64},
+			counts: []int{32, 64, 200}},
+		{name: "n64-k8-vs-k2", a: Options{WindowSize: 64, Coefficients: 8}, b: Options{WindowSize: 64, Coefficients: 2},
+			counts: []int{64, 200}},
+		{name: "n32-min0-vs-min2", a: Options{WindowSize: 32}, b: Options{WindowSize: 32, Coefficients: 4, MinLevel: 2},
+			counts: []int{96}},
+		{name: "n128-skew", a: Options{WindowSize: 128, Coefficients: 8}, b: Options{WindowSize: 128, Coefficients: 8},
+			skew: 11, counts: []int{300}},
+		{name: "n32-skew-and-levels", a: Options{WindowSize: 32, MinLevel: 1}, b: Options{WindowSize: 32, MinLevel: 3},
+			skew: 5, counts: []int{100}},
+	}
+}
+
+func (pc propertyCase) build(t *testing.T, count int) (*Summary, *Summary) {
+	t.Helper()
+	av := genValues(int64(count)*7+13, count, 0.05, 0.95)
+	bv := genValues(int64(count)*11+17, count-pc.skew, 0.05, 0.95)
+	return treeOver(t, pc.a, av).Export(), treeOver(t, pc.b, bv).Export()
+}
+
+func TestMergeCommutative(t *testing.T) {
+	for _, pc := range propertyCases() {
+		t.Run(pc.name, func(t *testing.T) {
+			for _, count := range pc.counts {
+				sa, sb := pc.build(t, count)
+				ab, err := MergeSummaries(sa, sb, mergeRange)
+				if err != nil {
+					t.Fatalf("count=%d: %v", count, err)
+				}
+				ba, err := MergeSummaries(sb, sa, mergeRange)
+				if err != nil {
+					t.Fatalf("count=%d: %v", count, err)
+				}
+				if !summariesIdentical(ab, ba) {
+					t.Fatalf("count=%d: a⊕b and b⊕a differ bit-for-bit", count)
+				}
+			}
+		})
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	for _, pc := range propertyCases() {
+		t.Run(pc.name, func(t *testing.T) {
+			count := pc.counts[len(pc.counts)-1]
+			sa, sb := pc.build(t, count)
+			sc := treeOver(t, pc.a, genValues(999, count, 0.05, 0.95)).Export()
+			left, err := MergeSummaries(sa, sb, mergeRange)
+			if err == nil {
+				left, err = MergeSummaries(left, sc, mergeRange)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			right, err := MergeSummaries(sb, sc, mergeRange)
+			if err == nil {
+				right, err = MergeSummaries(sa, right, mergeRange)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			lt, err := FromSummary(left)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := FromSummary(right)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lt.Streams() != 3 || rt.Streams() != 3 {
+				t.Fatalf("streams %d / %d, want 3", lt.Streams(), rt.Streams())
+			}
+			n := lt.WindowSize()
+			for age := 0; age < n; age++ {
+				lv, lb, errL := lt.BoundedPoint(age)
+				rv, rb, errR := rt.BoundedPoint(age)
+				if (errL == nil) != (errR == nil) {
+					t.Fatalf("age %d coverage disagrees: %v vs %v", age, errL, errR)
+				}
+				if errL != nil {
+					continue
+				}
+				// Both groupings answer within each other's combined
+				// widened bounds plus rounding slack.
+				if d := math.Abs(lv - rv); d > lb+rb+mergeTol {
+					t.Fatalf("age %d: (a⊕b)⊕c=%v vs a⊕(b⊕c)=%v, |Δ|=%v beyond %v",
+						age, lv, rv, d, lb+rb+mergeTol)
+				}
+			}
+		})
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	for _, pc := range propertyCases() {
+		t.Run(pc.name, func(t *testing.T) {
+			sa, _ := pc.build(t, pc.counts[0])
+			empty, err := New(pc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se := empty.Export()
+			for _, pair := range [][2]*Summary{{sa, se}, {se, sa}} {
+				got, err := MergeSummaries(pair[0], pair[1], MergeOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !summariesIdentical(got, sa) {
+					t.Fatal("merging with an empty summary is not the identity")
+				}
+			}
+			// Identity on the identity.
+			ee, err := MergeSummaries(se, se, MergeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ee.Arrivals != 0 || ee.Streams != se.Streams {
+				t.Fatalf("empty⊕empty arrivals=%d streams=%d", ee.Arrivals, ee.Streams)
+			}
+		})
+	}
+}
+
+func TestMergeSelfDoubling(t *testing.T) {
+	// Merging a summary with itself doubles the summarized mass —
+	// stream count and every answer — while arrivals and the refresh
+	// schedule stay fixed.
+	for _, opts := range summaryGeometries()[:3] {
+		vals := genValues(int64(opts.WindowSize), 3*opts.WindowSize, 0.05, 0.95)
+		tr := treeOver(t, opts, vals)
+		doubled, err := MergedTree(tr, tr, MergeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doubled.Streams() != 2 || doubled.Arrivals() != tr.Arrivals() {
+			t.Fatalf("n=%d: streams=%d arrivals=%d vs %d",
+				opts.WindowSize, doubled.Streams(), doubled.Arrivals(), tr.Arrivals())
+		}
+		for age := 0; age < opts.WindowSize; age++ {
+			base, err := tr.PointQuery(age)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := doubled.PointQuery(age)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-2*base) > mergeTol {
+				t.Fatalf("n=%d age %d: self-merge %v, want %v", opts.WindowSize, age, got, 2*base)
+			}
+		}
+	}
+}
+
+// TestMergePreservesDownstreamIngest checks that a merged tree is a
+// fully functional tree: further updates, snapshots, and plans behave
+// as on a natural one.
+func TestMergePreservesDownstreamIngest(t *testing.T) {
+	n := 64
+	av := genValues(201, 2*n, 0.05, 0.95)
+	bv := genValues(202, 2*n-9, 0.05, 0.95)
+	a := treeOver(t, Options{WindowSize: n}, av)
+	b := treeOver(t, Options{WindowSize: n}, bv)
+	if err := a.Merge(b, mergeRange); err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Uniform(203)
+	for i := 0; i < 3*n; i++ {
+		a.Update(src.Next())
+	}
+	snap, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := back.UnmarshalBinary(snap); err != nil {
+		t.Fatal(err)
+	}
+	if back.Streams() != 2 {
+		t.Fatalf("snapshot dropped stream count: %d", back.Streams())
+	}
+	if !summariesIdentical(a.Export(), back.Export()) {
+		t.Fatal("snapshot round trip diverged after merge")
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Differential merge-equivalence suite: every merged tree is checked
+// against a "replay twin" — a tree of the merged geometry fed the
+// time-aligned sum of the raw source streams. For aligned inputs the
+// merge is exact up to floating-point rounding; for reconciled inputs
+// (skew, raised minLevel) every answer must lie within the merge's own
+// widened bound of the twin's.
+
+// mergeTol absorbs floating-point reassociation between the twin's
+// replay and the merge's coefficient sums; the values at play are O(1).
+const mergeTol = 1e-9
+
+// genValues produces count deterministic values inside (lo, hi).
+func genValues(seed int64, count int, lo, hi float64) []float64 {
+	src := stream.UniformRange(seed, lo, hi)
+	vals := make([]float64, count)
+	for i := range vals {
+		vals[i] = src.Next()
+	}
+	return vals
+}
+
+// treeOver feeds a fresh tree the given values.
+func treeOver(t testing.TB, opts Options, vals []float64) *Tree {
+	t.Helper()
+	tr, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		tr.Update(v)
+	}
+	return tr
+}
+
+// summedTwin builds the replay twin: a tree of the merged geometry fed
+// the elementwise sum of the (equal-length) source streams.
+func summedTwin(t testing.TB, opts Options, streams ...[]float64) *Tree {
+	t.Helper()
+	sum := make([]float64, len(streams[0]))
+	for _, s := range streams {
+		if len(s) != len(sum) {
+			t.Fatal("summedTwin: stream lengths differ")
+		}
+		for i, v := range s {
+			sum[i] += v
+		}
+	}
+	return treeOver(t, opts, sum)
+}
+
+// assertWithinBounds compares every in-window point query of the merged
+// tree against the twin, requiring |merged − twin| ≤ bound + mergeTol,
+// and that the two trees agree on which ages are answerable at all.
+func assertWithinBounds(t *testing.T, merged, twin *Tree, label string) {
+	t.Helper()
+	maxAge := twin.WindowSize()
+	for age := 0; age < maxAge; age++ {
+		want, errT := twin.PointQuery(age)
+		got, bound, errM := merged.BoundedPoint(age)
+		if (errT == nil) != (errM == nil) {
+			t.Fatalf("%s: age %d coverage disagrees: twin=%v merged=%v", label, age, errT, errM)
+		}
+		if errT != nil {
+			continue
+		}
+		if d := math.Abs(got - want); d > bound+mergeTol {
+			t.Fatalf("%s: age %d: merged %v vs twin %v, |Δ|=%v exceeds bound %v",
+				label, age, got, want, d, bound)
+		}
+	}
+	// An aggregate query over a spread of ages obeys the summed bound.
+	ages := []int{0, 1, 2, 3, maxAge / 4, maxAge / 2, maxAge - 1}
+	weights := []float64{1, -2, 0.5, 3, -1, 1, 0.25}
+	want, errT := twin.InnerProduct(ages, weights)
+	got, bound, errM := merged.BoundedInnerProduct(ages, weights)
+	if (errT == nil) != (errM == nil) {
+		t.Fatalf("%s: inner-product coverage disagrees: twin=%v merged=%v", label, errT, errM)
+	}
+	if errT == nil {
+		if d := math.Abs(got - want); d > bound+mergeTol {
+			t.Fatalf("%s: inner product: merged %v vs twin %v, |Δ|=%v exceeds bound %v",
+				label, got, want, d, bound)
+		}
+	}
+}
+
+// mergeRange is the declared per-stream value range used throughout the
+// suite; the generated streams stay strictly inside it.
+var mergeRange = MergeOptions{ValueLo: 0, ValueHi: 1}
+
+func TestMergeAlignedExact(t *testing.T) {
+	for _, opts := range summaryGeometries() {
+		n := opts.WindowSize
+		for _, count := range []int{n / 2, n, 3*n + 7} {
+			av := genValues(int64(1000+n+count), count, 0.05, 0.95)
+			bv := genValues(int64(2000+n+count), count, 0.05, 0.95)
+			merged, err := MergedTree(treeOver(t, opts, av), treeOver(t, opts, bv), MergeOptions{})
+			if err != nil {
+				t.Fatalf("n=%d count=%d: %v", n, count, err)
+			}
+			twin := summedTwin(t, opts, av, bv)
+			// Equal geometry, equal arrivals: no taint, bounds all zero.
+			if spans := merged.TaintSpans(); len(spans) != 0 {
+				t.Fatalf("n=%d count=%d: aligned merge produced taint %v", n, count, spans)
+			}
+			if merged.Streams() != 2 {
+				t.Fatalf("n=%d count=%d: streams=%d, want 2", n, count, merged.Streams())
+			}
+			assertWithinBounds(t, merged, twin, "aligned")
+		}
+	}
+}
+
+func TestMergeCoefficientBudgetMismatch(t *testing.T) {
+	// a keeps the full budget, b keeps k=2; the merge drops to k=2,
+	// which pairwise averaging makes exact.
+	n := 64
+	av := genValues(31, 3*n, 0.05, 0.95)
+	bv := genValues(32, 3*n, 0.05, 0.95)
+	a := treeOver(t, Options{WindowSize: n, Coefficients: 16}, av)
+	b := treeOver(t, Options{WindowSize: n, Coefficients: 2}, bv)
+	merged, err := MergedTree(a, b, MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Coefficients(); got != 2 {
+		t.Fatalf("merged k=%d, want 2", got)
+	}
+	twin := summedTwin(t, Options{WindowSize: n, Coefficients: 2}, av, bv)
+	assertWithinBounds(t, merged, twin, "k-mismatch")
+}
+
+func TestMergeMinLevelMismatch(t *testing.T) {
+	// b only maintains levels ≥ 3; the merged tree rises to minLevel 3
+	// and a's deeper ring history is reconstructed approximately.
+	n := 64
+	av := genValues(41, 3*n, 0.05, 0.95)
+	bv := genValues(42, 3*n, 0.05, 0.95)
+	a := treeOver(t, Options{WindowSize: n}, av)
+	b := treeOver(t, Options{WindowSize: n, MinLevel: 3}, bv)
+	merged, err := MergedTree(a, b, mergeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.MinLevel(); got != 3 {
+		t.Fatalf("merged minLevel=%d, want 3", got)
+	}
+	twin := summedTwin(t, Options{WindowSize: n, MinLevel: 3}, av, bv)
+	assertWithinBounds(t, merged, twin, "minLevel-mismatch")
+
+	// The approximation error is transient: once the window slides
+	// fully past the merge point under identical further input, the
+	// merged tree and the twin must re-agree exactly.
+	extra := genValues(43, 4*n, 0.05, 0.95)
+	for _, v := range extra {
+		merged.Update(2 * v)
+		twin.Update(2 * v)
+	}
+	for age := 0; age < n; age++ {
+		want, errT := twin.PointQuery(age)
+		got, errM := merged.PointQuery(age)
+		if errT != nil || errM != nil {
+			t.Fatalf("age %d after slide-out: twin=%v merged=%v", age, errT, errM)
+		}
+		if math.Abs(got-want) > mergeTol {
+			t.Fatalf("age %d after slide-out: %v vs %v", age, got, want)
+		}
+	}
+}
+
+func TestMergeSkewWithinWindow(t *testing.T) {
+	// b lags by a handful of arrivals; the merge fast-forwards it with
+	// tainted midpoints and the bound must absorb the unseen tail.
+	// k=2 keeps the finest-level block width at one value, so the
+	// freshest synthetic index must carry the full half-range bound.
+	n := 64
+	T := 3 * n
+	opts := Options{WindowSize: n, Coefficients: 2}
+	for _, lag := range []int{1, 7, n / 2} {
+		av := genValues(int64(51+lag), T, 0.05, 0.95)
+		bv := genValues(int64(52+lag), T, 0.05, 0.95)
+		a := treeOver(t, opts, av)
+		b := treeOver(t, opts, bv[:T-lag])
+		merged, err := MergedTree(a, b, mergeRange)
+		if err != nil {
+			t.Fatalf("lag=%d: %v", lag, err)
+		}
+		if got := merged.Arrivals(); got != int64(T) {
+			t.Fatalf("lag=%d: merged arrivals=%d, want %d", lag, got, T)
+		}
+		twin := summedTwin(t, opts, av, bv)
+		assertWithinBounds(t, merged, twin, "skew")
+		// The freshest lag ages were synthesized: their bound must be
+		// at least the per-stream half range.
+		_, bound, err := merged.BoundedPoint(0)
+		if err != nil {
+			t.Fatalf("lag=%d: %v", lag, err)
+		}
+		if bound < 0.5-mergeTol {
+			t.Fatalf("lag=%d: age-0 bound %v below half range", lag, bound)
+		}
+	}
+}
+
+func TestMergeSkewBeyondFastForwardCap(t *testing.T) {
+	// b is so far behind that its whole window has slid past; the merge
+	// warms a fresh state on synthetic midpoints instead of replaying
+	// the gap. Every merged answer is then twin ± (half range), since
+	// each sum includes one wholly synthetic stream.
+	n := 32
+	lag := 10 * n
+	T := lag + 2*n
+	av := genValues(61, T, 0.05, 0.95)
+	bv := genValues(62, T, 0.05, 0.95)
+	a := treeOver(t, Options{WindowSize: n}, av)
+	b := treeOver(t, Options{WindowSize: n}, bv[:T-lag])
+	merged, err := MergedTree(a, b, mergeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := summedTwin(t, Options{WindowSize: n}, av, bv)
+	assertWithinBounds(t, merged, twin, "skew-capped")
+}
+
+func TestMergeInPlace(t *testing.T) {
+	// Tree.Merge mutates the receiver and must equal MergedTree.
+	n := 64
+	av := genValues(71, 2*n, 0.05, 0.95)
+	bv := genValues(72, 2*n, 0.05, 0.95)
+	a := treeOver(t, Options{WindowSize: n}, av)
+	b := treeOver(t, Options{WindowSize: n}, bv)
+	want, err := MergedTree(a, b, MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b, MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !summariesIdentical(a.Export(), want.Export()) {
+		t.Fatal("in-place merge differs from MergedTree")
+	}
+	// b is untouched.
+	if b.Streams() != 1 || b.Arrivals() != int64(2*n) {
+		t.Fatal("merge mutated its argument")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	n := 32
+	vals := genValues(81, 2*n, 0.05, 0.95)
+	a := treeOver(t, Options{WindowSize: n}, vals)
+	b := treeOver(t, Options{WindowSize: 2 * n}, vals)
+	if _, err := MergedTree(a, b, mergeRange); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("window mismatch: %v", err)
+	}
+
+	// Skew without a declared range is unbounded and must be refused.
+	c := treeOver(t, Options{WindowSize: n}, vals[:2*n-5])
+	if _, err := MergedTree(a, c, MergeOptions{}); !errors.Is(err, ErrRangeRequired) {
+		t.Fatalf("undeclared skew: %v", err)
+	}
+	// Likewise a minLevel raise that must synthesize ring history.
+	d := treeOver(t, Options{WindowSize: n, MinLevel: 3}, vals)
+	if _, err := MergedTree(a, d, MergeOptions{}); !errors.Is(err, ErrRangeRequired) {
+		t.Fatalf("undeclared minLevel raise: %v", err)
+	}
+
+	// Malformed option ranges.
+	for _, o := range []MergeOptions{
+		{ValueLo: 1, ValueHi: 0},
+		{ValueLo: math.NaN(), ValueHi: 1},
+		{ValueLo: 0, ValueHi: math.Inf(1)},
+	} {
+		if _, err := MergedTree(a, a, o); err == nil {
+			t.Fatalf("options %+v accepted", o)
+		}
+	}
+
+	// Summaries claiming equal arrivals but divergent births are off
+	// the shared refresh schedule and must be rejected.
+	sa, sb := a.Export(), a.Export()
+	for i := range sb.Nodes {
+		if sb.Nodes[i].Valid {
+			sb.Nodes[i].Birth -= 1 << uint(sb.Nodes[i].Level)
+			if sb.Nodes[i].Birth >= 1 {
+				break
+			}
+			sb.Nodes[i].Birth += 1 << uint(sb.Nodes[i].Level)
+		}
+	}
+	if !summariesIdentical(sa, sb) {
+		if _, err := MergeSummaries(sa, sb, mergeRange); err == nil || !strings.Contains(err.Error(), "birth") {
+			t.Fatalf("birth divergence: %v", err)
+		}
+	}
+
+	// Invalid inputs are rejected up front.
+	bad := a.Export()
+	bad.Arrivals = -1
+	if _, err := MergeSummaries(bad, sa, mergeRange); err == nil {
+		t.Fatal("negative-arrivals summary accepted")
+	}
+}
+
+func TestMergeTaintCoalescing(t *testing.T) {
+	// Chain enough skewed merges that the taint list overflows
+	// maxTaintSpans and must coalesce; bounds stay valid throughout.
+	n := 32
+	T := 2 * n
+	opts := Options{WindowSize: n}
+	streams := make([][]float64, 0, maxTaintSpans+8)
+	acc := genValues(91, T, 0.05, 0.95)
+	streams = append(streams, acc)
+	merged := treeOver(t, opts, acc).Export()
+	for i := 0; i < maxTaintSpans+6; i++ {
+		sv := genValues(int64(92+i), T, 0.05, 0.95)
+		streams = append(streams, sv)
+		// Each partner lags by a different amount, spraying distinct
+		// taint spans across the window.
+		lag := 1 + i%7
+		partner := treeOver(t, opts, sv[:T-lag]).Export()
+		var err error
+		merged, err = MergeSummaries(merged, partner, mergeRange)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if len(merged.Taint) > maxTaintSpans {
+			t.Fatalf("round %d: %d taint spans exceed cap %d", i, len(merged.Taint), maxTaintSpans)
+		}
+	}
+	mt, err := FromSummary(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := summedTwin(t, opts, streams...)
+	assertWithinBounds(t, mt, twin, "coalesced")
+}

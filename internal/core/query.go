@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -29,10 +30,12 @@ type queryScratch struct {
 	ages      []int
 	rangeAges []int
 	vals      []float64
+	bnds      []float64
 	// Fixed-size backing for PointQuery, so the single-age path needs
 	// no heap-escaping stack slices.
 	pointAge [1]int
 	pointVal [1]float64
+	pointBnd [1]float64
 }
 
 // scratchPool recycles query scratch across calls and trees. Buffers
@@ -193,6 +196,19 @@ func (t *Tree) ApproximateInto(dst []float64, ages []int) error {
 //
 //swat:noalloc
 func (t *treeState) approximateInto(s *queryScratch, dst []float64, ages []int) error {
+	return t.approximateBounds(s, dst, nil, ages)
+}
+
+// approximateBounds is approximateInto with optional error bounds: when
+// bnds is non-nil, bnds[i] receives a guaranteed bound on how far the
+// served coefficient can lie from the one an identically-shaped tree
+// fed the exact stream would serve, derived from the tree's taint spans
+// (zero for untainted trees). The bound describes the block actually
+// read — including clamped and fallback reads, which a twin tree with
+// the same geometry and arrival count resolves identically.
+//
+//swat:noalloc
+func (t *treeState) approximateBounds(s *queryScratch, dst, bnds []float64, ages []int) error {
 	cover, missing, err := t.coverInto(s, ages)
 	if err != nil {
 		return err
@@ -218,8 +234,110 @@ func (t *treeState) approximateInto(s *queryScratch, dst []float64, ages []int) 
 			a = ni.End
 		}
 		dst[i] = valueFromNode(ni, a)
+		if bnds != nil {
+			bnds[i] = t.widenedBound(ni, a)
+		}
 	}
 	return nil
+}
+
+// widenedBound bounds the error of the coefficient serving age a from
+// node ni, relative to a twin tree of identical geometry fed the exact
+// stream: each taint span contributes Half per overlapped index of the
+// served block, averaged over the block length (coefficients are block
+// means, so an index off by at most Half moves the mean by at most
+// Half/blockLen).
+//
+//swat:noalloc
+func (t *treeState) widenedBound(ni NodeInfo, a int) float64 {
+	if len(t.taint) == 0 {
+		return 0
+	}
+	blk := (ni.End - ni.Start + 1) / len(ni.Coeffs)
+	// The served block's covered stream indices: age g holds arrival
+	// index arrivals-g, so block j of the node spans [hi-blk+1, hi].
+	j := (a - ni.Start) / blk
+	hi := t.arrivals - int64(ni.Start) - int64(j*blk)
+	lo := hi - int64(blk) + 1
+	var b float64
+	for _, sp := range t.taint {
+		o1, o2 := sp.From, sp.To
+		if o1 < lo {
+			o1 = lo
+		}
+		if o2 > hi {
+			o2 = hi
+		}
+		if ov := o2 - o1 + 1; ov > 0 {
+			b += sp.Half * float64(ov) / float64(blk)
+		}
+	}
+	return b
+}
+
+// BoundedApproximate is Approximate with quantified widened error
+// bounds: alongside each approximation it returns a guaranteed bound on
+// its distance from the approximation an identically-shaped tree fed
+// the exact stream would produce. For trees never touched by a merge
+// every bound is zero; after merges the bounds reflect the taint the
+// alignment machinery introduced (see merge.go).
+func (t *Tree) BoundedApproximate(ages []int) (vals, bounds []float64, err error) {
+	vals = make([]float64, len(ages))
+	bounds = make([]float64, len(ages))
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.approximateBounds(s, vals, bounds, ages); err != nil {
+		return nil, nil, err
+	}
+	return vals, bounds, nil
+}
+
+// BoundedPoint is PointQuery with a widened error bound (see
+// BoundedApproximate).
+func (t *Tree) BoundedPoint(age int) (val, bound float64, err error) {
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	s.pointAge[0] = age
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.approximateBounds(s, s.pointVal[:], s.pointBnd[:], s.pointAge[:]); err != nil {
+		return 0, 0, err
+	}
+	return s.pointVal[0], s.pointBnd[0], nil
+}
+
+// BoundedInnerProduct is InnerProduct with a widened error bound: the
+// returned bound is Σ |weights[i]|·bound(ages[i]), a guaranteed bound
+// on the answer's distance from the one an identically-shaped tree fed
+// the exact stream would give (see BoundedApproximate).
+func (t *Tree) BoundedInnerProduct(ages []int, weights []float64) (val, bound float64, err error) {
+	if len(ages) != len(weights) {
+		return 0, 0, fmt.Errorf("core: %d ages but %d weights", len(ages), len(weights))
+	}
+	if len(ages) == 0 {
+		return 0, 0, fmt.Errorf("core: empty inner-product query")
+	}
+	s := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(s)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if cap(s.vals) < len(ages) {
+		s.vals = make([]float64, len(ages))
+	}
+	if cap(s.bnds) < len(ages) {
+		s.bnds = make([]float64, len(ages))
+	}
+	vals, bnds := s.vals[:len(ages)], s.bnds[:len(ages)]
+	if err := t.approximateBounds(s, vals, bnds, ages); err != nil {
+		return 0, 0, err
+	}
+	for i, v := range vals {
+		val += weights[i] * v
+		bound += math.Abs(weights[i]) * bnds[i]
+	}
+	return val, bound, nil
 }
 
 // coveringNode selects the node to answer age a: the first cover node

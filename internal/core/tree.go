@@ -34,6 +34,8 @@
 // at all or in full by every query (no torn reads). Callbacks lent tree
 // state (VisitNodes) run under the read lock and must not call other
 // Tree methods, which could deadlock behind a waiting writer.
+//
+//swat:deterministic
 package core
 
 import (
@@ -131,6 +133,19 @@ type treeState struct {
 	arrivals    int64
 	nodeUpdates uint64
 
+	// streams counts the source streams summed into this tree: 1 for a
+	// tree fed by Update alone, the sum of the inputs' counts after a
+	// merge (see merge.go). The merge alignment math scales the declared
+	// per-stream value range by it.
+	streams int
+
+	// taint lists the stream-index spans whose values entered the tree
+	// as bounded approximations during merges, sorted by From. Empty —
+	// and untouched by the arrival hot path — for a tree that only ever
+	// saw exact arrivals; the bounded query entry points widen their
+	// reported error bounds from it.
+	taint []TaintSpan
+
 	// generation versions everything a query or compiled plan depends
 	// on: node validity, coefficient contents, and covered-age
 	// boundaries. Every arrival slides the boundaries of the nodes it
@@ -177,6 +192,7 @@ func newState(opts Options) (*treeState, error) {
 		levels:     levels,
 		minLevel:   opts.MinLevel,
 		k:          k,
+		streams:    1,
 		nodes:      make([][3]node, levels),
 		recent:     make([]float64, ringLen),
 		recentMask: ringLen - 1,
@@ -262,6 +278,36 @@ func (t *Tree) NodeUpdates() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.nodeUpdates
+}
+
+// Streams returns how many source streams were summed into this tree:
+// 1 for a tree fed by Update alone, the sum of the inputs' counts after
+// a merge.
+func (t *Tree) Streams() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.streams
+}
+
+// TaintSpans returns a copy of the tree's approximation spans — the
+// stream-index runs whose values entered the tree as bounded
+// approximations during merges. An empty result means every coefficient
+// derives from exact arrivals and the bounded query entry points report
+// zero-width bounds.
+func (t *Tree) TaintSpans() []TaintSpan {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]TaintSpan(nil), t.taint...)
+}
+
+// install publishes fresh as the tree's state under the writer lock,
+// advancing the generation past the old one so compiled plans against
+// this tree observe the replacement and recompile.
+func (t *Tree) install(fresh *treeState) {
+	t.mu.Lock()
+	fresh.generation = t.generation + 1
+	t.treeState = *fresh
+	t.mu.Unlock()
 }
 
 // Generation returns the tree's query-visible version. It advances on

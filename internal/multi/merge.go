@@ -1,0 +1,102 @@
+package multi
+
+import (
+	"fmt"
+
+	"github.com/streamsum/swat/internal/core"
+)
+
+// Cross-shard roll-ups: folding another monitor's per-stream summaries
+// into this one. A fleet of edge monitors can each summarize its local
+// slice of a logical stream set and periodically merge into a regional
+// aggregator, which then answers queries over the union with the merged
+// trees' widened error bounds (see internal/core/merge.go for the
+// merge semantics and bound model).
+
+// MergeSummary folds an exported summary into the named stream's tree.
+// An unregistered name is registered first, so merging into an empty
+// aggregator works without pre-declaring the stream set. The monitor
+// must not be durable: its WAL replays raw arrivals, which cannot
+// reproduce a merged tree, so a restart would silently shed the merge.
+func (m *Monitor) MergeSummary(name string, s *core.Summary, o core.MergeOptions) error {
+	if err := m.mergeable(); err != nil {
+		return err
+	}
+	idx, err := m.indexOf(name)
+	if err != nil {
+		if err = m.Add(name); err != nil {
+			return fmt.Errorf("multi: merge into %q: %w", name, err)
+		}
+		if idx, err = m.indexOf(name); err != nil {
+			return err
+		}
+	}
+	return m.mergeAt(idx, name, s, o)
+}
+
+// MergeFrom folds every stream of src into the receiver, by name:
+// streams present in both are merged (the receiver's tree afterwards
+// summarizes the sum of both), streams only in src are registered and
+// adopted as-is. src is read but never modified, and may be durable;
+// the receiver must not be (see MergeSummary). Streams are merged in
+// src's registration order; on error, streams already processed stay
+// merged.
+func (m *Monitor) MergeFrom(src *Monitor, o core.MergeOptions) error {
+	if err := m.mergeable(); err != nil {
+		return err
+	}
+	for _, name := range src.Streams() {
+		tree, err := src.Tree(name)
+		if err != nil {
+			// The stream vanished between Streams and Tree; src is
+			// append-only while open, so it must have been closed.
+			return fmt.Errorf("multi: merge from %q: %w", name, err)
+		}
+		if err := m.MergeSummary(name, tree.Export(), o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeable rejects merging into closed or durable monitors.
+func (m *Monitor) mergeable() error {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	if m.closed {
+		return fmt.Errorf("multi: monitor closed")
+	}
+	if m.opts.DataDir != "" {
+		return fmt.Errorf("multi: cannot merge into a durable monitor: its write-ahead log replays raw arrivals and would shed the merge on recovery")
+	}
+	return nil
+}
+
+// indexOf resolves a stream name under the registration read lock.
+func (m *Monitor) indexOf(name string) (int, error) {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	idx, ok := m.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("multi: unknown stream %q", name)
+	}
+	return idx, nil
+}
+
+// mergeAt performs the merge under the stream's shard lock, keeping the
+// arrival counter coherent with the tree the way the ingest path does.
+func (m *Monitor) mergeAt(idx int, name string, s *core.Summary, o core.MergeOptions) error {
+	m.reg.RLock()
+	tree := m.trees[idx]
+	m.reg.RUnlock()
+	sh := m.shardOf(idx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := tree.MergeSummary(s, o); err != nil {
+		return fmt.Errorf("multi: merge into %q: %w", name, err)
+	}
+	// Alignment may have fast-forwarded the tree past locally observed
+	// arrivals; the counter follows the tree.
+	m.arrived[idx] = tree.Arrivals()
+	return nil
+}

@@ -1,0 +1,205 @@
+package multi
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// feedStream registers name on m and observes count values from src.
+func feedStream(t *testing.T, m *Monitor, name string, seed int64, count int) []float64 {
+	t.Helper()
+	if err := m.Add(name); err != nil {
+		t.Fatal(err)
+	}
+	src := stream.UniformRange(seed, 0.1, 0.9)
+	vals := make([]float64, count)
+	for i := range vals {
+		vals[i] = src.Next()
+	}
+	if err := m.ObserveBatch(name, vals); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestMergeFromRollsUpShards(t *testing.T) {
+	opts := Options{WindowSize: 64, Coefficients: 4}
+	agg := mustMonitor(t, opts)
+	defer agg.Close()
+	edgeA := mustMonitor(t, opts)
+	defer edgeA.Close()
+	edgeB := mustMonitor(t, opts)
+	defer edgeB.Close()
+
+	n := opts.WindowSize
+	// "cpu" exists on both edges (summed on merge), "mem" only on A,
+	// "net" only on B (adopted as-is).
+	cpuA := feedStream(t, edgeA, "cpu", 1, 3*n)
+	feedStream(t, edgeA, "mem", 2, 3*n)
+	cpuB := feedStream(t, edgeB, "cpu", 3, 3*n)
+	feedStream(t, edgeB, "net", 4, 3*n)
+
+	if err := agg.MergeFrom(edgeA, core.MergeOptions{ValueLo: 0, ValueHi: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.MergeFrom(edgeB, core.MergeOptions{ValueLo: 0, ValueHi: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Len(); got != 3 {
+		t.Fatalf("aggregator has %d streams, want 3", got)
+	}
+
+	// Adopted streams match their source byte for byte.
+	for _, tc := range []struct {
+		name string
+		src  *Monitor
+	}{{"mem", edgeA}, {"net", edgeB}} {
+		at, err := agg.Tree(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := tc.src.Tree(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(at.AppendSummary(nil), st.AppendSummary(nil)) {
+			t.Fatalf("adopted stream %q differs from its source", tc.name)
+		}
+	}
+
+	// The shared stream answers like a tree fed the summed values.
+	cpu, err := agg.Tree("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Streams() != 2 {
+		t.Fatalf("cpu streams = %d, want 2", cpu.Streams())
+	}
+	twin, err := core.New(core.Options{WindowSize: n, Coefficients: opts.Coefficients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cpuA {
+		twin.Update(cpuA[i] + cpuB[i])
+	}
+	for age := 0; age < n; age++ {
+		want, err := twin.PointQuery(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, bound, err := cpu.BoundedPoint(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got - want); d > bound+1e-9 {
+			t.Fatalf("cpu age %d: merged %v vs twin %v beyond bound %v", age, got, want, bound)
+		}
+	}
+
+	// The merged monitor keeps working as a monitor: correlation over
+	// the rolled-up streams.
+	if _, err := agg.Correlation("cpu", "mem", n/2); err != nil {
+		t.Fatalf("correlation after merge: %v", err)
+	}
+}
+
+func TestMergeFromAlignsSkewedArrivals(t *testing.T) {
+	opts := Options{WindowSize: 32}
+	agg := mustMonitor(t, opts)
+	defer agg.Close()
+	edge := mustMonitor(t, opts)
+	defer edge.Close()
+	feedStream(t, agg, "cpu", 5, 100)
+	feedStream(t, edge, "cpu", 6, 87)
+
+	// Without a declared range the skew cannot be bounded.
+	if err := agg.MergeFrom(edge, core.MergeOptions{}); err == nil {
+		t.Fatal("skewed merge without a range accepted")
+	}
+	if err := agg.MergeFrom(edge, core.MergeOptions{ValueLo: 0, ValueHi: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := agg.Tree("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Arrivals() != 100 || tr.Streams() != 2 {
+		t.Fatalf("arrivals=%d streams=%d, want 100 and 2", tr.Arrivals(), tr.Streams())
+	}
+	// The arrival counter followed the tree.
+	idx, err := agg.indexOf("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.shardOf(idx).mu.Lock()
+	arrived := agg.arrived[idx]
+	agg.shardOf(idx).mu.Unlock()
+	if arrived != 100 {
+		t.Fatalf("arrived counter %d, want 100", arrived)
+	}
+	// Ingest continues normally after the merge.
+	if err := agg.Observe("cpu", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Arrivals() != 101 {
+		t.Fatalf("post-merge observe: arrivals=%d, want 101", tr.Arrivals())
+	}
+}
+
+func TestMergeIntoDurableMonitorRejected(t *testing.T) {
+	agg := mustMonitor(t, Options{WindowSize: 32, DataDir: t.TempDir()})
+	defer agg.Close()
+	edge := mustMonitor(t, Options{WindowSize: 32})
+	defer edge.Close()
+	feedStream(t, edge, "cpu", 7, 64)
+
+	err := agg.MergeFrom(edge, core.MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "durable") {
+		t.Fatalf("durable merge target: %v", err)
+	}
+	tr, err := edge.Tree("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.MergeSummary("cpu", tr.Export(), core.MergeOptions{}); err == nil || !strings.Contains(err.Error(), "durable") {
+		t.Fatalf("durable summary merge target: %v", err)
+	}
+	// A durable source is fine: roll up the other way.
+	feedStream(t, agg, "disk", 8, 64)
+	if err := edge.MergeFrom(agg, core.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if edge.Len() != 2 {
+		t.Fatalf("edge has %d streams after reverse merge, want 2", edge.Len())
+	}
+}
+
+func TestMergeWindowMismatchRejected(t *testing.T) {
+	agg := mustMonitor(t, Options{WindowSize: 32})
+	defer agg.Close()
+	edge := mustMonitor(t, Options{WindowSize: 64})
+	defer edge.Close()
+	feedStream(t, agg, "cpu", 9, 40)
+	feedStream(t, edge, "cpu", 10, 80)
+	if err := agg.MergeFrom(edge, core.MergeOptions{}); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("window mismatch: %v", err)
+	}
+}
+
+func TestMergeClosedMonitorRejected(t *testing.T) {
+	agg := mustMonitor(t, Options{WindowSize: 32})
+	edge := mustMonitor(t, Options{WindowSize: 32})
+	defer edge.Close()
+	feedStream(t, edge, "cpu", 11, 40)
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.MergeFrom(edge, core.MergeOptions{}); err == nil {
+		t.Fatal("merge into closed monitor accepted")
+	}
+}

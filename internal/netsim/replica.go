@@ -1,11 +1,13 @@
 package netsim
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
 	"path/filepath"
 
+	"github.com/streamsum/swat/internal/core"
 	"github.com/streamsum/swat/internal/durable"
 	"github.com/streamsum/swat/internal/metrics"
 	"github.com/streamsum/swat/internal/query"
@@ -39,7 +41,8 @@ import (
 // Engine counter names.
 const (
 	CntResyncReq  = "eng_resync_req"  // resync requests issued by clients
-	CntResyncSnap = "eng_resync_snap" // snapshots served by the source
+	CntResyncSnap = "eng_resync_snap" // window snapshots served by the source
+	CntResyncSum  = "eng_resync_sum"  // encoded summaries served by the source
 	CntStaleQ     = "eng_stale_query" // queries answered from a stale replica
 	CntFreshQ     = "eng_fresh_query" // queries answered fully in sync
 )
@@ -54,6 +57,13 @@ type updMsg struct {
 type snapMsg struct {
 	Arrival uint64
 	Values  []float64 // newest first, as stream.Window.Values returns
+}
+
+// sumMsg carries the source tree's encoded summary — O(k log N) bytes
+// instead of snapMsg's N raw values — for summary-mode repair.
+type sumMsg struct {
+	Arrival uint64
+	Frame   []byte // one core.AppendSummary codec frame
 }
 
 // reqMsg asks the source for a snapshot.
@@ -108,6 +118,18 @@ type EngineConfig struct {
 	// Durable tunes the per-node window logs (checkpoint cadence,
 	// fsync policy, segment size). Ignored unless DataDir is set.
 	Durable durable.Options
+	// Summary, when non-nil, switches the engine to summary-shipping
+	// mode: the replicated state is a SWAT tree of this geometry
+	// instead of the raw window, and resynchronization ships the
+	// source tree's compact encoded summary — O(k log N) bytes — as
+	// the repair fast path rather than all N window values. A repaired
+	// replica is reconstructed from the summary and, because the
+	// encoding is canonical, stays bit-identical to the source tree
+	// under the same subsequent updates (Converged checks exactly
+	// that). Summary.WindowSize must equal WindowSize (0 adopts it).
+	// Incompatible with DataDir: the window logs replay raw values and
+	// cannot capture tree state.
+	Summary *core.Options
 }
 
 func (c EngineConfig) withDefaults() (EngineConfig, error) {
@@ -129,6 +151,22 @@ func (c EngineConfig) withDefaults() (EngineConfig, error) {
 	if c.ReorderLimit == 0 {
 		c.ReorderLimit = 32
 	}
+	if c.Summary != nil {
+		if c.DataDir != "" {
+			return c, fmt.Errorf("netsim: summary-shipping mode is incompatible with DataDir (window logs replay raw values, not tree state)")
+		}
+		sopts := *c.Summary
+		if sopts.WindowSize == 0 {
+			sopts.WindowSize = c.WindowSize
+		}
+		if sopts.WindowSize != c.WindowSize {
+			return c, fmt.Errorf("netsim: summary window size %d differs from engine window size %d", sopts.WindowSize, c.WindowSize)
+		}
+		if _, err := core.New(sopts); err != nil {
+			return c, fmt.Errorf("netsim: summary geometry: %w", err)
+		}
+		c.Summary = &sopts
+	}
 	return c, nil
 }
 
@@ -141,6 +179,10 @@ type clientReplica struct {
 	reqEver bool               // whether a resync was ever requested
 	upd     *Flow              // source -> client
 	req     *Flow              // client -> source
+
+	// tree replaces win as the replicated state in summary mode (nil
+	// otherwise); the window stays empty there.
+	tree *core.Tree
 
 	// Durable mode only: the node's window log, its directory (for the
 	// restart re-open), and what the last open recovered.
@@ -158,6 +200,11 @@ type Engine struct {
 	src  *stream.Window
 	arr  uint64
 	reps []*clientReplica // indexed by NodeID; nil for the root
+
+	// srcTree is the source's summary tree in summary mode (nil
+	// otherwise); the raw window e.src stays maintained as ground
+	// truth either way.
+	srcTree *core.Tree
 
 	// Durable mode only: the source's own window log, so a rebuilt
 	// engine over the same DataDir resumes the arrival sequence the
@@ -204,6 +251,9 @@ func NewEngine(net *Network, cfg EngineConfig) (*Engine, error) {
 		staleness: &metrics.Accumulator{},
 		bounds:    &metrics.Accumulator{},
 	}
+	if cfg.Summary != nil {
+		e.srcTree = newSummaryTree(cfg)
+	}
 	root := net.top.Root()
 	for _, id := range net.top.BFSOrder() {
 		if id == root {
@@ -214,6 +264,9 @@ func NewEngine(net *Network, cfg EngineConfig) (*Engine, error) {
 			return nil, err
 		}
 		r := &clientReplica{win: win, buf: make(map[uint64]float64), lastReq: math.Inf(-1)}
+		if cfg.Summary != nil {
+			r.tree = newSummaryTree(cfg)
+		}
 		client := id
 		if cfg.DataDir != "" {
 			r.logDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", client))
@@ -253,6 +306,16 @@ func NewEngine(net *Network, cfg EngineConfig) (*Engine, error) {
 	net.OnCrash = e.handleCrash
 	net.OnRestart = e.handleRestart
 	return e, nil
+}
+
+// newSummaryTree builds a fresh summary-mode tree from the validated
+// config.
+func newSummaryTree(cfg EngineConfig) *core.Tree {
+	tr, err := core.New(*cfg.Summary)
+	if err != nil {
+		panic(err) // unreachable: geometry validated in withDefaults
+	}
+	return tr
 }
 
 // openSourceLog opens (or re-opens after a root restart) the source's
@@ -348,6 +411,9 @@ func (e *Engine) StalenessStats() (staleness, bounds *metrics.Accumulator) {
 func (e *Engine) OnData(v float64) {
 	e.arr++
 	e.src.Push(v)
+	if e.srcTree != nil {
+		e.srcTree.Update(v)
+	}
 	if e.srcLog != nil {
 		if err := e.srcLog.Append(e.arr, v); err != nil {
 			e.noteLogErr(err)
@@ -379,9 +445,32 @@ func (e *Engine) applyAtClient(id NodeID, payload any) {
 		if len(r.buf) > e.cfg.ReorderLimit {
 			e.requestResync(id)
 		}
-	case snapMsg:
-		if m.Arrival <= r.arrival {
+	case sumMsg:
+		if r.tree == nil || m.Arrival <= r.arrival {
 			return
+		}
+		s, err := core.DecodeSummary(m.Frame)
+		var tr *core.Tree
+		if err == nil {
+			tr, err = core.FromSummary(s)
+		}
+		if err != nil {
+			// Unreachable over the in-process flows (frames are never
+			// corrupted in transit); dropping the repair leaves the
+			// watchdog to request another.
+			return
+		}
+		r.tree = tr
+		r.arrival = m.Arrival
+		for a := range r.buf {
+			if a <= r.arrival {
+				delete(r.buf, a)
+			}
+		}
+		e.drainBuffer(r)
+	case snapMsg:
+		if r.tree != nil || m.Arrival <= r.arrival {
+			return // summary mode repairs via sumMsg only
 		}
 		fresh, err := stream.NewWindow(e.cfg.WindowSize)
 		if err != nil {
@@ -409,7 +498,11 @@ func (e *Engine) applyAtClient(id NodeID, payload any) {
 // pushApplied applies one in-order update to the replica window and,
 // in durable mode, its log — checkpointing on the engine's cadence.
 func (e *Engine) pushApplied(r *clientReplica, arrival uint64, v float64) {
-	r.win.Push(v)
+	if r.tree != nil {
+		r.tree.Update(v)
+	} else {
+		r.win.Push(v)
+	}
 	r.arrival = arrival
 	if r.log == nil {
 		return
@@ -463,6 +556,11 @@ func (e *Engine) serveResync(id NodeID, payload any) {
 	if e.arr == 0 {
 		return // nothing to snapshot yet
 	}
+	if e.srcTree != nil {
+		e.net.counters.Add(CntResyncSum, 1)
+		e.reps[id].upd.Send(sumMsg{Arrival: e.arr, Frame: e.srcTree.AppendSummary(nil)})
+		return
+	}
 	e.net.counters.Add(CntResyncSnap, 1)
 	e.reps[id].upd.Send(snapMsg{Arrival: e.arr, Values: e.src.Values()})
 }
@@ -510,6 +608,9 @@ func (e *Engine) handleCrash(id NodeID) {
 			panic(err) // unreachable
 		}
 		r.win = win
+		if r.tree != nil {
+			r.tree = newSummaryTree(e.cfg)
+		}
 		r.arrival = 0
 		r.buf = make(map[uint64]float64)
 		if r.log != nil {
@@ -591,6 +692,15 @@ func (e *Engine) Converged() error {
 		if r.arrival != e.arr {
 			return fmt.Errorf("netsim: node %d at arrival %d, source at %d", id, r.arrival, e.arr)
 		}
+		if r.tree != nil {
+			// Summary mode: the replica tree must match the source
+			// tree bit for bit — the canonical encoding makes byte
+			// equality exactly that claim.
+			if !bytes.Equal(e.srcTree.AppendSummary(nil), r.tree.AppendSummary(nil)) {
+				return fmt.Errorf("netsim: node %d summary tree diverges from the source", id)
+			}
+			continue
+		}
 		want := e.src.Values()
 		got := r.win.Values()
 		if len(want) != len(got) {
@@ -623,6 +733,13 @@ func (e *Engine) Answer(at NodeID, q query.Query) (Answer, error) {
 		}
 	}
 	if e.reps[at] == nil {
+		if e.srcTree != nil {
+			// Summary mode: the root answers from its own tree — the
+			// state being replicated — with cold (uncovered) entries
+			// bounded like unknown ones.
+			val, bound := e.evalDegraded(q, 0, e.srcTree.PointQuery)
+			return Answer{Value: val, Bound: bound}, nil
+		}
 		v, err := query.Exact(e.src, q)
 		if err != nil {
 			return Answer{}, err
@@ -631,26 +748,37 @@ func (e *Engine) Answer(at NodeID, q query.Query) (Answer, error) {
 	}
 	r := e.reps[at]
 	s := e.Staleness(at)
-	mid := (e.cfg.ValueLo + e.cfg.ValueHi) / 2
-	half := (e.cfg.ValueHi - e.cfg.ValueLo) / 2
-	var val, bound float64
-	for i, g := range q.Ages {
-		w := q.Weights[i]
-		if g >= s {
-			if rv, err := r.win.At(g - s); err == nil {
-				val += w * rv
-				continue
-			}
-		}
-		// The entry arrived after the last sync (or fell outside the
-		// replica): bound it by the declared value range.
-		val += w * mid
-		bound += math.Abs(w) * half
+	at_ := r.win.At
+	if r.tree != nil {
+		at_ = r.tree.PointQuery
 	}
+	val, bound := e.evalDegraded(q, s, at_)
 	e.net.counters.Add(CntStaleQ, 1)
 	e.staleness.Add(float64(s))
 	e.bounds.Add(bound)
 	return Answer{Value: val, Staleness: s, Bound: bound, Degraded: true}, nil
+}
+
+// evalDegraded evaluates q against a replica reader shifted by
+// staleness s: readable entries contribute their replica value,
+// everything else — entries newer than the last sync, outside the
+// replica, or not covered by a still-warming tree — contributes the
+// midpoint of the declared range and widens the bound by |w|·(hi−lo)/2.
+func (e *Engine) evalDegraded(q query.Query, s int, read func(int) (float64, error)) (val, bound float64) {
+	mid := (e.cfg.ValueLo + e.cfg.ValueHi) / 2
+	half := (e.cfg.ValueHi - e.cfg.ValueLo) / 2
+	for i, g := range q.Ages {
+		w := q.Weights[i]
+		if g >= s {
+			if rv, err := read(g - s); err == nil {
+				val += w * rv
+				continue
+			}
+		}
+		val += w * mid
+		bound += math.Abs(w) * half
+	}
+	return val, bound
 }
 
 // NoteFresh records an in-sync query in the engine counters (called by

@@ -1,0 +1,213 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+)
+
+// summaryCfg is an engine config in summary-shipping mode with a
+// lossless tree geometry for the given window: with Coefficients == n
+// every node keeps its full coefficient set, so tree point queries over
+// covered ages reproduce the raw window exactly and the only error
+// sources left are staleness and cold (not-yet-covered) entries.
+func summaryCfg(n int) EngineConfig {
+	return EngineConfig{
+		WindowSize: n,
+		ValueLo:    0,
+		ValueHi:    100,
+		Summary:    &core.Options{Coefficients: n},
+	}
+}
+
+// TestSummaryEngineReplicatesAndConverges runs the lossy-link
+// convergence scenario in summary mode: after the network heals, every
+// replica tree must match the source tree bit for bit (Converged
+// compares canonical encodings).
+func TestSummaryEngineReplicatesAndConverges(t *testing.T) {
+	s, n := testNet(t, LinkFaults{DropProb: 0.3, LatencyBase: 0.05, LatencyJitter: 0.1}, 11)
+	e, err := NewEngine(n, summaryCfg(4))
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		v := float64(i % 100)
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(float64(i + 1))
+	}
+	n.HealAll()
+	s.RunUntil(s.Now() + 100)
+	if err := e.Converged(); err != nil {
+		t.Fatalf("replicas did not converge: %v", err)
+	}
+	if err := n.AccountingError(); err != nil {
+		t.Error(err)
+	}
+	// The lossless geometry makes the root's tree-served answer agree
+	// with the exact window answer.
+	q, err := query.New(query.Exponential, 0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Answer(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := query.Exact(e.SourceWindow(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ans.Value - exact; d > 1e-9 || d < -1e-9 {
+		t.Errorf("root summary answer %v, exact %v", ans.Value, exact)
+	}
+	if ans.Bound != 0 || ans.Degraded {
+		t.Errorf("warm root answer reported degraded: %+v", ans)
+	}
+}
+
+// TestSummaryEngineCrashRepairShipsSummary pins the repair fast path: a
+// crashed replica loses its tree, and the watchdog-triggered resync
+// ships the source's encoded summary — never a raw window snapshot —
+// after which the replica is bit-identical to the source again, and
+// stays so under further identical updates.
+func TestSummaryEngineCrashRepairShipsSummary(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	cfg := summaryCfg(4)
+	cfg.WatchdogPeriod = 2
+	e, err := NewEngine(n, cfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	feed := func(v float64) {
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(s.Now() + 1)
+	}
+	for i := 0; i < 6; i++ {
+		feed(float64(10 * i))
+	}
+	if err := n.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Staleness(2) != 6 {
+		t.Errorf("crashed node staleness = %d, want 6 (volatile tree lost)", e.Staleness(2))
+	}
+	if err := n.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	// The watchdog notices the lag and pulls a summary frame.
+	s.RunUntil(s.Now() + 20)
+	// Updates after the repair must keep the rebuilt tree in lockstep:
+	// canonical encoding means FromSummary(Export(src)) evolves
+	// bit-identically to src under the same arrivals.
+	for i := 0; i < 10; i++ {
+		feed(float64(7 * i))
+	}
+	s.RunUntil(s.Now() + 20)
+	if err := e.Converged(); err != nil {
+		t.Fatalf("post-restart summary repair failed: %v", err)
+	}
+	if got := n.Counters().Get(CntResyncSum); got == 0 {
+		t.Errorf("no summary frames served: %s", n.Counters())
+	}
+	if got := n.Counters().Get(CntResyncSnap); got != 0 {
+		t.Errorf("summary mode served %d raw window snapshots", got)
+	}
+}
+
+// TestSummaryEngineStalenessBound mirrors the window-mode staleness
+// test: a partitioned replica answers from its (shifted) tree, with the
+// bound covering exactly the entries that arrived after its last sync.
+func TestSummaryEngineStalenessBound(t *testing.T) {
+	s, n := testNet(t, LinkFaults{LatencyBase: 0.01}, 11)
+	cfg := summaryCfg(4)
+	cfg.ValueLo, cfg.ValueHi = -10, 10
+	e, err := NewEngine(n, cfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	q, err := query.New(query.Exponential, 0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any arrival the root's tree covers nothing: every entry
+	// falls back to the range midpoint and the bound is the full
+	// half-range mass Σ|w|·(hi−lo)/2 = 1.875·10.
+	cold, err := e.Answer(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Bound != 18.75 {
+		t.Errorf("cold root bound = %v, want 18.75", cold.Bound)
+	}
+	feed := func(v float64) {
+		s.After(0, func() { e.OnData(v) })
+		s.RunUntil(s.Now() + 1)
+	}
+	for i := 0; i < 8; i++ {
+		feed(float64(i%21) - 10)
+	}
+	if err := n.Cut(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		feed(float64((8+i)%21) - 10)
+	}
+	if st := e.Staleness(3); st != 2 {
+		t.Fatalf("staleness = %d, want 2", st)
+	}
+	ans, err := e.Answer(3, q)
+	if err != nil {
+		t.Fatalf("answer: %v", err)
+	}
+	if !ans.Degraded || ans.Staleness != 2 {
+		t.Errorf("answer not flagged degraded/stale: %+v", ans)
+	}
+	exact, err := query.Exact(e.SourceWindow(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ans.Value - exact; diff > ans.Bound+1e-9 || diff < -ans.Bound-1e-9 {
+		t.Errorf("|%v - %v| = %v exceeds reported bound %v", ans.Value, exact, diff, ans.Bound)
+	}
+	// Ages >= staleness are served from the shifted replica tree
+	// (exactly, thanks to the lossless geometry), so the bound covers
+	// only the two newest entries: (1 + 1/2)·(hi−lo)/2 = 15.
+	if ans.Bound != 15 {
+		t.Errorf("bound = %v, want 15", ans.Bound)
+	}
+	// The warm root stays exact.
+	rootAns, err := e.Answer(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rootAns.Value - exact; d > 1e-9 || d < -1e-9 {
+		t.Errorf("root answer %v, want exact %v", rootAns.Value, exact)
+	}
+	if rootAns.Bound != 0 || rootAns.Degraded {
+		t.Errorf("warm root answer degraded: %+v", rootAns)
+	}
+}
+
+// TestSummaryEngineConfigValidation pins the summary-mode config
+// errors: DataDir is incompatible (window logs replay raw values, not
+// tree state) and the summary geometry must share the engine's window.
+func TestSummaryEngineConfigValidation(t *testing.T) {
+	_, n := testNet(t, LinkFaults{}, 11)
+	cfg := summaryCfg(4)
+	cfg.DataDir = t.TempDir()
+	if _, err := NewEngine(n, cfg); err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("DataDir + Summary accepted: %v", err)
+	}
+	cfg = summaryCfg(4)
+	cfg.Summary.WindowSize = 8
+	if _, err := NewEngine(n, cfg); err == nil || !strings.Contains(err.Error(), "window size") {
+		t.Fatalf("mismatched summary window accepted: %v", err)
+	}
+	cfg = summaryCfg(4)
+	cfg.Summary.Coefficients = -1
+	if _, err := NewEngine(n, cfg); err == nil {
+		t.Fatal("invalid summary geometry accepted")
+	}
+}

@@ -34,6 +34,8 @@ package wire
 //	ping      c→s  u64 token
 //	pong      s→c  u64 token
 //	error     s→c  utf8 message
+//	sumReq    c→s  (empty)
+//	sumRes    s→c  one summary codec frame (core.AppendSummary encoding)
 //
 // Data frames are one-way: the client streams them without per-frame
 // acknowledgements (the 10× win over v1's request/response data plane)
@@ -72,6 +74,13 @@ const (
 	bfPing     = 0x08
 	bfPong     = 0x09
 	bfError    = 0x0A
+	// Summary export (mergeable roll-ups): sumReq asks for the server
+	// tree's canonical encoded summary; sumRes carries it verbatim as
+	// produced by core.AppendSummary — itself a codec frame, so the
+	// payload self-validates a second time when core.DecodeSummary
+	// parses it.
+	bfSumReq = 0x0B
+	bfSumRes = 0x0C
 )
 
 const (
@@ -90,6 +99,7 @@ var (
 	errFrameType      = errors.New("wire: unknown binary frame type")
 	errBatchSequence  = errors.New("wire: data batch breaks the connection's value sequence")
 	errBatchTooLarge  = errors.New("wire: batch exceeds the per-frame value limit")
+	errSummaryLarge   = errors.New("wire: summary exceeds the frame limit")
 )
 
 // readBinFrame reads one codec-framed body into buf (grown to its

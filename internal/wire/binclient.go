@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/streamsum/swat/internal/codec"
+	"github.com/streamsum/swat/internal/core"
 	"github.com/streamsum/swat/internal/query"
 )
 
@@ -179,6 +180,23 @@ func (c *BinClient) Stats() (StatsV2, error) {
 		return StatsV2{}, errFrameType
 	}
 	return decodeStatsResFrame(body[1:])
+}
+
+// FetchSummary fetches the server tree's mergeable summary: the full
+// SWAT state in O(k log N) bytes, decoded and validated locally. The
+// result is detached from the client's buffers, so it stays valid
+// across further calls — feed it to core.MergeSummaries (or
+// Tree.MergeSummary) to roll several servers' streams into one tree.
+func (c *BinClient) FetchSummary() (*core.Summary, error) {
+	c.wbuf = codec.Finish(append(codec.Begin(c.wbuf[:0]), bfSumReq), 0)
+	body, err := c.roundTripBin()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 || body[0] != bfSumRes {
+		return nil, errFrameType
+	}
+	return core.DecodeSummary(body[1:])
 }
 
 // Ping round-trips a token through the server's connection handler and

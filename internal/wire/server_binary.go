@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"github.com/streamsum/swat/internal/codec"
 )
 
 // binConn is one v2 connection's reusable state: frame read/write
@@ -86,6 +88,23 @@ func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
 		return s.handleQueryBatch(bc, body[1:])
 	case bfStats:
 		bc.wbuf = appendStatsResFrame(bc.wbuf[:0], s.statsV2())
+		_, err := bc.conn.Write(bc.wbuf)
+		return err
+	case bfSumReq:
+		if len(body) != 1 {
+			return errFrameTruncated
+		}
+		bc.wbuf = codec.Begin(bc.wbuf[:0])
+		bc.wbuf = append(bc.wbuf, bfSumRes)
+		bc.wbuf = s.tree.AppendSummary(bc.wbuf)
+		if len(bc.wbuf)-codec.HeaderLen > MaxFrame {
+			// A summary outgrows MaxFrame only under extreme geometry
+			// (a raw ring of >128Ki entries); soft-fail like a cold
+			// query rather than shipping a frame the peer must reject.
+			s.binError(bc, errSummaryLarge)
+			return nil
+		}
+		bc.wbuf = codec.Finish(bc.wbuf, 0)
 		_, err := bc.conn.Write(bc.wbuf)
 		return err
 	case bfPing:

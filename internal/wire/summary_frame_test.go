@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/query"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// TestBinarySummaryFetchAndMerge exercises the v2 summary frames end to
+// end: two servers ingest disjoint streams over the binary data plane, a
+// client fetches both summaries, and merging them locally yields a tree
+// that answers like one fed the summed stream — distributed roll-up
+// without shipping raw windows.
+func TestBinarySummaryFetchAndMerge(t *testing.T) {
+	opts := core.Options{WindowSize: 64, Coefficients: 8}
+	addrA, _, downA := startServer(t, opts)
+	defer downA()
+	addrB, _, downB := startServer(t, opts)
+	defer downB()
+
+	ca, err := DialBinary(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := DialBinary(addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	const count = 3 * 64
+	feed := func(c *BinClient, seed int64) []float64 {
+		src := stream.UniformRange(seed, 0.1, 0.9)
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = src.Next()
+		}
+		if err := c.FeedBatch(vals); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	va := feed(ca, 21)
+	vb := feed(cb, 22)
+	waitArrivals(t, ca, count)
+	waitArrivals(t, cb, count)
+
+	sa, err := ca.FetchSummary()
+	if err != nil {
+		t.Fatalf("fetch A: %v", err)
+	}
+	sb, err := cb.FetchSummary()
+	if err != nil {
+		t.Fatalf("fetch B: %v", err)
+	}
+	// The fetched summary is the server tree's canonical state: loading
+	// it and re-encoding reproduces identical bytes.
+	for _, s := range []*core.Summary{sa, sb} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("fetched summary invalid: %v", err)
+		}
+		if s.Arrivals != count {
+			t.Fatalf("fetched summary at arrival %d, want %d", s.Arrivals, count)
+		}
+	}
+
+	merged, err := core.MergeSummaries(sa, sb, core.MergeOptions{})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	tr, err := core.FromSummary(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range va {
+		twin.Update(va[i] + vb[i])
+	}
+	for age := 0; age < opts.WindowSize; age++ {
+		want, err := twin.PointQuery(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, bound, err := tr.BoundedPoint(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got - want); d > bound+1e-9 {
+			t.Fatalf("age %d: merged %v vs twin %v beyond bound %v", age, got, want, bound)
+		}
+	}
+	// Aligned same-geometry inputs merge exactly: no taint, full count.
+	if len(merged.Taint) != 0 || merged.Streams != 2 {
+		t.Fatalf("aligned merge taint=%d streams=%d", len(merged.Taint), merged.Streams)
+	}
+
+	// The fetch is repeatable and consistent with the live tree: a
+	// query answered through the normal path matches the summary's.
+	q, err := query.New(query.Exponential, 0, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 1)
+	if err := ca.QueryBatch([]query.Query{q}, dst); err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.FromSummary(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := local.InnerProduct(q.Ages, q.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(lv - dst[0]); d > 1e-9 {
+		t.Fatalf("summary-local answer %v vs server answer %v", lv, dst[0])
+	}
+}
+
+// TestBinarySummaryOversizeRejected pins the MaxFrame guard: a geometry
+// whose raw ring alone exceeds the frame limit gets a soft error frame,
+// not a frame the peer would have to reject.
+func TestBinarySummaryOversizeRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("feeds 256Ki values")
+	}
+	// minLevel 17 means the tree keeps 2^18 raw ring entries: 2 MiB of
+	// float64s, over MaxFrame on its own once the ring fills.
+	opts := core.Options{WindowSize: 1 << 18, MinLevel: 17}
+	addr, srv, down := startServer(t, opts)
+	defer down()
+	for i := 0; i < 1<<18; i++ {
+		if err := srv.Feed(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := DialBinary(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.FetchSummary(); err == nil || !strings.Contains(err.Error(), "summary exceeds") {
+		t.Fatalf("oversize summary fetch: %v", err)
+	}
+	// The connection survives the soft error.
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("stats after oversize fetch: %v", err)
+	}
+}

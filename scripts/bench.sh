@@ -5,8 +5,8 @@
 #   scripts/bench.sh [count] [stage]
 #
 # count defaults to 6 runs per benchmark (pass 1 for a quick smoke run).
-# stage selects which suites run: "hotpath", "query", "wire", or "all"
-# (default).
+# stage selects which suites run: "hotpath", "query", "wire", "merge",
+# or "all" (default).
 #
 # Each stage writes two artifacts:
 #   BENCH_<stage>.txt   raw `go test -bench` output — benchstat input;
@@ -26,6 +26,7 @@ STAGE="${2:-all}"
 HOTPATH_BENCHES='BenchmarkTreeUpdate$|BenchmarkTreeUpdateBatch|BenchmarkTreePointQuery|BenchmarkTreeInnerProduct|BenchmarkMonitorIngest'
 QUERY_BENCHES='BenchmarkQueryAdhoc|BenchmarkQueryPlan|BenchmarkAnswerBatch|BenchmarkHistogramQuery|BenchmarkMonitorQueryAll'
 WIRE_BENCHES='BenchmarkWireV1Ingest|BenchmarkWireV2Ingest16|BenchmarkWireV2Ingest256|BenchmarkWireV2IngestLatency|BenchmarkWireV2QueryBatch'
+MERGE_BENCHES='BenchmarkTreeMerge|BenchmarkSummaryEncode|BenchmarkSummaryDecode'
 
 # run_stage <name> <bench regexp>: runs the suite, tees raw benchstat-
 # compatible text to BENCH_<name>.txt and digests it into BENCH_<name>.json.
@@ -70,13 +71,15 @@ case "$STAGE" in
 hotpath) run_stage hotpath "$HOTPATH_BENCHES" ;;
 query) run_stage query "$QUERY_BENCHES" ;;
 wire) run_stage wire "$WIRE_BENCHES" ;;
+merge) run_stage merge "$MERGE_BENCHES" ;;
 all)
     run_stage hotpath "$HOTPATH_BENCHES"
     run_stage query "$QUERY_BENCHES"
     run_stage wire "$WIRE_BENCHES"
+    run_stage merge "$MERGE_BENCHES"
     ;;
 *)
-    echo "unknown stage: $STAGE (want hotpath, query, wire, or all)" >&2
+    echo "unknown stage: $STAGE (want hotpath, query, wire, merge, or all)" >&2
     exit 2
     ;;
 esac

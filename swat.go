@@ -75,6 +75,44 @@ type ErrNotCovered = core.ErrNotCovered
 // NewTree creates an empty SWAT tree.
 func NewTree(opts TreeOptions) (*Tree, error) { return core.New(opts) }
 
+// Summary is a Tree's complete exported state: geometry, counters, the
+// raw recent ring, per-node coefficients, and accumulated error-bound
+// taint. Summaries are the unit of roll-up (MergeSummaries) and of
+// transport (Tree.AppendSummary / DecodeSummary).
+type Summary = core.Summary
+
+// SummaryNode is one tree node inside a Summary.
+type SummaryNode = core.SummaryNode
+
+// TaintSpan quantifies approximation error a merge introduced over a
+// span of arrivals; bounded queries widen their bounds by its mass.
+type TaintSpan = core.TaintSpan
+
+// MergeOptions configures a merge. The declared [ValueLo, ValueHi]
+// range is required only when inputs disagree in arrivals or minimum
+// level; aligned same-geometry merges are exact without it.
+type MergeOptions = core.MergeOptions
+
+// ErrRangeRequired reports a merge that needs a declared value range
+// (see MergeOptions).
+var ErrRangeRequired = core.ErrRangeRequired
+
+// MergeSummaries merges two summaries of time-aligned streams into one
+// summarizing their sum, reconciling geometry and arrival skew and
+// widening error bounds to cover the reconciliation.
+func MergeSummaries(a, b *Summary, o MergeOptions) (*Summary, error) {
+	return core.MergeSummaries(a, b, o)
+}
+
+// MergedTree merges two trees into a new one (see MergeSummaries).
+func MergedTree(a, b *Tree, o MergeOptions) (*Tree, error) { return core.MergedTree(a, b, o) }
+
+// FromSummary reconstructs a live Tree from an exported summary.
+func FromSummary(s *Summary) (*Tree, error) { return core.FromSummary(s) }
+
+// DecodeSummary parses one encoded summary frame (Tree.AppendSummary).
+func DecodeSummary(frame []byte) (*Summary, error) { return core.DecodeSummary(frame) }
+
 // Query is an inner-product query (I, W, δ).
 type Query = query.Query
 

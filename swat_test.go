@@ -52,6 +52,69 @@ func TestPublicTreeLifecycle(t *testing.T) {
 	}
 }
 
+func TestPublicMergeRollUp(t *testing.T) {
+	opts := swat.TreeOptions{WindowSize: 64, Coefficients: 8}
+	mk := func(seed int64) (*swat.Tree, swat.Source) {
+		tree, err := swat.NewTree(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree, swat.Uniform(seed)
+	}
+	ta, sa := mk(1)
+	tb, sb := mk(2)
+	// The merged result must match a twin tree fed the summed stream:
+	// aligned same-geometry merges are exact, so the two trees agree up
+	// to float rounding (the tree's own lossy approximation appears
+	// identically on both sides).
+	twin, err := swat.NewTree(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 192; i++ {
+		a, b := sa.Next(), sb.Next()
+		ta.Update(a)
+		tb.Update(b)
+		twin.Update(a + b)
+	}
+	// Ship one tree's summary as bytes, decode, and merge — the public
+	// roll-up flow.
+	frame := ta.AppendSummary(nil)
+	restored, err := swat.DecodeSummary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := swat.MergeSummaries(restored, tb.Export(), swat.MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := swat.FromSummary(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for age := 0; age < 64; age++ {
+		got, bound, err := tree.BoundedPoint(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := twin.PointQuery(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got - want); d > bound+1e-9 {
+			t.Errorf("age %d: merged %v vs twin %v beyond bound %v", age, got, want, bound)
+		}
+	}
+	// MergedTree is the in-memory shortcut for the same operation.
+	direct, err := swat.MergedTree(ta, tb, swat.MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Streams() != 2 || direct.Arrivals() != 192 {
+		t.Errorf("merged tree streams=%d arrivals=%d, want 2 and 192", direct.Streams(), direct.Arrivals())
+	}
+}
+
 func TestPublicHistogramBaseline(t *testing.T) {
 	h, err := swat.NewHistogram(swat.HistogramOptions{WindowSize: 64, Buckets: 8, Epsilon: 0.1})
 	if err != nil {
