@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race race-merge verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-smoke fuzz-smoke
+.PHONY: build test test-short vet lint race race-merge verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-cluster bench-cluster-smoke bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ race:
 race-merge:
 	$(GO) test -race -count=1 -run 'TestMerge|TestSummary' ./internal/core ./internal/multi
 
-verify: build vet lint test race race-merge bench-smoke fuzz-smoke
+verify: build vet lint test race race-merge bench-smoke bench-cluster-smoke fuzz-smoke
 
 # Short coverage-guided fuzzing on every fuzz target (v1 and v2 frame
 # decoding, dispatch, batched-update equivalence, snapshot decoding,
@@ -88,6 +88,17 @@ bench-wire:
 # roll-up path); writes BENCH_merge.{txt,json}.
 bench-merge:
 	scripts/bench.sh 6 merge
+
+# Multi-process cluster benchmark: 1/2/4 swatd -streams nodes behind
+# cluster.Client sharding, with scatter-gather latency; writes
+# BENCH_cluster.{txt,json}. The smoke variant boots one node and drives
+# it for a second — a tripwire for the swatd/swatload/cluster stack,
+# part of `verify`.
+bench-cluster:
+	scripts/bench_cluster.sh 5s
+
+bench-cluster-smoke:
+	scripts/bench_cluster.sh smoke
 
 # Run every benchmark exactly once — a compile-and-run tripwire, not a
 # measurement. Part of `verify` so a benchmark that stops building or

@@ -8,7 +8,10 @@
 //
 // With -source set, the server generates its own stream at the given
 // rate; otherwise it summarizes only the values clients feed it with
-// data frames. With -data-dir set the summary is crash-safe: every
+// data frames. With -streams the server also keeps one tree per named
+// stream and serves the stream-addressed v2 frames (ingest, point
+// queries, summary export) — the node mode internal/cluster shards
+// over. With -data-dir set the summary is crash-safe: every
 // arrival is write-ahead logged before it is applied, checkpoints
 // rotate automatically, and startup recovers the pre-crash state (see
 // internal/durable). SIGINT/SIGTERM shut down gracefully — standing
@@ -31,6 +34,7 @@ import (
 
 	"github.com/streamsum/swat/internal/core"
 	"github.com/streamsum/swat/internal/durable"
+	"github.com/streamsum/swat/internal/multi"
 	"github.com/streamsum/swat/internal/stream"
 	"github.com/streamsum/swat/internal/wire"
 )
@@ -80,6 +84,7 @@ func main() {
 		fsync    = flag.String("fsync", "interval", "WAL fsync policy in durable mode: always | interval | never")
 		queue    = flag.Int("ingest-queue", 256, "binary data plane: pending-batch bound of the ingest queue")
 		policy   = flag.String("ingest-policy", "block", "binary data plane: full-queue policy, block | shed")
+		streams  = flag.Bool("streams", false, "cluster node mode: keep one tree per named stream and serve stream-addressed v2 frames")
 	)
 	flag.Parse()
 
@@ -105,6 +110,23 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "swatd: unknown -ingest-policy %q\n", *policy)
 		os.Exit(2)
+	}
+	var mon *multi.Monitor
+	if *streams {
+		mon, err = multi.New(multi.Options{
+			WindowSize:   *window,
+			Coefficients: *coeffs,
+			MinLevel:     *minLevel,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+			os.Exit(2)
+		}
+		if err := srv.UseMonitor(mon); err != nil {
+			fmt.Fprintf(os.Stderr, "swatd: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("swatd: per-stream node mode: one tree per named stream")
 	}
 	var store *durable.Store
 	if *dataDir != "" {
@@ -211,5 +233,10 @@ func main() {
 			log.Fatalf("swatd: closing store: %v", err)
 		}
 		log.Printf("swatd: store flushed at %d arrivals", store.Arrivals())
+	}
+	if mon != nil {
+		if err := mon.Close(); err != nil {
+			log.Fatalf("swatd: closing monitor: %v", err)
+		}
 	}
 }

@@ -112,6 +112,7 @@ var requiredDeterministic = []string{
 	"internal/aps",
 	"internal/dc",
 	"internal/core",
+	"internal/cluster",
 }
 
 func checkRequiredDirectives(pkgs []*analysis.Package) error {

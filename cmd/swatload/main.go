@@ -7,13 +7,18 @@
 //
 //	swatload -addr 127.0.0.1:7467 -proto v2 -conns 4 -batch 256 -duration 10s
 //	swatload -addr 127.0.0.1:7467 -proto v1 -conns 4 -duration 10s -json
+//	swatload -cluster 127.0.0.1:7471,127.0.0.1:7472 -streams 16 -duration 10s
 //
 // With -proto v2 each connection streams batched binary data frames
 // (one-way) and samples ingest latency with periodic pings, which under
 // the server's block policy measure real backpressure: a ping answers
 // only after every frame before it was accepted. With -proto v1 each
 // value is a JSON round trip, so every send is its own latency sample.
-// -json emits one machine-readable result object instead of text.
+// With -cluster each worker opens a cluster client over the listed
+// swatd -streams nodes and ships named-stream batches, sharded by the
+// consistent-hash ring; Sync round trips sample ingest latency across
+// the whole fleet. -json emits one machine-readable result object
+// instead of text.
 package main
 
 import (
@@ -23,9 +28,11 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/streamsum/swat/internal/cluster"
 	"github.com/streamsum/swat/internal/stream"
 	"github.com/streamsum/swat/internal/wire"
 )
@@ -45,6 +52,22 @@ type result struct {
 	// V2-only: the server's queue accounting after the run.
 	EnqueuedValues uint64 `json:"enqueued_values,omitempty"`
 	ShedValues     uint64 `json:"shed_values,omitempty"`
+	// Cluster-only: fleet shape, connection churn, per-node ingest
+	// accounting (for load-balance analysis), and one scatter-gather
+	// round trip of each kind timed after the run.
+	Nodes          int        `json:"nodes,omitempty"`
+	Streams        int        `json:"streams,omitempty"`
+	Retries        uint64     `json:"retries,omitempty"`
+	PerNode        []nodeLoad `json:"per_node,omitempty"`
+	PointAllMillis float64    `json:"pointall_ms,omitempty"`
+	RollUpMillis   float64    `json:"rollup_ms,omitempty"`
+}
+
+// nodeLoad is one node's share of the sharded ingest.
+type nodeLoad struct {
+	Addr           string  `json:"addr"`
+	EnqueuedValues uint64  `json:"enqueued_values"`
+	Share          float64 `json:"share"`
 }
 
 // percentile returns the p-th percentile of sorted durations, in
@@ -60,8 +83,11 @@ func percentile(sorted []time.Duration, p float64) float64 {
 // connStats is one worker connection's contribution.
 type connStats struct {
 	msgs, values int64
+	retries      uint64
 	lats         []time.Duration
 	err          error
+	// Cluster worker 0 only: post-run gather round trips.
+	pointAllMS, rollUpMS float64
 }
 
 // runV2 streams binary batches on one connection until deadline,
@@ -103,6 +129,73 @@ func runV2(addr string, batch int, seed int64, deadline time.Time) connStats {
 	return cs
 }
 
+// runCluster shards named-stream batches across a fleet from one
+// worker until deadline. Each worker gets its own client (own ring
+// instance, pools, and held feed connections) and its own stream
+// names, so workers scale like independent producers. A Sync round
+// trip across every node samples fleet-wide ingest latency.
+func runCluster(cfg cluster.Config, worker, streams, batch int, seed int64, deadline time.Time) connStats {
+	var cs connStats
+	c, err := cluster.New(cfg)
+	if err != nil {
+		cs.err = err
+		return cs
+	}
+	defer c.Close()
+	srcs := make([]stream.Source, streams)
+	batches := make([]cluster.Batch, streams)
+	for k := range batches {
+		srcs[k] = stream.Uniform(seed + int64(k))
+		batches[k] = cluster.Batch{
+			Stream: fmt.Sprintf("load.w%d.s%d", worker, k),
+			Values: make([]float64, batch),
+		}
+	}
+	const syncEvery = 16
+	for time.Now().Before(deadline) {
+		for i := 0; i < syncEvery && time.Now().Before(deadline); i++ {
+			for k := range batches {
+				for j := range batches[k].Values {
+					batches[k].Values[j] = srcs[k].Next()
+				}
+			}
+			if cs.err = c.ObserveBatch(batches); cs.err != nil {
+				return cs
+			}
+			cs.msgs += int64(streams)
+			cs.values += int64(streams * batch)
+		}
+		start := time.Now()
+		if cs.err = c.Sync(); cs.err != nil {
+			return cs
+		}
+		cs.lats = append(cs.lats, time.Since(start))
+	}
+	// Bound delivery of everything sent before declaring the run done.
+	if cs.err = c.Sync(); cs.err != nil {
+		return cs
+	}
+	for _, ps := range c.Pools() {
+		cs.retries += ps.Retries
+	}
+	// Worker 0 times one scatter-gather of each kind over its streams.
+	if worker == 0 {
+		start := time.Now()
+		if _, err := c.PointAll(0); err != nil {
+			cs.err = err
+			return cs
+		}
+		cs.pointAllMS = float64(time.Since(start)) / float64(time.Millisecond)
+		start = time.Now()
+		if _, err := c.RollUp(); err != nil {
+			cs.err = err
+			return cs
+		}
+		cs.rollUpMS = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	return cs
+}
+
 // runV1 feeds single JSON values on one connection until deadline;
 // every send is a round trip, sampled every sampleEvery messages.
 func runV1(addr string, seed int64, deadline time.Time) connStats {
@@ -138,6 +231,12 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run length")
 		seed     = flag.Int64("seed", 1, "base stream seed (each connection offsets it)")
 		asJSON   = flag.Bool("json", false, "emit one JSON result object instead of text")
+		fleet    = flag.String("cluster", "", "comma-separated swatd -streams addresses: shard named streams across them instead of -addr")
+		nstreams = flag.Int("streams", 8, "cluster mode: named streams per worker")
+		vnodes   = flag.Int("vnodes", 0, "cluster mode: virtual nodes per ring member (0: library default)")
+		window   = flag.Int("window", 1024, "cluster mode: sliding-window size N of the fleet (must match swatd)")
+		coeffs   = flag.Int("coeffs", 1, "cluster mode: wavelet coefficients per node (must match swatd)")
+		minLevel = flag.Int("minlevel", 0, "cluster mode: minimum tree level (must match swatd)")
 	)
 	flag.Parse()
 	if *conns <= 0 || *batch <= 0 || *batch > wire.MaxBatchValues || *duration <= 0 {
@@ -147,6 +246,22 @@ func main() {
 	if *proto != "v1" && *proto != "v2" {
 		fmt.Fprintf(os.Stderr, "swatload: unknown -proto %q\n", *proto)
 		os.Exit(2)
+	}
+	var clusterCfg cluster.Config
+	if *fleet != "" {
+		if *nstreams <= 0 {
+			fmt.Fprintln(os.Stderr, "swatload: -streams must be positive")
+			os.Exit(2)
+		}
+		clusterCfg = cluster.Config{
+			Nodes:        strings.Split(*fleet, ","),
+			WindowSize:   *window,
+			Coefficients: *coeffs,
+			MinLevel:     *minLevel,
+			Seed:         *seed,
+			VNodes:       *vnodes,
+		}
+		*proto = "cluster"
 	}
 
 	deadline := time.Now().Add(*duration)
@@ -158,9 +273,12 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if *proto == "v2" {
+			switch *proto {
+			case "cluster":
+				all[i] = runCluster(clusterCfg, i, *nstreams, *batch, *seed+int64(i)*1000, deadline)
+			case "v2":
 				all[i] = runV2(*addr, *batch, *seed+int64(i), deadline)
-			} else {
+			default:
 				all[i] = runV1(*addr, *seed+int64(i), deadline)
 			}
 		}()
@@ -179,7 +297,32 @@ func main() {
 		}
 		res.Msgs += cs.msgs
 		res.Values += cs.values
+		res.Retries += cs.retries
 		lats = append(lats, cs.lats...)
+	}
+	if *proto == "cluster" {
+		res.Nodes = len(clusterCfg.Nodes)
+		res.Streams = *conns * *nstreams
+		res.PointAllMillis = all[0].pointAllMS
+		res.RollUpMillis = all[0].rollUpMS
+		// Per-node ingest accounting, for load-balance analysis.
+		var total uint64
+		for _, a := range clusterCfg.Nodes {
+			nl := nodeLoad{Addr: a}
+			if c, err := wire.DialBinary(a); err == nil {
+				if st, err := c.Stats(); err == nil {
+					nl.EnqueuedValues = st.EnqueuedValues
+				}
+				c.Close()
+			}
+			total += nl.EnqueuedValues
+			res.PerNode = append(res.PerNode, nl)
+		}
+		for i := range res.PerNode {
+			if total > 0 {
+				res.PerNode[i].Share = float64(res.PerNode[i].EnqueuedValues) / float64(total)
+			}
+		}
 	}
 	res.MsgsPerSec = float64(res.Msgs) / elapsed
 	res.ValuesPerSec = float64(res.Values) / elapsed
@@ -207,8 +350,18 @@ func main() {
 		return
 	}
 	fmt.Printf("swatload %s: %d conns, %d values/msg, %.1fs\n", res.Proto, res.Conns, res.Batch, res.Seconds)
+	if res.Nodes > 0 {
+		fmt.Printf("  %d nodes, %d named streams\n", res.Nodes, res.Streams)
+		for _, nl := range res.PerNode {
+			fmt.Printf("    %s: %d values (%.0f%% of the fleet)\n", nl.Addr, nl.EnqueuedValues, nl.Share*100)
+		}
+		fmt.Printf("  scatter-gather: PointAll %.1fms, RollUp %.1fms over %d streams\n", res.PointAllMillis, res.RollUpMillis, *nstreams)
+	}
 	fmt.Printf("  %d msgs (%.0f msgs/s), %d values (%.0f values/s)\n", res.Msgs, res.MsgsPerSec, res.Values, res.ValuesPerSec)
 	fmt.Printf("  ingest latency p50 %.0fµs, p99 %.0fµs over %d samples\n", res.P50Micros, res.P99Micros, len(lats))
+	if res.Retries > 0 {
+		fmt.Printf("  %d connection retries during the run\n", res.Retries)
+	}
 	if res.ShedValues > 0 {
 		fmt.Printf("  server shed %d values (enqueued %d) — consider -ingest-queue or block policy\n", res.ShedValues, res.EnqueuedValues)
 	}

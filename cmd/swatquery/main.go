@@ -188,29 +188,30 @@ func runSummary(addr, out string) {
 }
 
 func runMerge(addrs []string, lo, hi float64, age int) {
+	// Fold each summary into one accumulator tree as it arrives, so at
+	// most one fetched Summary is live at a time no matter the fleet
+	// size — the same streaming fold internal/cluster's RollUp uses.
 	opts := core.MergeOptions{ValueLo: lo, ValueHi: hi}
-	var acc *core.Summary
+	var tr *core.Tree
 	for _, a := range addrs {
 		s, err := fetchSummary(a)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", a, err))
 		}
-		if acc == nil {
-			acc = s
+		if tr == nil {
+			if tr, err = core.FromSummary(s); err != nil {
+				fatal(fmt.Errorf("%s: %w", a, err))
+			}
 			continue
 		}
-		if acc, err = core.MergeSummaries(acc, s, opts); err != nil {
+		if err := tr.MergeSummary(s, opts); err != nil {
 			fatal(fmt.Errorf("merge %s: %w", a, err))
 		}
 	}
 	fmt.Printf("merged=%d window=%d streams=%d arrivals=%d taint=%d\n",
-		len(addrs), acc.WindowSize, acc.Streams, acc.Arrivals, len(acc.Taint))
+		len(addrs), tr.WindowSize(), tr.Streams(), tr.Arrivals(), len(tr.TaintSpans()))
 	if age < 0 {
 		return
-	}
-	tr, err := core.FromSummary(acc)
-	if err != nil {
-		fatal(err)
 	}
 	v, bound, err := tr.BoundedPoint(age)
 	if err != nil {

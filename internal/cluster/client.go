@@ -1,0 +1,393 @@
+package cluster
+
+// The coordinator-free cluster client: ring placement + per-node
+// connection pools + pipelined stream-addressed ingest. One Client is
+// safe for concurrent use; ingest to different nodes proceeds fully in
+// parallel, ingest to one node serializes on that node's held feed
+// connection (order within a stream must survive).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/wire"
+)
+
+// Config describes a fleet and the summaries it keeps.
+type Config struct {
+	// Nodes are the wire-v2 swatd addresses (swatd -streams). At least
+	// one of Nodes/V1Nodes must be non-empty.
+	Nodes []string
+	// V1Nodes are legacy JSON-protocol nodes kept in the ring for
+	// mixed-fleet rollouts. A v1 node folds every stream placed on it
+	// into its single tree, so per-stream reads against it are exact
+	// only while it owns one stream, and it cannot serve summaries:
+	// its streams always enter roll-ups as widened stand-ins.
+	V1Nodes []string
+
+	// WindowSize, Coefficients, MinLevel fix the per-stream tree
+	// geometry — every node must run the same (core.Options semantics).
+	// The client needs it locally to synthesize stand-in summaries for
+	// unreachable shards.
+	WindowSize   int
+	Coefficients int
+	MinLevel     int
+
+	// ValueLo/ValueHi declare the per-value range, required to widen
+	// bounds for unreachable shards and skewed merges
+	// (core.MergeOptions semantics: both zero means undeclared).
+	ValueLo, ValueHi float64
+
+	// Seed fixes ring placement and the pools' retry jitter. Every
+	// client of one fleet must use the same seed. Default 1.
+	Seed int64
+	// VNodes is the virtual-point count per node (default
+	// DefaultVNodes).
+	VNodes int
+	// ConnsPerNode bounds each node pool's idle connections (default
+	// 2): one held for pipelined ingest, the rest serving concurrent
+	// reads.
+	ConnsPerNode int
+	// Timeout is the per-node deadline scatter-gather reads arm
+	// (default 2s).
+	Timeout time.Duration
+	// Quorum is how many summary-capable nodes must answer for a
+	// gather to succeed (default: a majority of them).
+	Quorum int
+}
+
+// Batch is one stream's run of consecutive values.
+type Batch struct {
+	Stream string
+	Values []float64
+}
+
+// node is one fleet member's connection state.
+type node struct {
+	addr string
+	v1   bool
+	pool *wire.BinPool // v2 only
+
+	// mu guards the held ingest connection (feed / v1c): stream order
+	// must survive, so one writer at a time per node.
+	mu   sync.Mutex
+	feed *wire.BinClient
+	v1c  *wire.Client
+}
+
+// Client shards streams across the fleet. Create with New, release
+// with Close.
+type Client struct {
+	cfg   Config
+	ring  *Ring
+	opts  core.Options
+	mopts core.MergeOptions
+	nodes map[string]*node
+	order []string // sorted node addresses, for deterministic walks
+
+	// regMu guards the stream registry: every stream ever ingested and
+	// how many values were handed to the wire for it (the roll-up
+	// stand-in target for shards that stop answering).
+	regMu sync.Mutex
+	sent  map[string]int64
+}
+
+// New validates the config and builds the ring and pools. No
+// connections are opened until traffic flows.
+func New(cfg Config) (*Client, error) {
+	opts := core.Options{WindowSize: cfg.WindowSize, Coefficients: cfg.Coefficients, MinLevel: cfg.MinLevel}
+	if _, err := core.New(opts); err != nil {
+		return nil, fmt.Errorf("cluster: geometry: %w", err)
+	}
+	mopts := core.MergeOptions{ValueLo: cfg.ValueLo, ValueHi: cfg.ValueHi}
+	all := make([]string, 0, len(cfg.Nodes)+len(cfg.V1Nodes))
+	all = append(all, cfg.Nodes...)
+	all = append(all, cfg.V1Nodes...)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ring, err := NewRing(seed, cfg.VNodes, all)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:   cfg,
+		ring:  ring,
+		opts:  opts,
+		mopts: mopts,
+		nodes: make(map[string]*node, len(all)),
+		sent:  make(map[string]int64),
+	}
+	v1set := make(map[string]bool, len(cfg.V1Nodes))
+	for _, a := range cfg.V1Nodes {
+		v1set[a] = true
+	}
+	for _, a := range ring.Nodes() {
+		n := &node{addr: a, v1: v1set[a]}
+		if !n.v1 {
+			// Per-pool jitter seeds derive from the ring seed and the
+			// address, so a fleet of clients sharing one config still
+			// desynchronizes its retry storms deterministically.
+			n.pool = &wire.BinPool{
+				Addr:    a,
+				MaxIdle: cfg.ConnsPerNode,
+				Seed:    int64(fnv1aString(seedBasis(seed), a) | 1),
+			}
+		}
+		c.nodes[a] = n
+		c.order = append(c.order, a)
+	}
+	return c, nil
+}
+
+// Ring exposes the placement ring (e.g. for tests and tooling).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Owner returns the node address a stream is placed on.
+func (c *Client) Owner(stream string) string { return c.ring.Owner(stream) }
+
+// Streams returns every stream this client has ingested, sorted.
+func (c *Client) Streams() []string {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	out := make([]string, 0, len(c.sent))
+	for s := range c.sent {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sent returns how many values this client has shipped for a stream.
+func (c *Client) Sent(stream string) int64 {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return c.sent[stream]
+}
+
+// timeout returns the configured per-node deadline budget.
+func (c *Client) timeout() time.Duration {
+	if c.cfg.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.cfg.Timeout
+}
+
+// deadline arms a socket deadline. The wall clock never reaches
+// placement or answers — only I/O budgets.
+func deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget) //lint:allow seededrand socket deadlines need the wall clock; placement and answers stay deterministic
+}
+
+// quorumOf returns the configured quorum over n summary-capable nodes.
+func (c *Client) quorumOf(n int) int {
+	if c.cfg.Quorum > 0 {
+		if c.cfg.Quorum > n {
+			return n
+		}
+		return c.cfg.Quorum
+	}
+	return n/2 + 1
+}
+
+// ObserveBatch buckets the batches by owner and ships each bucket as
+// pipelined stream data frames on its node's held connection, all
+// buckets in parallel. Frames are write-buffered: call Sync to bound
+// delivery (e.g. before a gather that must see the data). On a
+// transport error the node's connection is discarded — the next call
+// redials through the pool's backoff — and the error reports which
+// streams' batches did not go out; values already framed count as
+// sent. Batches for one stream must not be in flight from two
+// ObserveBatch calls at once (stream order would be lost); distinct
+// streams are safe concurrently.
+func (c *Client) ObserveBatch(batches []Batch) error {
+	if len(batches) == 0 {
+		return nil
+	}
+	buckets := make(map[*node][]Batch)
+	for _, b := range batches {
+		if b.Stream == "" {
+			return errors.New("cluster: empty stream name")
+		}
+		if len(b.Values) == 0 {
+			continue
+		}
+		n := c.nodes[c.ring.Owner(b.Stream)]
+		buckets[n] = append(buckets[n], b)
+	}
+	errs := make([]error, 0, len(buckets))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		bs := buckets[n]
+		if len(bs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.sendTo(n, bs); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ObserveStream ships one stream's batch (ObserveBatch of one).
+func (c *Client) ObserveStream(stream string, vs []float64) error {
+	return c.ObserveBatch([]Batch{{Stream: stream, Values: vs}})
+}
+
+// sendTo writes one node's bucket on its held connection.
+func (c *Client) sendTo(n *node, batches []Batch) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.v1 {
+		return c.sendV1(n, batches)
+	}
+	if n.feed == nil {
+		feed, err := n.pool.Get()
+		if err != nil {
+			return fmt.Errorf("cluster: %s: %w", n.addr, err)
+		}
+		n.feed = feed
+	}
+	for i, b := range batches {
+		if err := n.feed.FeedStream(b.Stream, b.Values); err != nil {
+			n.pool.Discard(n.feed)
+			n.feed = nil
+			rest := make([]string, 0, len(batches)-i)
+			for _, rb := range batches[i:] {
+				rest = append(rest, rb.Stream)
+			}
+			return fmt.Errorf("cluster: %s: streams %v: %w", n.addr, rest, err)
+		}
+		c.recordSent(b.Stream, int64(len(b.Values)))
+	}
+	return nil
+}
+
+// sendV1 drives a legacy node over the JSON protocol: one synchronous
+// round trip per value into the node's single shared tree.
+func (c *Client) sendV1(n *node, batches []Batch) error {
+	if n.v1c == nil {
+		v1c, err := wire.Dial(n.addr)
+		if err != nil {
+			return fmt.Errorf("cluster: %s: %w", n.addr, err)
+		}
+		n.v1c = v1c
+	}
+	for _, b := range batches {
+		for i, v := range b.Values {
+			if _, err := n.v1c.Feed(v); err != nil {
+				n.v1c.Close()
+				n.v1c = nil
+				return fmt.Errorf("cluster: %s: stream %q value %d: %w", n.addr, b.Stream, i, err)
+			}
+			c.recordSent(b.Stream, 1)
+		}
+	}
+	return nil
+}
+
+func (c *Client) recordSent(stream string, nvals int64) {
+	c.regMu.Lock()
+	c.sent[stream] += nvals
+	c.regMu.Unlock()
+}
+
+// Sync flushes every held ingest connection and pings it, bounding
+// delivery of everything shipped so far: when Sync returns nil, every
+// prior batch has been read by its server (under the block policy,
+// also enqueued). v1 nodes are synchronous by construction.
+func (c *Client) Sync() error {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if n.feed == nil {
+				return
+			}
+			n.feed.SetDeadline(deadline(c.timeout()))
+			_, err := n.feed.Ping()
+			n.feed.SetDeadline(time.Time{})
+			if err != nil {
+				n.pool.Discard(n.feed)
+				n.feed = nil
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("cluster: %s: sync: %w", n.addr, err))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close releases every connection and pool. The client must not be
+// used afterwards.
+func (c *Client) Close() error {
+	var errs []error
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		n.mu.Lock()
+		if n.feed != nil {
+			if err := n.feed.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cluster: %s: %w", n.addr, err))
+			}
+			n.feed = nil
+		}
+		if n.v1c != nil {
+			if err := n.v1c.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cluster: %s: %w", n.addr, err))
+			}
+			n.v1c = nil
+		}
+		n.mu.Unlock()
+		if n.pool != nil {
+			if err := n.pool.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cluster: %s: %w", n.addr, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// PoolStats reports one node pool's connection churn.
+type PoolStats struct {
+	Node string
+	wire.PoolStats
+}
+
+// Pools snapshots every v2 node pool's stats, sorted by address.
+func (c *Client) Pools() []PoolStats {
+	out := make([]PoolStats, 0, len(c.order))
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		if n.pool == nil {
+			continue
+		}
+		out = append(out, PoolStats{Node: addr, PoolStats: n.pool.Stats()})
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package cluster shards millions of SWAT streams across a fleet of
+// swatd nodes with no coordinator: placement is a pure function of a
+// seeded consistent-hash ring every client computes identically, so
+// adding a node moves only the keys that land on its virtual points
+// and nothing else has to agree on anything.
+//
+// Ingest buckets each batch by its stream's owner and ships it as
+// pipelined wire-v2 stream data frames over per-node connection pools
+// (wire.BinPool), so aggregate throughput scales near-linearly with
+// node count. Reads are parallel scatter-gather with per-node
+// deadlines. Cluster-wide roll-ups fetch each stream's canonical SWSM
+// summary and fold them into one local tree via the PR-7 merge
+// algebra; a node that cannot answer inside its deadline contributes a
+// core.UnknownSummary stand-in instead — the midpoint of the declared
+// value range, tainted by its half-width — so a partial gather returns
+// a quorum answer whose bounds still cover the truth rather than an
+// error or a silent under-count.
+//
+// Everything that affects placement or answers is deterministic
+// (seeded hashing, sorted fold order for stand-ins); wall-clock reads
+// exist only to arm socket deadlines.
+//
+//swat:deterministic
+package cluster

@@ -1,0 +1,399 @@
+package cluster
+
+// Scatter-gather reads. Point queries fan out to each stream's owner
+// with per-node deadlines; cluster-wide roll-ups fetch per-stream SWSM
+// summaries and fold them into one local tree as responses arrive.
+// Partial failure never silently narrows an answer: an unreachable
+// shard degrades to the declared range's midpoint with a bound of its
+// half-width (point queries) or a core.UnknownSummary stand-in whose
+// taint widens every downstream bound (roll-ups), and a gather that
+// loses more than the quorum's worth of nodes reports an error instead
+// of an answer.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/wire"
+)
+
+// PointAnswer is one stream's bounded point answer.
+type PointAnswer struct {
+	Stream string
+	// Value and Bound: |Value − truth| <= Bound under the declared
+	// value range (Bound is 0 for a healthy, merge-free shard).
+	Value float64
+	Bound float64
+	// Arrivals is the owning shard's arrival count for the stream; 0
+	// for degraded answers.
+	Arrivals int64
+	// Node is the owner that answered; "" for degraded answers.
+	Node string
+	// Degraded marks a stand-in answer (owner unreachable): the
+	// declared range's midpoint, bounded by its half-width.
+	Degraded bool
+	// Err is set when no answer was possible at all — the owner
+	// refused (e.g. cold tree) or it is unreachable and no value range
+	// is declared to degrade into.
+	Err error
+}
+
+// errNoRange reports a degraded answer was impossible.
+var errNoRange = errors.New("cluster: owner unreachable and no ValueLo/ValueHi declared to widen into")
+
+// degradedAnswer builds the stand-in for an unreachable owner.
+func (c *Client) degradedAnswer(stream string, cause error) PointAnswer {
+	if !c.mopts.Declared() {
+		return PointAnswer{Stream: stream, Err: fmt.Errorf("%w (%v)", errNoRange, cause)}
+	}
+	return PointAnswer{
+		Stream:   stream,
+		Value:    (c.cfg.ValueLo + c.cfg.ValueHi) / 2,
+		Bound:    (c.cfg.ValueHi - c.cfg.ValueLo) / 2,
+		Degraded: true,
+	}
+}
+
+// Point answers a bounded point query for one stream from its owner.
+// An unreachable owner degrades to the declared range's midpoint and
+// half-width bound rather than failing; a reachable owner that refuses
+// (cold tree, unknown stream) surfaces its error.
+func (c *Client) Point(stream string, age int) PointAnswer {
+	n := c.nodes[c.ring.Owner(stream)]
+	if n.v1 {
+		return c.pointV1(n, stream, age)
+	}
+	var out PointAnswer
+	err := n.pool.Do(func(bc *wire.BinClient) error {
+		bc.SetDeadline(deadline(c.timeout()))
+		defer bc.SetDeadline(time.Time{})
+		var e error
+		out.Value, out.Bound, out.Arrivals, e = bc.StreamPoint(stream, age)
+		return e
+	})
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return PointAnswer{Stream: stream, Node: n.addr, Err: err}
+		}
+		return c.degradedAnswer(stream, err)
+	}
+	out.Stream, out.Node = stream, n.addr
+	return out
+}
+
+// pointV1 serves a point query from a legacy node's single shared
+// tree: exact (zero bound) only while that node owns exactly one
+// stream, which is the supported mixed-fleet shape.
+func (c *Client) pointV1(n *node, stream string, age int) PointAnswer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.v1c == nil {
+		v1c, err := wire.Dial(n.addr)
+		if err != nil {
+			return c.degradedAnswer(stream, err)
+		}
+		n.v1c = v1c
+	}
+	v, err := n.v1c.Point(age)
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return PointAnswer{Stream: stream, Node: n.addr, Err: err}
+		}
+		n.v1c.Close()
+		n.v1c = nil
+		return c.degradedAnswer(stream, err)
+	}
+	return PointAnswer{Stream: stream, Node: n.addr, Value: v}
+}
+
+// PointAll scatter-gathers one bounded point query across every
+// registered stream: streams group by owner, owners are queried in
+// parallel on one pooled connection each (pipelined round trips), and
+// answers return in sorted stream order. Streams on unreachable owners
+// come back degraded; the call errors only when fewer than a quorum of
+// owners answered.
+func (c *Client) PointAll(age int) ([]PointAnswer, error) {
+	streams := c.Streams()
+	if len(streams) == 0 {
+		return nil, nil
+	}
+	byOwner := make(map[*node][]int)
+	for i, s := range streams {
+		n := c.nodes[c.ring.Owner(s)]
+		byOwner[n] = append(byOwner[n], i)
+	}
+	out := make([]PointAnswer, len(streams))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		answered int
+	)
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		idxs := byOwner[n]
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.pointNode(n, streams, idxs, age, out) {
+				mu.Lock()
+				answered++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if q := c.quorumOf(len(byOwner)); answered < q {
+		return out, fmt.Errorf("cluster: %d of %d owners answered, quorum is %d", answered, len(byOwner), q)
+	}
+	return out, nil
+}
+
+// pointNode answers one owner's slice of a PointAll, reporting whether
+// the node was reachable. Per-stream refusals (cold tree) keep the
+// node reachable; a transport failure degrades the remaining streams.
+func (c *Client) pointNode(n *node, streams []string, idxs []int, age int, out []PointAnswer) bool {
+	if n.v1 {
+		for _, i := range idxs {
+			out[i] = c.pointV1(n, streams[i], age)
+		}
+		for _, i := range idxs {
+			if out[i].Degraded || out[i].Err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	err := n.pool.Do(func(bc *wire.BinClient) error {
+		bc.SetDeadline(deadline(c.timeout()))
+		defer bc.SetDeadline(time.Time{})
+		for k, i := range idxs {
+			v, bound, arr, e := bc.StreamPoint(streams[i], age)
+			if e != nil {
+				var remote *wire.RemoteError
+				if errors.As(e, &remote) {
+					out[i] = PointAnswer{Stream: streams[i], Node: n.addr, Err: e}
+					continue
+				}
+				// Transport failure mid-gather: degrade this stream and
+				// the rest; Do retries only if nothing was answered yet,
+				// otherwise answers would duplicate.
+				if k > 0 {
+					for _, j := range idxs[k:] {
+						out[j] = c.degradedAnswer(streams[j], e)
+					}
+					return nil
+				}
+				return e
+			}
+			out[i] = PointAnswer{Stream: streams[i], Value: v, Bound: bound, Arrivals: arr, Node: n.addr}
+		}
+		return nil
+	})
+	if err != nil {
+		for _, i := range idxs {
+			out[i] = c.degradedAnswer(streams[i], err)
+		}
+		return false
+	}
+	for _, i := range idxs {
+		if out[i].Degraded {
+			return false
+		}
+	}
+	return true
+}
+
+// RollUp is a cluster-wide merged summary: one local tree summarizing
+// the sum of every registered stream, with bounds that honestly cover
+// whatever the gather could not reach.
+type RollUp struct {
+	// Tree answers bounded queries over the cluster-wide sum
+	// (BoundedPoint, BoundedInnerProduct).
+	Tree *core.Tree
+	// Streams counts the streams folded in, including stand-ins.
+	Streams int
+	// Missing lists streams represented by widened stand-ins (owner
+	// unreachable, summary refused, or a v1 node that cannot export
+	// summaries), sorted.
+	Missing []string
+	// NodesOK / NodesTotal count the summary-capable owners that
+	// answered versus all summary-capable owners.
+	NodesOK, NodesTotal int
+}
+
+// fetched is one stream summary in flight from a gather goroutine to
+// the folding loop.
+type fetched struct {
+	stream string
+	sum    *core.Summary
+}
+
+// RollUp fetches every registered stream's summary from its owner —
+// owners in parallel, one pooled connection each — and folds them into
+// one tree as they arrive, so peak memory holds one summary per node,
+// not one per stream. Unreachable or refused streams fold in as
+// core.UnknownSummary stand-ins sized by this client's sent count
+// (their taint widens the tree's bounds); the call errors when fewer
+// than a quorum of summary-capable owners answered, or when stand-ins
+// are needed without a declared value range.
+func (c *Client) RollUp() (*RollUp, error) {
+	streams := c.Streams()
+	if len(streams) == 0 {
+		return nil, errors.New("cluster: no streams registered")
+	}
+	byOwner := make(map[*node][]string)
+	v2Owners := 0
+	for _, s := range streams {
+		n := c.nodes[c.ring.Owner(s)]
+		if _, seen := byOwner[n]; !seen && !n.v1 {
+			v2Owners++
+		}
+		byOwner[n] = append(byOwner[n], s)
+	}
+	results := make(chan fetched)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		nodesOK int
+	)
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		names := byOwner[n]
+		if len(names) == 0 || n.v1 {
+			continue // v1 nodes cannot export summaries; stand-ins below
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.fetchNode(n, names, results) {
+				mu.Lock()
+				nodesOK++
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	// Fold as summaries arrive. The merge algebra is bit-commutative
+	// pairwise but the fold shape still follows arrival order; callers
+	// needing bit-identical roll-ups across runs fold sorted summaries
+	// themselves (the netsim harness does).
+	var (
+		tr      *core.Tree
+		got     = make(map[string]bool, len(streams))
+		folded  int
+		foldErr error
+	)
+	for f := range results {
+		got[f.stream] = true
+		if foldErr != nil {
+			continue // drain
+		}
+		// A summary lagging the count we shipped means the shard lost
+		// arrivals (healed partition, shed batches): advance it with
+		// tainted midpoints so the merged bounds admit the gap instead
+		// of silently under-counting.
+		if target := c.Sent(f.stream); f.sum.Arrivals < target {
+			f.sum, foldErr = core.AdvanceSummary(f.sum, target, c.mopts)
+			if foldErr != nil {
+				continue
+			}
+		}
+		if tr == nil {
+			tr, foldErr = core.FromSummary(f.sum)
+		} else {
+			foldErr = tr.MergeSummary(f.sum, c.mopts)
+		}
+		if foldErr == nil {
+			folded++
+		}
+	}
+	if foldErr != nil {
+		return nil, fmt.Errorf("cluster: fold: %w", foldErr)
+	}
+	if q := c.quorumOf(v2Owners); v2Owners > 0 && nodesOK < q {
+		return nil, fmt.Errorf("cluster: %d of %d owners answered, quorum is %d", nodesOK, v2Owners, q)
+	}
+
+	// Stand-ins for everything the gather could not produce, in sorted
+	// order for determinism.
+	var missing []string
+	for _, s := range streams {
+		if !got[s] {
+			missing = append(missing, s)
+		}
+	}
+	for _, s := range missing {
+		target := c.Sent(s)
+		if target == 0 {
+			// Never shipped a value: contributes nothing and needs no
+			// widening.
+			folded++
+			continue
+		}
+		sum, err := core.UnknownSummary(c.opts, 1, target, c.mopts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stand-in for %q: %w", s, err)
+		}
+		if tr == nil {
+			tr, err = core.FromSummary(sum)
+		} else {
+			err = tr.MergeSummary(sum, c.mopts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stand-in for %q: %w", s, err)
+		}
+		folded++
+	}
+	if tr == nil {
+		// Everything missing with zero sent counts: an empty cluster.
+		var err error
+		if tr, err = core.New(c.opts); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(missing)
+	return &RollUp{
+		Tree:       tr,
+		Streams:    folded,
+		Missing:    missing,
+		NodesOK:    nodesOK,
+		NodesTotal: v2Owners,
+	}, nil
+}
+
+// fetchNode fetches one owner's summaries on one pooled connection,
+// sending each to the folding loop as it lands. Reports whether the
+// node answered (at least reachably; per-stream refusals don't count
+// against it).
+func (c *Client) fetchNode(n *node, names []string, results chan<- fetched) bool {
+	err := n.pool.Do(func(bc *wire.BinClient) error {
+		bc.SetDeadline(deadline(c.timeout()))
+		defer bc.SetDeadline(time.Time{})
+		for k, s := range names {
+			sum, e := bc.FetchStreamSummary(s)
+			if e != nil {
+				var remote *wire.RemoteError
+				if errors.As(e, &remote) {
+					continue // this stream becomes a stand-in
+				}
+				if k > 0 {
+					return nil // partial: delivered streams stand; no retry
+				}
+				return e
+			}
+			results <- fetched{stream: s, sum: sum}
+		}
+		return nil
+	})
+	return err == nil
+}

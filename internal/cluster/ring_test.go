@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates deterministic pseudo-stream names.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stream-%d", i)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(1, 0, nil); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := NewRing(1, 0, []string{"a", ""}); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := NewRing(1, 0, []string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	r, err := NewRing(1, 0, []string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Nodes() = %v, want sorted [a b]", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", r.Len())
+	}
+	if _, err := r.WithoutNode("zzz"); err == nil {
+		t.Error("WithoutNode of a non-member succeeded")
+	}
+}
+
+// TestRingPlacementDeterminism pins the coordinator-free property: two
+// rings built independently from the same (seed, vnodes, node set) —
+// in any input order — place every key identically, and a different
+// seed places differently.
+func TestRingPlacementDeterminism(t *testing.T) {
+	nodes := []string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070", "10.0.0.4:7070"}
+	shuffled := []string{"10.0.0.3:7070", "10.0.0.1:7070", "10.0.0.4:7070", "10.0.0.2:7070"}
+	r1, err := NewRing(42, 64, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(42, 64, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := NewRing(43, 64, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for _, k := range ringKeys(2000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %q: placement depends on input order (%q vs %q)", k, r1.Owner(k), r2.Owner(k))
+		}
+		if r1.Owner(k) != r3.Owner(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("changing the seed changed no placement; the seed is inert")
+	}
+}
+
+// TestRingMinimalMovement property-tests the consistency guarantee:
+// adding a node moves only keys that land on the new node (expected
+// ~1/(N+1), asserted under 2/(N+1)), removing one moves only keys that
+// were on it — everything else stays put.
+func TestRingMinimalMovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	keys := ringKeys(4000)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6) // fleets of 2..7
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d-%d:7070", trial, i)
+		}
+		r, err := NewRing(rng.Int63(), 64, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Owner(k)
+		}
+
+		newcomer := fmt.Sprintf("node-%d-new:7070", trial)
+		grown, err := r.WithNode(newcomer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			after := grown.Owner(k)
+			if after == before[k] {
+				continue
+			}
+			if after != newcomer {
+				t.Fatalf("trial %d: key %q moved %q → %q, neither the newcomer; movement is not minimal",
+					trial, k, before[k], after)
+			}
+			moved++
+		}
+		if limit := 2 * len(keys) / (n + 1); moved > limit {
+			t.Errorf("trial %d: add moved %d of %d keys, over the 2/(N+1) limit %d", trial, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Errorf("trial %d: the new node received no keys", trial)
+		}
+
+		victim := nodes[rng.Intn(n)]
+		shrunk, err := r.WithoutNode(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = 0
+		for _, k := range keys {
+			after := shrunk.Owner(k)
+			if after == before[k] {
+				continue
+			}
+			if before[k] != victim {
+				t.Fatalf("trial %d: key %q on surviving node %q moved to %q; movement is not minimal",
+					trial, k, before[k], after)
+			}
+			moved++
+		}
+		if limit := 2 * len(keys) / n; moved > limit {
+			t.Errorf("trial %d: remove moved %d of %d keys, over the 2/N limit %d", trial, moved, len(keys), limit)
+		}
+	}
+}
+
+// TestRingLoadEvenness bounds placement skew. A node's load share is
+// its total arc length, whose relative spread shrinks like 1/√vnodes —
+// about ±12% (1σ) at the default 64 points — so the assertion is a
+// share-ratio band, not a per-key sampling statistic (χ² would grow
+// without bound in the key count here). The band catches structural
+// clumping — the un-finalized FNV ring put 1.8× the even share on one
+// node — while leaving ~4σ of honest headroom.
+func TestRingLoadEvenness(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 3, 5, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d:7070", i)
+		}
+		r, err := NewRing(7, DefaultVNodes, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		expected := float64(len(keys)) / float64(n)
+		for _, node := range nodes {
+			share := float64(counts[node]) / expected
+			if share < 0.55 || share > 1.45 {
+				t.Errorf("fleet of %d: node %q holds %.2f× the even share (counts %v)", n, node, share, counts)
+			}
+		}
+	}
+}
+
+// TestRingOwnerWraps pins the circle semantics: a key hashing past the
+// highest virtual point belongs to the lowest one. Exercised
+// implicitly above; here the derived rings must also agree with rings
+// built from scratch.
+func TestRingDerivedEqualsRebuilt(t *testing.T) {
+	r, err := NewRing(5, 32, []string{"a:1", "b:1", "c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := r.WithNode("d:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewRing(5, 32, []string{"a:1", "b:1", "c:1", "d:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(1000) {
+		if grown.Owner(k) != fresh.Owner(k) {
+			t.Fatalf("key %q: derived ring places on %q, rebuilt ring on %q", k, grown.Owner(k), fresh.Owner(k))
+		}
+	}
+}

@@ -94,6 +94,11 @@ type MergeOptions struct {
 // declared reports whether the caller provided a range.
 func (o MergeOptions) declared() bool { return o.ValueLo != 0 || o.ValueHi != 0 }
 
+// Declared reports whether a value range was provided — callers that
+// degrade gracefully (cluster scatter-gather) test this before relying
+// on stand-in synthesis.
+func (o MergeOptions) Declared() bool { return o.declared() }
+
 // check validates the options themselves.
 func (o MergeOptions) check() error {
 	if math.IsNaN(o.ValueLo) || math.IsNaN(o.ValueHi) ||
@@ -193,6 +198,71 @@ func (t *Tree) MergeSummary(s *Summary, o MergeOptions) error {
 	}
 	t.install(st)
 	return nil
+}
+
+// AdvanceSummary returns s advanced to the target arrival count by
+// synthesizing midpoint values of the declared (stream-scaled) range
+// through the ordinary update algorithm — the same machinery skewed
+// merges use internally — tainting the synthetic suffix so bounds
+// widen instead of lying. This is how a gatherer reconciles a shard
+// that verifiably lags (a healed partition dropped arrivals, a shed
+// policy dropped batches): advance its summary to the count the client
+// knows it shipped, then merge. target below s.Arrivals is an error; a
+// target equal to it returns a clone.
+func AdvanceSummary(s *Summary, target int64, o MergeOptions) (*Summary, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.check(); err != nil {
+		return nil, err
+	}
+	if target < s.Arrivals {
+		return nil, fmt.Errorf("core: cannot advance summary backwards from %d to %d arrivals", s.Arrivals, target)
+	}
+	out := s.Clone()
+	if target == s.Arrivals {
+		return out, nil
+	}
+	if s.Arrivals == 0 && s.Streams == 0 {
+		// A never-fed export: give the synthesis a stream to scale by.
+		out.Streams = 1
+	}
+	return fastForward(out, target, o)
+}
+
+// UnknownSummary builds the summary of `streams` source streams whose
+// values were never observed: every index holds the midpoint of the
+// declared (stream-scaled) range and is tainted by streams·(hi−lo)/2,
+// so merging it stands in for an unreachable shard with honest widened
+// bounds instead of silently under-counting. Cluster scatter-gather
+// (internal/cluster) merges one of these per stream stranded behind a
+// partition, which is what turns a partial gather into a quorum answer
+// whose bounds still cover the truth. arrivals must be > 0 for the
+// stand-in to participate in a merge (a zero-arrival summary is the
+// merge identity), and the range must be declared.
+func UnknownSummary(opts Options, streams int, arrivals int64, o MergeOptions) (*Summary, error) {
+	if streams < 1 {
+		return nil, fmt.Errorf("core: unknown summary needs at least 1 stream, got %d", streams)
+	}
+	if arrivals < 0 {
+		return nil, fmt.Errorf("core: unknown summary claims negative arrivals %d", arrivals)
+	}
+	if err := o.check(); err != nil {
+		return nil, err
+	}
+	st, err := newState(opts)
+	if err != nil {
+		return nil, err
+	}
+	st.streams = streams
+	s := st.exportSummary()
+	if arrivals == 0 {
+		return s, nil
+	}
+	if !o.declared() {
+		return nil, ErrRangeRequired
+	}
+	return fastForward(s, arrivals, o)
 }
 
 // reconcileGeometry clones s into the target geometry: the coefficient

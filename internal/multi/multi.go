@@ -39,6 +39,11 @@ type Options struct {
 	// (0 means 4 — correlation estimates need more resolution than the
 	// single-average default).
 	Coefficients int
+	// MinLevel is each tree's reduced-tree cutoff (core.Options.MinLevel):
+	// levels below it are dropped and a ring of 2^(MinLevel+1) raw values
+	// answers recent point queries exactly. Cluster nodes raise it so
+	// scatter-gather probes against fresh ages stay exact.
+	MinLevel int
 	// Shards is the number of ingest/query shards streams are spread
 	// over, each served by its own worker goroutine. 0 means
 	// GOMAXPROCS.
@@ -101,7 +106,7 @@ func New(opts Options) (*Monitor, error) {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
 	// Validate eagerly by constructing a probe tree.
-	if _, err := core.New(core.Options{WindowSize: opts.WindowSize, Coefficients: opts.Coefficients}); err != nil {
+	if _, err := core.New(core.Options{WindowSize: opts.WindowSize, Coefficients: opts.Coefficients, MinLevel: opts.MinLevel}); err != nil {
 		return nil, err
 	}
 	m := &Monitor{
@@ -167,7 +172,7 @@ func (m *Monitor) Add(name string) error {
 	if _, dup := m.byName[name]; dup {
 		return fmt.Errorf("multi: stream %q already registered", name)
 	}
-	tree, err := core.New(core.Options{WindowSize: m.opts.WindowSize, Coefficients: m.opts.Coefficients})
+	tree, err := core.New(core.Options{WindowSize: m.opts.WindowSize, Coefficients: m.opts.Coefficients, MinLevel: m.opts.MinLevel})
 	if err != nil {
 		return err
 	}

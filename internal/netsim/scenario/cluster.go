@@ -1,0 +1,569 @@
+package scenario
+
+// Deterministic failure coverage for the cluster scatter-gather
+// protocol (internal/cluster), exercised over the fault-injected
+// network before any socket exists. The topology is a star: the root
+// is the cluster client and stream source, each child is one shard
+// node holding per-stream SWAT trees. Placement uses the real
+// consistent-hash ring; gathers use the real merge/stand-in algebra
+// (core.AdvanceSummary / core.UnknownSummary). What the simulation
+// replaces is only the transport — wire frames become netsim messages
+// subject to scripted partitions, crashes, and drops — so the
+// invariant this harness pins ("a quorum gather's bound always covers
+// the truth, however degraded the fleet") is a property of the
+// protocol, not of healthy TCP.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/streamsum/swat/internal/cluster"
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/netsim"
+	"github.com/streamsum/swat/internal/sim"
+)
+
+// ClusterConfig describes one cluster scatter-gather scenario.
+type ClusterConfig struct {
+	// Shards is the number of shard nodes (star leaves). 0 means 3.
+	Shards int
+	// Streams names the logical streams; nil means 6 streams s0..s5.
+	Streams []string
+	// Seed drives the ring placement, the fault RNG, and the synthetic
+	// data. Same seed, same config, same script — same run.
+	Seed int64
+	// WindowSize/Coefficients/MinLevel fix every tree's geometry.
+	// Zero means 16/4/2 — MinLevel 2 keeps a ring of 8 raw values, so
+	// fresh-age probes on healthy shards are exact and every non-zero
+	// bound in a run is attributable to injected faults.
+	WindowSize   int
+	Coefficients int
+	MinLevel     int
+	// ValueLo/ValueHi bound the synthetic values (and declare the
+	// widening range). Both zero means [0, 100].
+	ValueLo, ValueHi float64
+	// DataInterval is the gap between arrival rows; 0 means 1.
+	DataInterval float64
+	// DataCount is the number of rows (one value per stream per row).
+	// 0 means 100.
+	DataCount int
+	// ProbeStart is the row after which gather probes begin; 0 means
+	// WindowSize+1.
+	ProbeStart int
+	// ProbeEvery probes every k-th row; 0 means 4.
+	ProbeEvery int
+	// ProbeAge is the age of the bounded point query each gather
+	// answers (0 = newest value).
+	ProbeAge int
+	// GatherWait is how long the client waits for summary responses
+	// before folding what it has; 0 means 2 time units.
+	GatherWait float64
+	// Quorum is the minimum number of shards that must respond for the
+	// gather to answer; 0 means a majority.
+	Quorum int
+	// Faults is the ambient link behavior; Script layers timed faults.
+	Faults netsim.LinkFaults
+	Script Script
+	// SettleTime extends the run past the last row; 0 means 20.
+	SettleTime float64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Shards == 0 {
+		c.Shards = 3
+	}
+	if c.Streams == nil {
+		for i := 0; i < 6; i++ {
+			c.Streams = append(c.Streams, fmt.Sprintf("s%d", i))
+		}
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 16
+	}
+	if c.Coefficients == 0 {
+		c.Coefficients = 4
+	}
+	if c.MinLevel == 0 {
+		c.MinLevel = 2
+	}
+	if c.ValueLo == 0 && c.ValueHi == 0 {
+		c.ValueHi = 100
+	}
+	if c.DataInterval == 0 {
+		c.DataInterval = 1
+	}
+	if c.DataCount == 0 {
+		c.DataCount = 100
+	}
+	if c.ProbeStart == 0 {
+		c.ProbeStart = c.WindowSize + 1
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 4
+	}
+	if c.GatherWait == 0 {
+		c.GatherWait = 2
+	}
+	if c.Quorum == 0 {
+		c.Quorum = c.Shards/2 + 1
+	}
+	if c.SettleTime == 0 {
+		c.SettleTime = 20
+	}
+	return c
+}
+
+// ClusterProbe is one gather's outcome against ground truth.
+type ClusterProbe struct {
+	T float64
+	// Value/Bound are the folded tree's bounded point answer for the
+	// cluster-wide sum; meaningful when Quorum is true.
+	Value, Bound float64
+	// Exact is what a fault-free twin answers: one tree of the same
+	// geometry fed the aligned per-row sum of every stream (including
+	// values the faults ate), queried at the same age. The wavelet
+	// transform is linear, so a healthy fleet's fold equals this twin
+	// bit for bit; Bound's contract is to cover the gap a degraded
+	// fleet opens against it.
+	Exact float64
+	// Missing lists streams answered by stand-ins, sorted; Advanced
+	// lists streams whose shard summary lagged and was fast-forwarded.
+	Missing  []string
+	Advanced []string
+	// Answered counts shards whose summaries arrived in time; Quorum
+	// reports whether that met the configured quorum (if not, the
+	// gather withholds its answer instead of guessing).
+	Answered int
+	Quorum   bool
+	Err      string
+}
+
+// ClusterResult is a cluster scenario's canonical record.
+type ClusterResult struct {
+	Log        string
+	Counters   string
+	Probes     []ClusterProbe
+	Violations []string
+	// Placement maps stream → shard name, for test assertions.
+	Placement map[string]string
+}
+
+// ProbesText renders the probe outcomes canonically; byte-identical
+// across same-seed runs.
+func (r *ClusterResult) ProbesText() string {
+	var b strings.Builder
+	for _, p := range r.Probes {
+		if p.Err != "" {
+			fmt.Fprintf(&b, "t=%.9g answered=%d err=%q\n", p.T, p.Answered, p.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "t=%.9g v=%.9g bound=%.9g exact=%.9g answered=%d missing=%v advanced=%v\n",
+			p.T, p.Value, p.Bound, p.Exact, p.Answered, p.Missing, p.Advanced)
+	}
+	return b.String()
+}
+
+// Message payloads. The summary response carries canonical encodings
+// rather than live pointers: shards and client share a process here,
+// and encoding round-trips are exactly what the wire does.
+type cdataMsg struct {
+	Stream string
+	V      float64
+}
+
+type csumReq struct{ ID int }
+
+type csumRes struct {
+	ID    int
+	Shard netsim.NodeID
+	Names []string
+	Sums  [][]byte
+}
+
+// clusterShard is one shard node's volatile state.
+type clusterShard struct {
+	trees map[string]*core.Tree
+}
+
+// clusterHarness wires the pieces together.
+type clusterHarness struct {
+	cfg    ClusterConfig
+	sim    *sim.Simulator
+	net    *netsim.Network
+	opts   core.Options
+	mopts  core.MergeOptions
+	ring   *cluster.Ring
+	owner  map[string]netsim.NodeID // stream → shard node
+	shards map[netsim.NodeID]*clusterShard
+
+	seq     uint64
+	sent    map[string]int64     // client-side shipped counts
+	history map[string][]float64 // ground truth per stream
+
+	gathers map[int]*gather
+	nextID  int
+	res     *ClusterResult
+}
+
+// gather is one in-flight scatter-gather probe. sent snapshots the
+// client's shipped counts at scatter time: the fold reconciles
+// summaries (and scores itself against ground truth) as of the moment
+// the probe was issued, not the moment responses finished trickling
+// in — rows shipped during GatherWait belong to the next probe.
+type gather struct {
+	responses map[netsim.NodeID]csumRes
+	sent      map[string]int64
+}
+
+// shardName names a shard node on the ring.
+func shardName(id netsim.NodeID) string { return fmt.Sprintf("shard%d", id) }
+
+// RunCluster replays one cluster scenario and returns its canonical
+// record. Invariants: every quorum answer satisfies
+// |Value − Exact| ≤ Bound (+ε), and the network accounting balances.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.withDefaults()
+	top := netsim.NewTopology()
+	var shardIDs []netsim.NodeID
+	for i := 0; i < cfg.Shards; i++ {
+		id, err := top.AddChild(top.Root())
+		if err != nil {
+			return nil, err
+		}
+		shardIDs = append(shardIDs, id)
+	}
+	if err := cfg.Script.Validate(top); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(shardIDs))
+	byName := make(map[string]netsim.NodeID, len(shardIDs))
+	for i, id := range shardIDs {
+		names[i] = shardName(id)
+		byName[names[i]] = id
+	}
+	ring, err := cluster.NewRing(cfg.Seed, 16, names)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	net, err := netsim.NewNetwork(s, top, cfg.Faults, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	h := &clusterHarness{
+		cfg:     cfg,
+		sim:     s,
+		net:     net,
+		opts:    core.Options{WindowSize: cfg.WindowSize, Coefficients: cfg.Coefficients, MinLevel: cfg.MinLevel},
+		mopts:   core.MergeOptions{ValueLo: cfg.ValueLo, ValueHi: cfg.ValueHi},
+		ring:    ring,
+		owner:   make(map[string]netsim.NodeID, len(cfg.Streams)),
+		shards:  make(map[netsim.NodeID]*clusterShard, len(shardIDs)),
+		sent:    make(map[string]int64, len(cfg.Streams)),
+		history: make(map[string][]float64, len(cfg.Streams)),
+		gathers: make(map[int]*gather),
+		res:     &ClusterResult{Placement: make(map[string]string, len(cfg.Streams))},
+	}
+	if _, err := core.New(h.opts); err != nil {
+		return nil, err
+	}
+	for _, st := range cfg.Streams {
+		own := ring.Owner(st)
+		h.owner[st] = byName[own]
+		h.res.Placement[st] = own
+	}
+	for _, id := range shardIDs {
+		h.shards[id] = &clusterShard{trees: make(map[string]*core.Tree)}
+		id := id
+		if err := net.Subscribe(id, "cdata", func(m netsim.Message) { h.onData(id, m) }); err != nil {
+			return nil, err
+		}
+		if err := net.Subscribe(id, "csum", func(m netsim.Message) { h.onSumReq(id, m) }); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Subscribe(top.Root(), "csumres", func(m netsim.Message) { h.onSumRes(m) }); err != nil {
+		return nil, err
+	}
+	// A crash loses the shard's volatile trees; restart comes back
+	// empty-handed, exactly like a swatd without a durable store.
+	net.OnCrash = func(id netsim.NodeID) {
+		if sh := h.shards[id]; sh != nil {
+			sh.trees = make(map[string]*core.Tree)
+		}
+	}
+	return h.run()
+}
+
+// onData applies one value to the shard's stream tree.
+func (h *clusterHarness) onData(id netsim.NodeID, m netsim.Message) {
+	d, ok := m.Payload.(cdataMsg)
+	if !ok {
+		h.res.Violations = append(h.res.Violations, fmt.Sprintf("shard %d: bad cdata payload %T", id, m.Payload))
+		return
+	}
+	sh := h.shards[id]
+	tr, ok := sh.trees[d.Stream]
+	if !ok {
+		var err error
+		if tr, err = core.New(h.opts); err != nil {
+			h.res.Violations = append(h.res.Violations, err.Error())
+			return
+		}
+		sh.trees[d.Stream] = tr
+	}
+	tr.Update(d.V)
+}
+
+// onSumReq answers a summary request with every local stream's
+// canonical encoding, sorted by name for a deterministic reply.
+func (h *clusterHarness) onSumReq(id netsim.NodeID, m netsim.Message) {
+	req, ok := m.Payload.(csumReq)
+	if !ok {
+		h.res.Violations = append(h.res.Violations, fmt.Sprintf("shard %d: bad csum payload %T", id, m.Payload))
+		return
+	}
+	sh := h.shards[id]
+	res := csumRes{ID: req.ID, Shard: id}
+	names := make([]string, 0, len(sh.trees))
+	for name := range sh.trees {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res.Names = append(res.Names, name)
+		res.Sums = append(res.Sums, sh.trees[name].AppendSummary(nil))
+	}
+	h.seq++
+	h.net.Send(id, h.net.Topology().Root(), "csumres", h.seq, res)
+}
+
+// onSumRes records a shard's response into its gather, if still open.
+func (h *clusterHarness) onSumRes(m netsim.Message) {
+	res, ok := m.Payload.(csumRes)
+	if !ok {
+		h.res.Violations = append(h.res.Violations, fmt.Sprintf("client: bad csumres payload %T", m.Payload))
+		return
+	}
+	if g := h.gathers[res.ID]; g != nil {
+		g.responses[res.Shard] = res
+	}
+}
+
+// run schedules the data stream, probes, and fault script, then
+// settles.
+func (h *clusterHarness) run() (*ClusterResult, error) {
+	cfg := h.cfg
+	root := h.net.Topology().Root()
+	dataRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rows := make([][]float64, cfg.DataCount)
+	for i := range rows {
+		rows[i] = make([]float64, len(cfg.Streams))
+		for j := range rows[i] {
+			rows[i][j] = cfg.ValueLo + dataRng.Float64()*(cfg.ValueHi-cfg.ValueLo)
+		}
+	}
+	for i := 0; i < cfg.DataCount; i++ {
+		i := i
+		if err := h.sim.At(float64(i+1)*cfg.DataInterval, func() {
+			for j, st := range cfg.Streams {
+				v := rows[i][j]
+				h.history[st] = append(h.history[st], v)
+				h.sent[st]++
+				h.seq++
+				h.net.Send(root, h.owner[st], "cdata", h.seq, cdataMsg{Stream: st, V: v})
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := cfg.ProbeStart; i <= cfg.DataCount; i += cfg.ProbeEvery {
+		at := (float64(i) + 0.5) * cfg.DataInterval
+		if err := h.sim.At(at, func() { h.scatter() }); err != nil {
+			return nil, err
+		}
+	}
+	for i, st := range cfg.Script {
+		st, idx := st, i
+		if err := h.sim.At(st.At, func() {
+			if err := st.apply(h.net); err != nil {
+				h.res.Violations = append(h.res.Violations,
+					fmt.Sprintf("step %d (%s) failed: %v", idx, st.Op, err))
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	h.sim.RunUntil(float64(cfg.DataCount)*cfg.DataInterval + cfg.SettleTime)
+	if err := h.net.AccountingError(); err != nil {
+		h.res.Violations = append(h.res.Violations, err.Error())
+	}
+	h.res.Log = h.net.FormatLog()
+	h.res.Counters = h.net.Counters().String()
+	return h.res, nil
+}
+
+// scatter opens a gather: a summary request to every shard, and a fold
+// scheduled GatherWait later over whatever responded.
+func (h *clusterHarness) scatter() {
+	id := h.nextID
+	h.nextID++
+	sent := make(map[string]int64, len(h.sent))
+	for _, st := range h.cfg.Streams {
+		sent[st] = h.sent[st]
+	}
+	h.gathers[id] = &gather{responses: make(map[netsim.NodeID]csumRes), sent: sent}
+	root := h.net.Topology().Root()
+	for _, sid := range shardOrder(h.shards) {
+		h.seq++
+		h.net.Send(root, sid, "csum", h.seq, csumReq{ID: id})
+	}
+	if err := h.sim.At(h.sim.Now()+h.cfg.GatherWait, func() { h.fold(id) }); err != nil {
+		h.res.Violations = append(h.res.Violations, err.Error())
+	}
+}
+
+// shardOrder returns shard IDs ascending (map iteration is not
+// deterministic; the send schedule must be).
+func shardOrder(shards map[netsim.NodeID]*clusterShard) []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(shards))
+	for id := range shards {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// fold closes a gather: decode responses, advance lagging summaries to
+// the shipped counts, stand in for missing streams, merge in sorted
+// stream order, and check the bound invariant against ground truth.
+func (h *clusterHarness) fold(id int) {
+	g := h.gathers[id]
+	delete(h.gathers, id)
+	now := h.sim.Now()
+	probe := ClusterProbe{T: now, Answered: len(g.responses)}
+
+	// Index every summary that arrived: stream → canonical bytes.
+	arrived := make(map[string][]byte)
+	for _, sid := range shardOrder(h.shards) {
+		res, ok := g.responses[sid]
+		if !ok {
+			continue
+		}
+		for i, name := range res.Names {
+			arrived[name] = res.Sums[i]
+		}
+	}
+	if probe.Answered < h.cfg.Quorum {
+		probe.Err = fmt.Sprintf("below quorum: %d of %d shards answered, need %d",
+			probe.Answered, len(h.shards), h.cfg.Quorum)
+		h.res.Probes = append(h.res.Probes, probe)
+		return
+	}
+	probe.Quorum = true
+
+	streams := append([]string(nil), h.cfg.Streams...)
+	sort.Strings(streams)
+	fail := func(err error) {
+		probe.Err = err.Error()
+		h.res.Probes = append(h.res.Probes, probe)
+		h.res.Violations = append(h.res.Violations, fmt.Sprintf("t=%.9g fold failed: %v", now, err))
+	}
+	// Decode what arrived, then pick one common arrival target for the
+	// fold: the scatter-time shipped count, or further if some shard's
+	// reply already covers rows shipped after the scatter. Every
+	// summary short of the target is fast-forwarded (tainted), so the
+	// merged answer is "the fleet as of arrival T" — a well-defined
+	// instant the ground-truth check can score against.
+	decoded := make(map[string]*core.Summary, len(arrived))
+	var target int64
+	for _, st := range streams {
+		if n := g.sent[st]; n > target {
+			target = n
+		}
+		enc, ok := arrived[st]
+		if !ok {
+			continue
+		}
+		sum, err := core.DecodeSummary(enc)
+		if err != nil {
+			fail(fmt.Errorf("stream %q: %w", st, err))
+			return
+		}
+		decoded[st] = sum
+		if sum.Arrivals > target {
+			target = sum.Arrivals
+		}
+	}
+	var tr *core.Tree
+	for _, st := range streams {
+		sum, ok := decoded[st]
+		var err error
+		if ok {
+			if sum.Arrivals < target {
+				probe.Advanced = append(probe.Advanced, st)
+				if sum, err = core.AdvanceSummary(sum, target, h.mopts); err != nil {
+					fail(fmt.Errorf("stream %q: %w", st, err))
+					return
+				}
+			}
+		} else {
+			probe.Missing = append(probe.Missing, st)
+			if target == 0 {
+				continue
+			}
+			if sum, err = core.UnknownSummary(h.opts, 1, target, h.mopts); err != nil {
+				fail(fmt.Errorf("stream %q: %w", st, err))
+				return
+			}
+		}
+		if tr == nil {
+			tr, err = core.FromSummary(sum)
+		} else {
+			err = tr.MergeSummary(sum, h.mopts)
+		}
+		if err != nil {
+			fail(fmt.Errorf("stream %q: %w", st, err))
+			return
+		}
+	}
+	if tr == nil {
+		probe.Err = "no data"
+		h.res.Probes = append(h.res.Probes, probe)
+		return
+	}
+	val, bound, err := tr.BoundedPoint(h.cfg.ProbeAge)
+	if err != nil {
+		probe.Err = err.Error()
+		h.res.Probes = append(h.res.Probes, probe)
+		return
+	}
+	probe.Value, probe.Bound = val, bound
+	twin, err := core.New(h.opts)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for i := int64(0); i < target; i++ {
+		var row float64
+		for _, st := range streams {
+			row += h.history[st][i]
+		}
+		twin.Update(row)
+	}
+	exact, _, err := twin.BoundedPoint(h.cfg.ProbeAge)
+	if err != nil {
+		fail(fmt.Errorf("twin query: %w", err))
+		return
+	}
+	probe.Exact = exact
+	h.res.Probes = append(h.res.Probes, probe)
+	const eps = 1e-9
+	if diff := val - exact; diff > bound+eps || diff < -bound-eps {
+		h.res.Violations = append(h.res.Violations, fmt.Sprintf(
+			"t=%.9g gather answer %v strays %v from the fault-free twin's %v, beyond its bound %v",
+			now, val, diff, exact, bound))
+	}
+}

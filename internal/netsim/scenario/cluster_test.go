@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/streamsum/swat/internal/netsim"
+)
+
+// healthyClusterConfig is the fault-free baseline: 3 shards, perfect
+// links with a little latency, no script.
+func healthyClusterConfig(seed int64) ClusterConfig {
+	return ClusterConfig{
+		Seed:   seed,
+		Faults: netsim.LinkFaults{LatencyBase: 0.01},
+	}
+}
+
+// TestClusterHealthyExact pins the no-fault behavior: with MinLevel's
+// raw ring covering the probed age and every shard answering, every
+// gather is exact — zero bound, zero error, no stand-ins.
+func TestClusterHealthyExact(t *testing.T) {
+	res, err := RunCluster(healthyClusterConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations in a healthy run:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if len(res.Probes) == 0 {
+		t.Fatal("no probes ran")
+	}
+	for _, p := range res.Probes {
+		if p.Err != "" {
+			t.Fatalf("t=%v: probe error %q in a healthy run", p.T, p.Err)
+		}
+		if !p.Quorum || p.Answered != 3 {
+			t.Fatalf("t=%v: answered=%d quorum=%v, want all 3 shards", p.T, p.Answered, p.Quorum)
+		}
+		if len(p.Missing) != 0 || len(p.Advanced) != 0 {
+			t.Fatalf("t=%v: missing=%v advanced=%v in a healthy run", p.T, p.Missing, p.Advanced)
+		}
+		if p.Bound != 0 {
+			t.Fatalf("t=%v: bound=%v, want 0 (aligned merges of fresh ages are exact)", p.T, p.Bound)
+		}
+		if diff := p.Value - p.Exact; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("t=%v: value %v != exact %v", p.T, p.Value, p.Exact)
+		}
+	}
+	// Every stream must be placed on a real shard.
+	if len(res.Placement) != 6 {
+		t.Fatalf("placement has %d streams, want 6", len(res.Placement))
+	}
+}
+
+// partitionedShard finds a shard that owns at least one stream under
+// the given seed, so partitioning it is guaranteed to degrade answers.
+func partitionedShard(t *testing.T, seed int64) (netsim.NodeID, int) {
+	t.Helper()
+	res, err := RunCluster(ClusterConfig{Seed: seed, DataCount: 1, ProbeStart: 1, SettleTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make(map[string]int)
+	for _, shard := range res.Placement {
+		owned[shard]++
+	}
+	for id := netsim.NodeID(1); id <= 3; id++ {
+		if n := owned[shardName(id)]; n > 0 {
+			return id, n
+		}
+	}
+	t.Fatal("no shard owns a stream")
+	return 0, 0
+}
+
+// TestClusterPartitionWidensBounds is the acceptance scenario: one
+// shard is partitioned from the client mid-run. Gathers keep answering
+// from the surviving majority, the partitioned shard's streams enter
+// the fold as widened stand-ins (Missing non-empty, Bound > 0), and no
+// answer's bound ever fails to cover the exact cluster-wide truth —
+// the invariant check inside RunCluster records any lie as a
+// Violation.
+func TestClusterPartitionWidensBounds(t *testing.T) {
+	const seed = 7
+	victim, owned := partitionedShard(t, seed)
+	cfg := healthyClusterConfig(seed)
+	cfg.Script = Script{
+		PartitionAt(40, 0, victim),
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("bounds lied or accounting broke:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	var degraded, exactBefore int
+	for _, p := range res.Probes {
+		if p.Err != "" {
+			t.Fatalf("t=%v: probe error %q; quorum (2 of 3) should hold throughout", p.T, p.Err)
+		}
+		if p.T < 40 {
+			if len(p.Missing) != 0 || p.Bound != 0 {
+				t.Fatalf("t=%v: degraded before the partition (missing=%v bound=%v)", p.T, p.Missing, p.Bound)
+			}
+			exactBefore++
+			continue
+		}
+		if p.T < 42 {
+			continue // summary requests in flight at the cut may straddle it
+		}
+		if p.Answered != 2 {
+			t.Fatalf("t=%v: answered=%d, want exactly the 2 reachable shards", p.T, p.Answered)
+		}
+		if len(p.Missing) != owned {
+			t.Fatalf("t=%v: missing=%v, want the victim's %d streams", p.T, p.Missing, owned)
+		}
+		if p.Bound <= 0 {
+			t.Fatalf("t=%v: bound=%v; stand-ins must widen the answer", p.T, p.Bound)
+		}
+		degraded++
+	}
+	if exactBefore == 0 || degraded == 0 {
+		t.Fatalf("want probes on both sides of the cut, got %d before / %d after", exactBefore, degraded)
+	}
+}
+
+// TestClusterBelowQuorumWithholds partitions two of three shards: the
+// lone survivor is below the majority quorum, so gathers report an
+// error instead of fabricating an answer from one shard plus
+// stand-ins.
+func TestClusterBelowQuorumWithholds(t *testing.T) {
+	cfg := healthyClusterConfig(7)
+	cfg.Script = Script{
+		PartitionAt(40, 0, 1),
+		PartitionAt(40, 0, 2),
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	var withheld bool
+	for _, p := range res.Probes {
+		if p.T < 42 {
+			continue
+		}
+		if p.Err == "" {
+			t.Fatalf("t=%v: answered below quorum (answered=%d)", p.T, p.Answered)
+		}
+		if !strings.Contains(p.Err, "below quorum") {
+			t.Fatalf("t=%v: err=%q, want a below-quorum refusal", p.T, p.Err)
+		}
+		withheld = true
+	}
+	if !withheld {
+		t.Fatal("no post-partition probes ran")
+	}
+}
+
+// TestClusterCrashAdvancesLaggingShard crashes a shard mid-run and
+// restarts it. The restarted shard answers gathers again but its trees
+// restarted from zero, so its summaries verifiably lag the client's
+// shipped counts; the fold fast-forwards them (Advanced non-empty)
+// with widened, still-covering bounds rather than silently
+// under-counting.
+func TestClusterCrashAdvancesLaggingShard(t *testing.T) {
+	const seed = 7
+	victim, owned := partitionedShard(t, seed)
+	cfg := healthyClusterConfig(seed)
+	cfg.Script = Script{
+		CrashAt(40, victim),
+		RestartAt(44, victim),
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("bounds lied:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	var advanced bool
+	for _, p := range res.Probes {
+		if p.T < 45 || p.Err != "" {
+			continue
+		}
+		if p.Answered == 3 && len(p.Advanced) == owned {
+			if p.Bound <= 0 {
+				t.Fatalf("t=%v: advanced a lagging shard with bound=%v, want > 0", p.T, p.Bound)
+			}
+			advanced = true
+		}
+	}
+	if !advanced {
+		t.Fatal("no probe saw the restarted shard answer with a lagging, fast-forwarded summary")
+	}
+}
+
+// TestClusterDeterminism replays the partition scenario twice and
+// demands byte-identical logs, counters, and probe records.
+func TestClusterDeterminism(t *testing.T) {
+	cfg := healthyClusterConfig(11)
+	cfg.Faults.LatencyJitter = 0.02
+	cfg.Script = Script{
+		PartitionAt(40, 0, 1),
+		HealLinkAt(60, 0, 1),
+		CrashAt(70, 2),
+		RestartAt(74, 2),
+	}
+	run := func() (string, string, string) {
+		res, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Log, res.Counters, res.ProbesText()
+	}
+	log1, cnt1, probes1 := run()
+	log2, cnt2, probes2 := run()
+	if log1 != log2 {
+		t.Error("message logs differ across identical runs")
+	}
+	if cnt1 != cnt2 {
+		t.Errorf("counters differ:\n%s\nvs\n%s", cnt1, cnt2)
+	}
+	if probes1 != probes2 {
+		t.Errorf("probe records differ:\n%s\nvs\n%s", probes1, probes2)
+	}
+}
+
+// TestClusterHealRecovers partitions a shard and heals the link: after
+// data resumes flowing, the shard's summaries lag (values were lost at
+// the cut), so gathers advance them — and once again answer with all
+// shards, never lying.
+func TestClusterHealRecovers(t *testing.T) {
+	const seed = 7
+	victim, _ := partitionedShard(t, seed)
+	cfg := healthyClusterConfig(seed)
+	cfg.Script = Script{
+		PartitionAt(30, 0, victim),
+		HealLinkAt(50, 0, victim),
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("bounds lied:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	var recovered bool
+	for _, p := range res.Probes {
+		if p.T > 52 && p.Err == "" && p.Answered == 3 && len(p.Missing) == 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no full-fleet probe after the heal")
+	}
+}

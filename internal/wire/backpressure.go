@@ -9,7 +9,11 @@ package wire
 // counters so clients can adapt instead of discovering overload by
 // timeout.
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/streamsum/swat/internal/multi"
+)
 
 // IngestPolicy selects what a full ingest queue does with the next
 // batch.
@@ -39,6 +43,10 @@ func (p IngestPolicy) String() string {
 // queue's free list, so the steady state allocates nothing.
 type ingestBatch struct {
 	vals []float64
+	// ref routes a stream-addressed batch (named set) to its stream;
+	// unnamed batches go to the server's shared tree.
+	ref   multi.StreamRef
+	named bool
 }
 
 // ingestQueue is the bounded hand-off plus its accounting.
@@ -77,6 +85,8 @@ func (q *ingestQueue) get() *ingestBatch {
 //swat:noalloc
 func (q *ingestQueue) put(b *ingestBatch) {
 	b.vals = b.vals[:0]
+	b.ref = multi.StreamRef{}
+	b.named = false
 	select {
 	case q.free <- b:
 	default:

@@ -36,6 +36,10 @@ package wire
 //	error     s→c  utf8 message
 //	sumReq    c→s  (empty)
 //	sumRes    s→c  one summary codec frame (core.AppendSummary encoding)
+//	sdata     c→s  u16 nameLen | name | u32 count | count×f64
+//	squery    c→s  u16 nameLen | name | u32 age
+//	sanswer   s→c  f64 value | f64 bound | u64 arrivals
+//	ssum      c→s  u16 nameLen | name   (reply: sumRes for that stream)
 //
 // Data frames are one-way: the client streams them without per-frame
 // acknowledgements (the 10× win over v1's request/response data plane)
@@ -81,6 +85,17 @@ const (
 	// parses it.
 	bfSumReq = 0x0B
 	bfSumRes = 0x0C
+	// Stream-addressed frames (the cluster data plane, see streams.go):
+	// where data/query/sumReq implicitly target the server's single
+	// shared tree, these carry a stream name and target one stream of
+	// the server's multi.Monitor (Server.UseMonitor). sdata is one-way
+	// like data but carries no sequence index — many streams interleave
+	// on one connection, so per-connection contiguity is meaningless;
+	// per-stream delivery accounting lives in the cluster client.
+	bfSData   = 0x0D
+	bfSQuery  = 0x0E
+	bfSAnswer = 0x0F
+	bfSSum    = 0x10
 )
 
 const (

@@ -36,6 +36,16 @@ type BinClient struct {
 	queueCap int
 }
 
+// RemoteError is an error frame the server sent in reply: the
+// connection is healthy and the frame was understood but refused (cold
+// tree, unknown stream, oversize summary). Retry layers (BinPool.Do,
+// the cluster client) treat it as non-retriable — redialing cannot
+// change the server's answer — unlike transport errors, which poison
+// the connection.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "wire: server: " + e.Msg }
+
 // DialBinary connects to a server and negotiates protocol v2. Servers
 // predating v2 close the connection on the magic, which surfaces here
 // as a handshake error rather than silent misbehavior.
@@ -68,7 +78,7 @@ func DialBinary(addr string) (*BinClient, error) {
 	}
 	defer conn.Close()
 	if len(body) > 1 && body[0] == bfError {
-		return nil, fmt.Errorf("wire: server: %s", body[1:])
+		return nil, &RemoteError{Msg: string(body[1:])}
 	}
 	return nil, errors.New("wire: malformed v2 hello ack")
 }
@@ -120,6 +130,75 @@ func (c *BinClient) FeedBatch(vs []float64) error {
 // Sent returns how many values this connection has streamed.
 func (c *BinClient) Sent() uint64 { return c.next }
 
+// SetDeadline bounds every pending and future I/O on the connection
+// (both directions). Scatter-gather readers use it as the per-node
+// query budget; a deadline hit surfaces as a transport error, so pool
+// retry logic discards the connection.
+func (c *BinClient) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// FeedStream streams a batch of values for the named stream, one-way
+// like FeedBatch but stream-addressed: the server routes it to that
+// stream of its monitor (registering unknown names on first use).
+// There is no per-connection sequence — batches for many streams
+// interleave — so delivery accounting is per stream at the sender, and
+// Ping bounds delivery of everything written before it. Oversize
+// batches are split.
+//
+//swat:noalloc
+func (c *BinClient) FeedStream(name string, vs []float64) error {
+	if len(name) == 0 || len(name) > maxStreamName {
+		return errStreamName
+	}
+	limit := streamBatchLimit(name)
+	for len(vs) > limit {
+		if err := c.FeedStream(name, vs[:limit]); err != nil {
+			return err
+		}
+		vs = vs[limit:]
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	c.wbuf = appendStreamDataFrame(c.wbuf[:0], name, vs)
+	_, err := c.bw.Write(c.wbuf)
+	return err
+}
+
+// StreamPoint runs a bounded point query against the named stream: the
+// value at the given age, a guaranteed error bound (non-zero after
+// merges or shed ingest), and the stream tree's arrival count.
+func (c *BinClient) StreamPoint(name string, age int) (val, bound float64, arrivals int64, err error) {
+	if len(name) == 0 || len(name) > maxStreamName {
+		return 0, 0, 0, errStreamName
+	}
+	c.wbuf = appendStreamQueryFrame(c.wbuf[:0], name, age)
+	body, err := c.roundTripBin()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if body[0] != bfSAnswer {
+		return 0, 0, 0, errFrameType
+	}
+	return decodeStreamAnswerFrame(body[1:])
+}
+
+// FetchStreamSummary fetches the named stream's mergeable summary,
+// detached from the client's buffers (see FetchSummary).
+func (c *BinClient) FetchStreamSummary(name string) (*core.Summary, error) {
+	if len(name) == 0 || len(name) > maxStreamName {
+		return nil, errStreamName
+	}
+	c.wbuf = appendStreamSumFrame(c.wbuf[:0], name)
+	body, err := c.roundTripBin()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 || body[0] != bfSumRes {
+		return nil, errFrameType
+	}
+	return core.DecodeSummary(body[1:])
+}
+
 // roundTripBin writes wbuf (flushing any buffered data frames ahead of
 // it) and reads one response frame, surfacing server error frames as
 // errors.
@@ -141,7 +220,7 @@ func (c *BinClient) roundTripBin() ([]byte, error) {
 		return nil, errFrameTruncated
 	}
 	if body[0] == bfError {
-		return nil, fmt.Errorf("wire: server: %s", body[1:])
+		return nil, &RemoteError{Msg: string(body[1:])}
 	}
 	return body, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"github.com/streamsum/swat/internal/core"
 	"github.com/streamsum/swat/internal/durable"
+	"github.com/streamsum/swat/internal/multi"
 )
 
 // Server owns a SWAT tree and serves it over TCP, speaking both wire
@@ -27,6 +28,15 @@ type Server struct {
 	// store, when set via UseStore, write-ahead logs every arrival
 	// before it reaches the tree.
 	store *durable.Store
+
+	// monitor, when set via UseMonitor, serves the stream-addressed v2
+	// frames (the cluster data plane, see server_streams.go);
+	// streamRefs caches name→handle resolutions. Both are guarded by
+	// streamMu — the monitor locks internally, so named ingest never
+	// takes s.mu.
+	streamMu   sync.Mutex
+	monitor    *multi.Monitor
+	streamRefs map[string]streamHandle
 
 	lnMu  sync.Mutex
 	ln    net.Listener
@@ -155,6 +165,17 @@ func (s *Server) startIngestLocked() {
 func (s *Server) ingestLoop() {
 	defer close(s.ingestDone)
 	for b := range s.ingest.ch {
+		if b.named {
+			// Stream-addressed batch: the monitor shards and locks
+			// internally, so the server lock (and the shared tree's
+			// standing queries) are not involved.
+			if err := b.ref.ObserveBatch(b.vals); err != nil {
+				s.ingest.errs.Add(1)
+				s.Logf("wire: ingest: %v", err)
+			}
+			s.ingest.put(b)
+			continue
+		}
 		s.mu.Lock()
 		err := s.ingestBatch(b.vals)
 		if err == nil && s.hasSubscribers() {

@@ -28,6 +28,13 @@ type binConn struct {
 	// latches after the first data frame fixes the origin.
 	expect  uint64
 	started bool
+
+	// One-slot stream-resolution cache (see server_streams.go):
+	// consecutive stream frames usually target the same stream, so the
+	// server-wide map plus its lock is off the steady-state path.
+	sname   []byte
+	shandle streamHandle
+	scached bool
 }
 
 // handleBinary serves one v2 connection after its magic has been
@@ -107,6 +114,12 @@ func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
 		bc.wbuf = codec.Finish(bc.wbuf, 0)
 		_, err := bc.conn.Write(bc.wbuf)
 		return err
+	case bfSData:
+		return s.handleStreamData(bc, body[1:])
+	case bfSQuery:
+		return s.handleStreamQuery(bc, body[1:])
+	case bfSSum:
+		return s.handleStreamSummary(bc, body[1:])
 	case bfPing:
 		if len(body) != 9 {
 			return errFrameTruncated

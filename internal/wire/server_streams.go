@@ -1,0 +1,179 @@
+package wire
+
+// Server-side support for the stream-addressed cluster data plane: a
+// multi.Monitor behind the v2 socket. Stream frames resolve their name
+// to a pre-resolved multi.StreamRef (cached per server, with a one-slot
+// per-connection cache in front since consecutive frames usually target
+// the same stream), then ride the same bounded ingest queue as the
+// single-tree data plane — one backpressure policy covers both.
+
+import (
+	"bytes"
+	"errors"
+
+	"github.com/streamsum/swat/internal/codec"
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/multi"
+)
+
+// streamHandle is one resolved stream: the 0-alloc ingest ref plus the
+// tree for queries and summary export.
+type streamHandle struct {
+	ref  multi.StreamRef
+	tree *core.Tree
+}
+
+// UseMonitor attaches a stream monitor, enabling the stream-addressed
+// v2 frames (sdata/squery/ssum). Unknown streams named by sdata frames
+// are registered on first use, so a cluster client never pre-declares
+// placement; queries against unknown streams are soft errors. Install
+// before data flows; the caller keeps ownership and closes the monitor
+// after the server shuts down.
+func (s *Server) UseMonitor(m *multi.Monitor) error {
+	if m == nil {
+		return errors.New("wire: nil monitor")
+	}
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	s.monitor = m
+	s.streamRefs = make(map[string]streamHandle)
+	return nil
+}
+
+// Monitor returns the attached stream monitor, or nil.
+func (s *Server) Monitor() *multi.Monitor {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	return s.monitor
+}
+
+// streamHandleFor resolves a stream name, registering it when autoAdd
+// is set (the ingest path). This is the slow path behind each
+// connection's one-slot cache: steady-state traffic (consecutive
+// frames for the same stream) never reaches it, so it may allocate.
+func (s *Server) streamHandleFor(name []byte, autoAdd bool) (streamHandle, error) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if h, ok := s.streamRefs[string(name)]; ok {
+		return h, nil
+	}
+	if s.monitor == nil {
+		return streamHandle{}, errNoMonitor
+	}
+	n := string(name)
+	ref, err := s.monitor.Ref(n)
+	if err != nil {
+		if !autoAdd {
+			return streamHandle{}, err
+		}
+		if err := s.monitor.Add(n); err != nil {
+			return streamHandle{}, err
+		}
+		if ref, err = s.monitor.Ref(n); err != nil {
+			return streamHandle{}, err
+		}
+	}
+	tree, err := s.monitor.Tree(n)
+	if err != nil {
+		return streamHandle{}, err
+	}
+	h := streamHandle{ref: ref, tree: tree}
+	s.streamRefs[n] = h
+	return h, nil
+}
+
+// resolveStream resolves through the connection's one-slot cache.
+//
+//swat:noalloc
+func (bc *binConn) resolveStream(s *Server, name []byte, autoAdd bool) (streamHandle, error) {
+	if bc.scached && bytes.Equal(bc.sname, name) {
+		return bc.shandle, nil
+	}
+	h, err := s.streamHandleFor(name, autoAdd)
+	if err != nil {
+		return streamHandle{}, err
+	}
+	bc.sname = append(bc.sname[:0], name...)
+	bc.shandle = h
+	bc.scached = true
+	return h, nil
+}
+
+// handleStreamData decodes one sdata frame into a recycled batch and
+// hands it to the shared ingest queue tagged with its stream ref. Like
+// the single-tree data path it is one-way; unlike it there is no
+// sequence check — streams interleave on a connection, so ordering is
+// per stream (guaranteed by connection FIFO plus the single ingest
+// worker), not per connection.
+//
+//swat:noalloc
+func (s *Server) handleStreamData(bc *binConn, payload []byte) error {
+	b := s.ingest.get()
+	name, vals, err := decodeStreamDataFrame(payload, b.vals[:0])
+	if err != nil {
+		s.ingest.put(b)
+		return err
+	}
+	b.vals = vals
+	h, err := bc.resolveStream(s, name, true)
+	if err != nil {
+		s.ingest.put(b)
+		return err
+	}
+	b.ref = h.ref
+	b.named = true
+	s.ingest.offer(b, s.Policy)
+	return nil
+}
+
+// handleStreamQuery answers one bounded point query against the named
+// stream. Evaluation failures (unknown stream, cold tree, bad age) are
+// soft: an error frame, and the connection lives on.
+//
+//swat:noalloc
+func (s *Server) handleStreamQuery(bc *binConn, payload []byte) error {
+	name, age, err := decodeStreamQueryFrame(payload)
+	if err != nil {
+		return err
+	}
+	h, err := bc.resolveStream(s, name, false)
+	if err != nil {
+		s.binError(bc, err)
+		return nil
+	}
+	val, bound, err := h.tree.BoundedPoint(age)
+	if err != nil {
+		s.binError(bc, err)
+		return nil
+	}
+	bc.wbuf = appendStreamAnswerFrame(bc.wbuf[:0], val, bound, h.tree.Arrivals())
+	_, werr := bc.conn.Write(bc.wbuf)
+	return werr
+}
+
+// handleStreamSummary replies to an ssum frame with the named stream's
+// canonical summary in an ordinary sumRes frame.
+func (s *Server) handleStreamSummary(bc *binConn, payload []byte) error {
+	name, rest, err := splitStreamName(payload)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errFrameLength
+	}
+	h, err := bc.resolveStream(s, name, false)
+	if err != nil {
+		s.binError(bc, err)
+		return nil
+	}
+	bc.wbuf = codec.Begin(bc.wbuf[:0])
+	bc.wbuf = append(bc.wbuf, bfSumRes)
+	bc.wbuf = h.tree.AppendSummary(bc.wbuf)
+	if len(bc.wbuf)-codec.HeaderLen > MaxFrame {
+		s.binError(bc, errSummaryLarge)
+		return nil
+	}
+	bc.wbuf = codec.Finish(bc.wbuf, 0)
+	_, werr := bc.conn.Write(bc.wbuf)
+	return werr
+}

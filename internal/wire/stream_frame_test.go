@@ -1,0 +1,342 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamsum/swat/internal/codec"
+	"github.com/streamsum/swat/internal/core"
+	"github.com/streamsum/swat/internal/multi"
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// TestStreamFrameRoundTrips pins the stream-addressed frame codecs:
+// encode → frame-split → decode reproduces names and payloads exactly.
+func TestStreamFrameRoundTrips(t *testing.T) {
+	vals := []float64{1.5, -2.25, 0, 3e9}
+	frame := appendStreamDataFrame(nil, "cpu.load", vals)
+	body := frame[codec.HeaderLen:]
+	if body[0] != bfSData {
+		t.Fatalf("data frame type = %#x, want bfSData", body[0])
+	}
+	name, got, err := decodeStreamDataFrame(body[1:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(name) != "cpu.load" {
+		t.Errorf("name = %q", name)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d = %v, want %v", i, got[i], vals[i])
+		}
+	}
+
+	q := appendStreamQueryFrame(nil, "cpu.load", 7)
+	qname, age, err := decodeStreamQueryFrame(q[codec.HeaderLen+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(qname) != "cpu.load" || age != 7 {
+		t.Errorf("query decoded as (%q, %d)", qname, age)
+	}
+
+	a := appendStreamAnswerFrame(nil, 3.5, 0.25, 42)
+	av, ab, aa, err := decodeStreamAnswerFrame(a[codec.HeaderLen+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av != 3.5 || ab != 0.25 || aa != 42 {
+		t.Errorf("answer decoded as (%v, %v, %d)", av, ab, aa)
+	}
+}
+
+func TestStreamFrameDecodeErrors(t *testing.T) {
+	if _, _, err := decodeStreamDataFrame([]byte{0xFF}, nil); err == nil {
+		t.Error("truncated name length accepted")
+	}
+	if _, _, err := decodeStreamDataFrame([]byte{0, 4, 'a'}, nil); err == nil {
+		t.Error("name longer than payload accepted")
+	}
+	// A 12-byte tail is not a whole float64.
+	bad := appendStreamDataFrame(nil, "s", []float64{1})[codec.HeaderLen+1:]
+	if _, _, err := decodeStreamDataFrame(bad[:len(bad)-4], nil); err == nil {
+		t.Error("ragged value payload accepted")
+	}
+	if _, _, err := decodeStreamQueryFrame([]byte{0, 1, 's'}); err == nil {
+		t.Error("query without an age accepted")
+	}
+	if _, _, _, err := decodeStreamAnswerFrame(make([]byte, 23)); err == nil {
+		t.Error("short answer accepted")
+	}
+}
+
+// startStreamServer starts a v2 server backed by a multi-stream
+// monitor.
+func startStreamServer(t *testing.T, opts multi.Options) (string, *multi.Monitor, func()) {
+	t.Helper()
+	mon, err := multi.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, down := startServerWithMonitor(t, opts, mon)
+	return addr, mon, func() {
+		down()
+		if err := mon.Close(); err != nil {
+			t.Errorf("monitor close: %v", err)
+		}
+	}
+}
+
+func startServerWithMonitor(t *testing.T, opts multi.Options, mon *multi.Monitor) (string, *Server, func()) {
+	t.Helper()
+	srv, err := NewServer(core.Options{WindowSize: opts.WindowSize, Coefficients: opts.Coefficients, MinLevel: opts.MinLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	if err := srv.UseMonitor(mon); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	return addr.String(), srv, func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// waitStreamArrivals polls the monitor until a stream's tree has
+// applied want arrivals (the stream data plane is one-way).
+func waitStreamArrivals(t *testing.T, mon *multi.Monitor, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tr, err := mon.Tree(name)
+		if err == nil && tr.Arrivals() >= want {
+			if got := tr.Arrivals(); got > want {
+				t.Fatalf("stream %q at %d arrivals, want %d", name, got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream %q never reached %d arrivals (err=%v)", name, want, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamIngestAndQuery drives the stream-addressed plane end to
+// end: interleaved FeedStream batches for two streams auto-register
+// them on the server, per-stream point queries answer from the right
+// tree, and fetched per-stream summaries reproduce the server trees.
+func TestStreamIngestAndQuery(t *testing.T) {
+	addr, mon, shutdown := startStreamServer(t, multi.Options{WindowSize: 32, Coefficients: 4, MinLevel: 2})
+	defer shutdown()
+	c, err := DialBinary(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const count = 64
+	feeds := map[string][]float64{"alpha": nil, "beta": nil}
+	srcA := stream.UniformRange(5, 0, 1)
+	srcB := stream.UniformRange(6, 100, 200)
+	for i := 0; i < count; i += 8 {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for j := range a {
+			a[j] = srcA.Next()
+			b[j] = srcB.Next()
+		}
+		feeds["alpha"] = append(feeds["alpha"], a...)
+		feeds["beta"] = append(feeds["beta"], b...)
+		if err := c.FeedStream("alpha", a); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.FeedStream("beta", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream data frames are write-buffered; a round trip flushes them
+	// (the cluster client's Sync does the same).
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	waitStreamArrivals(t, mon, "alpha", count)
+	waitStreamArrivals(t, mon, "beta", count)
+
+	for name := range feeds {
+		v, bound, arrivals, err := c.StreamPoint(name, 0)
+		if err != nil {
+			t.Fatalf("point %q: %v", name, err)
+		}
+		if arrivals != count {
+			t.Errorf("stream %q arrivals = %d, want %d", name, arrivals, count)
+		}
+		if bound != 0 {
+			t.Errorf("stream %q bound = %v, want 0 (untainted tree)", name, bound)
+		}
+		// The remote answer must mirror the server tree's own. The two
+		// streams' trees hold different data, so matching each proves
+		// queries route to the right tree.
+		serverTree, err := mon.Tree(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv0, sb0, err := serverTree.BoundedPoint(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != sv0 || bound != sb0 {
+			t.Errorf("stream %q remote point(0) = (%v, %v), server tree says (%v, %v)", name, v, bound, sv0, sb0)
+		}
+
+		sum, err := c.FetchStreamSummary(name)
+		if err != nil {
+			t.Fatalf("summary %q: %v", name, err)
+		}
+		tr, err := mon.Tree(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Arrivals != count {
+			t.Errorf("stream %q summary at %d arrivals, want %d", name, sum.Arrivals, count)
+		}
+		restored, err := core.FromSummary(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := restored.PointQuery(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := tr.PointQuery(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv != sv {
+			t.Errorf("stream %q restored summary answers %v, server tree %v", name, rv, sv)
+		}
+	}
+}
+
+// TestStreamQueryErrors pins the soft-error paths: querying an
+// unregistered stream or a server without a monitor returns a
+// RemoteError on that request while the connection keeps serving.
+func TestStreamQueryErrors(t *testing.T) {
+	addr, _, shutdown := startStreamServer(t, multi.Options{WindowSize: 16})
+	defer shutdown()
+	c, err := DialBinary(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, _, _, err = c.StreamPoint("ghost", 0)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown-stream point error = %v, want RemoteError", err)
+	}
+	if _, err := c.FetchStreamSummary("ghost"); !errors.As(err, &re) {
+		t.Fatalf("unknown-stream summary error = %v, want RemoteError", err)
+	}
+	// The connection survived the refusals.
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("ping after soft errors: %v", err)
+	}
+
+	// A plain server (no monitor) refuses stream frames softly too.
+	plainAddr, _, plainDown := startServer(t, core.Options{WindowSize: 16})
+	defer plainDown()
+	pc, err := DialBinary(plainAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	_, _, _, nmErr := pc.StreamPoint("any", 0)
+	if !errors.As(nmErr, &re) {
+		t.Fatalf("no-monitor point error = %v, want RemoteError", nmErr)
+	}
+	if !strings.Contains(nmErr.Error(), "stream") {
+		t.Errorf("no-monitor error %q does not mention streams", nmErr)
+	}
+}
+
+// TestFeedStreamNameLimit rejects unframeable names client-side.
+func TestFeedStreamNameLimit(t *testing.T) {
+	addr, _, shutdown := startStreamServer(t, multi.Options{WindowSize: 16})
+	defer shutdown()
+	c, err := DialBinary(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	long := strings.Repeat("x", maxStreamName+1)
+	if err := c.FeedStream(long, []float64{1}); err == nil {
+		t.Error("oversized stream name accepted")
+	}
+	if err := c.FeedStream("", []float64{1}); err == nil {
+		t.Error("empty stream name accepted")
+	}
+}
+
+// TestFeedStreamSplitsBigBatches feeds one batch larger than a frame
+// can carry: the client must split transparently and every value must
+// arrive, in order.
+func TestFeedStreamSplitsBigBatches(t *testing.T) {
+	addr, mon, shutdown := startStreamServer(t, multi.Options{WindowSize: 16, MinLevel: 2})
+	defer shutdown()
+	c, err := DialBinary(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	limit := streamBatchLimit("big")
+	vals := make([]float64, limit+1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := c.FeedStream("big", vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	waitStreamArrivals(t, mon, "big", int64(len(vals)))
+	// Bit-identity of the canonical summary with a local twin fed the
+	// same values proves every value arrived, exactly once, in order.
+	sum, err := c.FetchStreamSummary("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := core.New(core.Options{WindowSize: 16, MinLevel: 2, Coefficients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		twin.Update(v)
+	}
+	restored, err := core.FromSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(restored.AppendSummary(nil)) != string(twin.AppendSummary(nil)) {
+		t.Error("summary after split differs from a twin fed the same values (order or completeness lost)")
+	}
+}

@@ -1,0 +1,183 @@
+package wire
+
+// Stream-addressed v2 frame codecs: the encoding layer of the cluster
+// data plane. A swatd fronting a multi.Monitor owns many independent
+// streams; these frames name the stream they target, so one connection
+// can interleave traffic for any number of streams a consistent-hash
+// ring placed on this node (see internal/cluster). Layout mirrors the
+// single-tree frames with a length-prefixed UTF-8 name first.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"github.com/streamsum/swat/internal/codec"
+)
+
+// maxStreamName bounds stream names on the wire. Long names would eat
+// into the per-frame value budget and make the server's name→ref cache
+// an amplification vector.
+const maxStreamName = 256
+
+var (
+	errStreamName = errors.New("wire: stream name empty or over the length limit")
+	errNoMonitor  = errors.New("wire: server has no stream monitor (stream frames need Server.UseMonitor)")
+)
+
+// streamBatchLimit is the largest number of float64s one sdata frame
+// can carry for a name of the given length under MaxFrame.
+//
+//swat:noalloc
+func streamBatchLimit(name string) int {
+	return (MaxFrame - 1 - 2 - len(name) - 4) / 8
+}
+
+// appendStreamName appends the u16 length-prefixed name.
+//
+//swat:noalloc
+func appendStreamName(dst []byte, name string) []byte {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], uint16(len(name)))
+	dst = append(dst, b[:]...)
+	return append(dst, name...)
+}
+
+// splitStreamName parses a u16 length-prefixed name off the front of
+// payload. The returned name aliases payload — copy before retaining.
+//
+//swat:noalloc
+func splitStreamName(payload []byte) (name, rest []byte, err error) {
+	if len(payload) < 2 {
+		return nil, nil, errFrameTruncated
+	}
+	n := int(binary.BigEndian.Uint16(payload))
+	if n == 0 || n > maxStreamName {
+		return nil, nil, errStreamName
+	}
+	if len(payload)-2 < n {
+		return nil, nil, errFrameTruncated
+	}
+	return payload[2 : 2+n], payload[2+n:], nil
+}
+
+// appendStreamDataFrame appends one sdata frame carrying vs for the
+// named stream. Unlike appendDataFrame there is no running index: the
+// frame is one-way and unordered across streams; senders that need
+// delivery accounting track per-stream sent counts and bound delivery
+// with Ping (FIFO per connection still holds).
+//
+//swat:noalloc
+func appendStreamDataFrame(dst []byte, name string, vs []float64) []byte {
+	start := len(dst)
+	dst = codec.Begin(dst)
+	dst = append(dst, bfSData)
+	dst = appendStreamName(dst, name)
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:4], uint32(len(vs)))
+	dst = append(dst, b[:4]...)
+	for _, v := range vs {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:8]...)
+	}
+	return codec.Finish(dst, start)
+}
+
+// decodeStreamDataFrame parses an sdata frame payload (after the type
+// byte) into dst, reusing its capacity. The returned name aliases
+// payload.
+//
+//swat:noalloc
+func decodeStreamDataFrame(payload []byte, dst []float64) (name []byte, vals []float64, err error) {
+	name, rest, err := splitStreamName(payload)
+	if err != nil {
+		return nil, dst, err
+	}
+	if len(rest) < 4 {
+		return nil, dst, errFrameTruncated
+	}
+	count := int(binary.BigEndian.Uint32(rest))
+	if count == 0 || 4+8*count != len(rest) {
+		return nil, dst, errFrameLength
+	}
+	if cap(dst) < count {
+		dst = make([]float64, count)
+	}
+	vals = dst[:count]
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[4+8*i:]))
+	}
+	return name, vals, nil
+}
+
+// appendStreamQueryFrame appends one squery frame: a bounded point
+// query at the given age against the named stream.
+//
+//swat:noalloc
+func appendStreamQueryFrame(dst []byte, name string, age int) []byte {
+	start := len(dst)
+	dst = codec.Begin(dst)
+	dst = append(dst, bfSQuery)
+	dst = appendStreamName(dst, name)
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(age))
+	dst = append(dst, b[:]...)
+	return codec.Finish(dst, start)
+}
+
+// decodeStreamQueryFrame parses an squery frame payload. The returned
+// name aliases payload.
+//
+//swat:noalloc
+func decodeStreamQueryFrame(payload []byte) (name []byte, age int, err error) {
+	name, rest, err := splitStreamName(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) != 4 {
+		return nil, 0, errFrameLength
+	}
+	return name, int(int32(binary.BigEndian.Uint32(rest))), nil
+}
+
+// appendStreamAnswerFrame appends one sanswer frame: the bounded point
+// answer plus the stream tree's arrival count, which scatter-gather
+// clients use to reason about how far a degraded node lags.
+//
+//swat:noalloc
+func appendStreamAnswerFrame(dst []byte, val, bound float64, arrivals int64) []byte {
+	start := len(dst)
+	dst = codec.Begin(dst)
+	var b [25]byte
+	b[0] = bfSAnswer
+	binary.BigEndian.PutUint64(b[1:], math.Float64bits(val))
+	binary.BigEndian.PutUint64(b[9:], math.Float64bits(bound))
+	binary.BigEndian.PutUint64(b[17:], uint64(arrivals))
+	dst = append(dst, b[:]...)
+	return codec.Finish(dst, start)
+}
+
+// decodeStreamAnswerFrame parses an sanswer frame payload.
+//
+//swat:noalloc
+func decodeStreamAnswerFrame(payload []byte) (val, bound float64, arrivals int64, err error) {
+	if len(payload) != 24 {
+		return 0, 0, 0, errFrameLength
+	}
+	val = math.Float64frombits(binary.BigEndian.Uint64(payload))
+	bound = math.Float64frombits(binary.BigEndian.Uint64(payload[8:]))
+	arrivals = int64(binary.BigEndian.Uint64(payload[16:]))
+	return val, bound, arrivals, nil
+}
+
+// appendStreamSumFrame appends one ssum frame requesting the named
+// stream's summary; the server replies with an ordinary sumRes frame.
+//
+//swat:noalloc
+func appendStreamSumFrame(dst []byte, name string) []byte {
+	start := len(dst)
+	dst = codec.Begin(dst)
+	dst = append(dst, bfSSum)
+	dst = appendStreamName(dst, name)
+	return codec.Finish(dst, start)
+}
