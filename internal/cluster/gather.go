@@ -158,19 +158,15 @@ func (c *Client) PointAll(age int) ([]PointAnswer, error) {
 }
 
 // pointNode answers one owner's slice of a PointAll, reporting whether
-// the node was reachable. Per-stream refusals (cold tree) keep the
-// node reachable; a transport failure degrades the remaining streams.
+// the node answered. Per-stream remote refusals (cold tree) keep the
+// node answered on both the v1 and v2 paths; a transport failure
+// degrades the remaining streams and counts the node as unanswered.
 func (c *Client) pointNode(n *node, streams []string, idxs []int, age int, out []PointAnswer) bool {
 	if n.v1 {
 		for _, i := range idxs {
 			out[i] = c.pointV1(n, streams[i], age)
 		}
-		for _, i := range idxs {
-			if out[i].Degraded || out[i].Err != nil {
-				return false
-			}
-		}
-		return true
+		return answeredAll(out, idxs)
 	}
 	err := n.pool.Do(func(bc *wire.BinClient) error {
 		bc.SetDeadline(deadline(c.timeout()))
@@ -184,13 +180,15 @@ func (c *Client) pointNode(n *node, streams []string, idxs []int, age int, out [
 					continue
 				}
 				// Transport failure mid-gather: degrade this stream and
-				// the rest; Do retries only if nothing was answered yet,
-				// otherwise answers would duplicate.
+				// the rest. Do retries only if nothing was answered yet
+				// (answers would duplicate otherwise); a partial gather
+				// instead settles here and hands the connection back for
+				// discard — a pipelined reply may still be in flight.
 				if k > 0 {
 					for _, j := range idxs[k:] {
 						out[j] = c.degradedAnswer(streams[j], e)
 					}
-					return nil
+					return fmt.Errorf("%w: %w", wire.ErrDiscardConn, e)
 				}
 				return e
 			}
@@ -199,13 +197,22 @@ func (c *Client) pointNode(n *node, streams []string, idxs []int, age int, out [
 		return nil
 	})
 	if err != nil {
-		for _, i := range idxs {
-			out[i] = c.degradedAnswer(streams[i], err)
+		if !errors.Is(err, wire.ErrDiscardConn) {
+			for _, i := range idxs {
+				out[i] = c.degradedAnswer(streams[i], err)
+			}
 		}
 		return false
 	}
+	return answeredAll(out, idxs)
+}
+
+// answeredAll reports whether every indexed answer came from the node
+// itself: degraded stand-ins and transport failures with no range to
+// widen into count against it, per-stream remote refusals do not.
+func answeredAll(out []PointAnswer, idxs []int) bool {
 	for _, i := range idxs {
-		if out[i].Degraded {
+		if out[i].Degraded || errors.Is(out[i].Err, errNoRange) {
 			return false
 		}
 	}
@@ -219,7 +226,9 @@ type RollUp struct {
 	// Tree answers bounded queries over the cluster-wide sum
 	// (BoundedPoint, BoundedInnerProduct).
 	Tree *core.Tree
-	// Streams counts the streams folded in, including stand-ins.
+	// Streams counts the streams folded in, including stand-ins;
+	// registered streams that never shipped a value fold nothing and
+	// are not counted.
 	Streams int
 	// Missing lists streams represented by widened stand-ins (owner
 	// unreachable, summary refused, or a v1 node that cannot export
@@ -325,21 +334,16 @@ func (c *Client) RollUp() (*RollUp, error) {
 	}
 
 	// Stand-ins for everything the gather could not produce, in sorted
-	// order for determinism.
+	// order for determinism. Streams with a zero sent count contributed
+	// nothing, so they need no stand-in and are not missing anything.
 	var missing []string
 	for _, s := range streams {
-		if !got[s] {
+		if !got[s] && c.Sent(s) > 0 {
 			missing = append(missing, s)
 		}
 	}
 	for _, s := range missing {
 		target := c.Sent(s)
-		if target == 0 {
-			// Never shipped a value: contributes nothing and needs no
-			// widening.
-			folded++
-			continue
-		}
 		sum, err := core.UnknownSummary(c.opts, 1, target, c.mopts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: stand-in for %q: %w", s, err)
@@ -373,8 +377,8 @@ func (c *Client) RollUp() (*RollUp, error) {
 
 // fetchNode fetches one owner's summaries on one pooled connection,
 // sending each to the folding loop as it lands. Reports whether the
-// node answered (at least reachably; per-stream refusals don't count
-// against it).
+// node answered (at least reachably; per-stream refusals and a partial
+// delivery don't count against it).
 func (c *Client) fetchNode(n *node, names []string, results chan<- fetched) bool {
 	err := n.pool.Do(func(bc *wire.BinClient) error {
 		bc.SetDeadline(deadline(c.timeout()))
@@ -387,7 +391,10 @@ func (c *Client) fetchNode(n *node, names []string, results chan<- fetched) bool
 					continue // this stream becomes a stand-in
 				}
 				if k > 0 {
-					return nil // partial: delivered streams stand; no retry
+					// Partial: delivered streams stand, the rest become
+					// stand-ins; no retry (summaries would duplicate) and
+					// no reuse of a connection with an abandoned reply.
+					return fmt.Errorf("%w: %w", wire.ErrDiscardConn, e)
 				}
 				return e
 			}
@@ -395,5 +402,5 @@ func (c *Client) fetchNode(n *node, names []string, results chan<- fetched) bool
 		}
 		return nil
 	})
-	return err == nil
+	return err == nil || errors.Is(err, wire.ErrDiscardConn)
 }
