@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race race-merge verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-cluster bench-cluster-smoke bench-smoke fuzz-smoke
+.PHONY: build test test-short vet lint race race-merge race-cluster verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-cluster bench-cluster-smoke bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,11 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis gate (see DESIGN.md §2.9): the swatlint suite
-# (seededrand, noalloc, lockcheck, detmap), gofmt cleanliness, and
-# module tidiness. staticcheck and govulncheck run when installed — CI
-# pins and installs them; offline dev boxes skip with a notice.
+# Static-analysis gate (see DESIGN.md §2.9, §2.14): the swatlint suite
+# (seededrand, noalloc, lockcheck, detmap, goroexit, deadline,
+# sentinelcheck, lockflow), gofmt cleanliness, and module tidiness.
+# staticcheck and govulncheck run when installed — CI pins and installs
+# them; offline dev boxes skip with a notice.
 lint:
 	$(GO) run ./cmd/swatlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -43,7 +44,15 @@ race:
 race-merge:
 	$(GO) test -race -count=1 -run 'TestMerge|TestSummary' ./internal/core ./internal/multi
 
-verify: build vet lint test race race-merge bench-smoke bench-cluster-smoke fuzz-smoke
+# The socket-level scatter-gather e2e suite under the race detector at
+# full depth (no -short, no cached results): real TCP listeners,
+# consistent-hash sharding, and the pool's pipelined gathers exercise
+# the wire/cluster locking that the deadline and lockflow analyzers
+# check statically.
+race-cluster:
+	$(GO) test -race -count=1 ./internal/wire ./internal/cluster
+
+verify: build vet lint test race race-merge race-cluster bench-smoke bench-cluster-smoke fuzz-smoke
 
 # Short coverage-guided fuzzing on every fuzz target (v1 and v2 frame
 # decoding, dispatch, batched-update equivalence, snapshot decoding,

@@ -14,6 +14,24 @@
 //   - detmap: deterministic packages never let randomized map
 //     iteration order reach observable output.
 //
+// On top of those sit the flow-sensitive analyzers, built on the CFG
+// (cfg.go) and forward-dataflow (dataflow.go) layer and scoped to
+// //swat:server packages (DESIGN §2.14):
+//
+//   - goroexit: every go statement has provable termination — a
+//     deferred wg.Done, a bounded loop, a range over a channel, or a
+//     receive with an escape edge out of the loop.
+//   - deadline: blocking net.Conn reads/writes are dominated by
+//     Set{Read,Write}Deadline on every CFG path.
+//   - sentinelcheck: sentinel errors take errors.Is/errors.As, never
+//     ==/!= or type assertions; blank error discards need a reason.
+//   - lockflow: no path returns with a mutex the function acquired
+//     still held.
+//
+// lockcheck itself runs on the same engine: guarded-state accesses
+// must happen where the lock is must-held, not just lexically after a
+// Lock call.
+//
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic, analysistest-style fixture
 // tests) but is built on the standard library only — go/parser,
@@ -24,11 +42,18 @@
 //
 //	//swat:deterministic   (package scope) the package must be
 //	                       replayable; seededrand and detmap apply.
+//	//swat:server          (package scope) the package is part of the
+//	                       networked server stack; goroexit, deadline,
+//	                       and sentinelcheck apply.
 //	//swat:noalloc         (func doc) the function's steady-state path
 //	                       must not allocate; noalloc applies.
 //	//swat:locked          (func doc) the function requires the caller
 //	                       to hold the guarding lock; lockcheck treats
 //	                       its body as lock-held context.
+//	//swat:deadline-held   (func doc) the caller bounds the function's
+//	                       connection I/O with a prior SetDeadline; the
+//	                       deadline analyzer starts the body with both
+//	                       facts set.
 //	//lint:allow NAME why  suppresses analyzer NAME's diagnostics on
 //	                       the same or the following source line. The
 //	                       reason is mandatory.
@@ -42,6 +67,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check. Run inspects a package via the Pass and
@@ -97,22 +123,42 @@ const (
 	DirDeterministic = "//swat:deterministic"
 	DirNoAlloc       = "//swat:noalloc"
 	DirLocked        = "//swat:locked"
-	allowPrefix      = "//lint:allow"
+	// DirServer (package scope) marks a package as part of the
+	// networked server stack (wire, cluster, netsim, multi): goroexit,
+	// deadline, and sentinelcheck apply.
+	DirServer = "//swat:server"
+	// DirDeadlineHeld (func doc) documents that the caller bounds the
+	// function's connection I/O with a prior SetDeadline; the deadline
+	// analyzer treats the body as deadline-dominated from entry.
+	DirDeadlineHeld = "//swat:deadline-held"
+	allowPrefix     = "//lint:allow"
 )
 
-// Deterministic reports whether the package carries the
-// //swat:deterministic directive in any of its files.
-func (p *Pass) Deterministic() bool {
+// hasPackageDirective reports whether any of the package's non-test
+// files carries the directive.
+func (p *Pass) hasPackageDirective(dir string) bool {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if directiveIs(c.Text, DirDeterministic) {
+				if directiveIs(c.Text, dir) {
 					return true
 				}
 			}
 		}
 	}
 	return false
+}
+
+// Deterministic reports whether the package carries the
+// //swat:deterministic directive in any of its files.
+func (p *Pass) Deterministic() bool {
+	return p.hasPackageDirective(DirDeterministic)
+}
+
+// Server reports whether the package carries the //swat:server
+// directive in any of its files.
+func (p *Pass) Server() bool {
+	return p.hasPackageDirective(DirServer)
 }
 
 // directiveIs reports whether a comment is exactly the given directive
@@ -173,9 +219,12 @@ func parseAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
 // plus external tools wired into `make lint`.
 var knownAnalyzerName = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
 
-// Suite returns the full swatlint analyzer suite.
+// Suite returns the full swatlint analyzer suite: the four syntactic
+// invariant checks from the original swatlint plus the four
+// flow-sensitive analyzers built on the CFG/dataflow layer (cfg.go,
+// dataflow.go).
 func Suite() []*Analyzer {
-	return []*Analyzer{SeededRand, NoAlloc, LockCheck, DetMap}
+	return []*Analyzer{SeededRand, NoAlloc, LockCheck, DetMap, GoroExit, Deadline, SentinelCheck, LockFlow}
 }
 
 // RunSuite runs the given analyzers over one loaded package, applies
@@ -183,6 +232,15 @@ func Suite() []*Analyzer {
 // (sorted by position) plus diagnostics for malformed or unused allow
 // directives.
 func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunSuiteTimed(pkg, analyzers)
+	return diags, err
+}
+
+// RunSuiteTimed is RunSuite with per-analyzer wall-time accounting:
+// the returned map holds each analyzer's run duration on this package,
+// keyed by name. The driver aggregates it across packages under -v.
+func RunSuiteTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration, error) {
+	times := make(map[string]time.Duration, len(analyzers))
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -194,11 +252,16 @@ func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			TypesInfo: pkg.TypesInfo,
 			diags:     &raw,
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		start := time.Now()
+		err := a.Run(pass)
+		times[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
 		}
 	}
-	allows := parseAllows(pkg.Fset, pkg.Syntax)
+	// Allows are honored in test files too: sentinelcheck reports
+	// syntactic discards there, and the escape hatch must reach them.
+	allows := parseAllows(pkg.Fset, append(append([]*ast.File(nil), pkg.Syntax...), pkg.TestSyntax...))
 	kept := raw[:0]
 	for _, d := range raw {
 		if !suppressed(d, allows) {
@@ -244,7 +307,7 @@ func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return kept[i].Message < kept[j].Message
 	})
-	return kept, nil
+	return kept, times, nil
 }
 
 // suppressed reports whether an allow directive covers the diagnostic:

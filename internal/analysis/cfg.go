@@ -1,0 +1,441 @@
+package analysis
+
+// Intraprocedural control-flow graphs over function bodies. The
+// builder lowers one *ast.BlockStmt into basic blocks connected by the
+// edges Go's statements induce: if/else, for (cond/post), range,
+// switch (incl. type switch and fallthrough), select, labeled
+// break/continue, goto, return, and panic. defer statements stay
+// inside their block as ordinary nodes — they execute at function
+// exit, and each flow analysis decides for itself how to interpret
+// them (lockflow treats a deferred Unlock as a guaranteed release;
+// lockcheck ignores it because the lock stays held until return).
+//
+// The graph is deliberately simple: one synthetic Entry (always
+// Blocks[0]) and one synthetic Exit block, statements and control
+// expressions appended to blocks in execution order, and loop
+// membership recorded per block so analyzers can reason about cycles
+// ("does this loop contain a channel receive?") without rediscovering
+// natural loops from back edges.
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit: every return, every panic,
+	// and the fallthrough end of the body lead here.
+	Exit *Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	// Kind names the construct that created the block ("entry",
+	// "exit", "if.then", "for.head", "select.case", ...) — for tests
+	// and debug output, not for analysis logic.
+	Kind string
+	// Nodes holds the block's statements and control expressions in
+	// execution order. A loop's condition appears in its head block; a
+	// range statement appears in its own head block.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Loops lists the loop statements (ForStmt/RangeStmt) enclosing
+	// this block, outermost first. A block belongs to a loop when it
+	// can execute on the loop's backward path — the head, body, and
+	// post blocks, but not the join after it.
+	Loops []ast.Stmt
+}
+
+// builder carries the construction state.
+type builder struct {
+	g   *CFG
+	cur *Block
+	// breakTo/continueTo are the innermost targets for unlabeled
+	// break/continue.
+	breakTo    *Block
+	continueTo *Block
+	// labels maps label names to their targets: break/continue for
+	// labeled loops and switches, and the statement block for goto.
+	labels map[string]*labelTarget
+	// pendingLabel is the label naming the construct about to be
+	// lowered, consumed by the loop/switch/select cases so labeled
+	// break/continue resolve.
+	pendingLabel string
+	// loops is the stack of enclosing loop statements.
+	loops []ast.Stmt
+	// gotos records forward gotos to resolve once labels exist.
+	gotos []pendingGoto
+}
+
+type labelTarget struct {
+	breakTo    *Block
+	continueTo *Block
+	entry      *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the CFG of a function body. body may be the body
+// of an *ast.FuncDecl or an *ast.FuncLit. Function literals nested in
+// the body are NOT lowered — they appear as ordinary nodes in their
+// enclosing block, and callers analyze them separately.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &builder{g: g, labels: map[string]*labelTarget{}}
+	entry := b.newBlock("entry")
+	g.Entry = entry
+	g.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(body.List)
+	// The body's fallthrough end reaches Exit.
+	b.edge(b.cur, g.Exit)
+	// Resolve forward gotos.
+	for _, pg := range b.gotos {
+		if lt := b.labels[pg.label]; lt != nil && lt.entry != nil {
+			b.edge(pg.from, lt.entry)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	blk.Loops = append(blk.Loops, b.loops...)
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// seal ends the current block (after a terminal statement) and starts
+// an unreachable successor so construction can continue.
+func (b *builder) seal(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Only the directly labeled statement binds the pending label; any
+	// other statement clears it so nested constructs cannot steal it.
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock("if.join")
+		b.edge(thenEnd, join)
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.loops = append(b.loops, s)
+		head := b.newBlock("for.head")
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		b.edge(b.cur, head)
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		join := b.newBlock("for.join")
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		continueTo := head
+		if post != nil {
+			continueTo = post
+		}
+		b.consumeLabel(label, join, continueTo)
+		b.inLoop(s, join, continueTo, func() {
+			b.cur = body
+			b.stmt(s.Body)
+			b.edge(b.cur, continueTo)
+		})
+		b.cur = join
+
+	case *ast.RangeStmt:
+		b.loops = append(b.loops, s)
+		head := b.newBlock("range.head")
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock("range.body")
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		join := b.newBlock("range.join")
+		b.edge(head, join)
+		b.consumeLabel(label, join, head)
+		b.inLoop(s, join, head, func() {
+			b.cur = body
+			b.stmt(s.Body)
+			b.edge(b.cur, head)
+		})
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchBody(label, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchBody(label, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		sel := b.cur
+		join := b.newBlock("select.join")
+		b.consumeLabel(label, join, nil)
+		saveBreak := b.breakTo
+		b.breakTo = join
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.edge(sel, blk)
+			b.cur = blk
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.breakTo = saveBreak
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		// Give the labeled statement its own block so goto targets it.
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		lt := b.labels[s.Label.Name]
+		if lt == nil {
+			lt = &labelTarget{}
+			b.labels[s.Label.Name] = lt
+		}
+		lt.entry = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.seal("dead")
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.branch(s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.seal("dead")
+		}
+
+	default:
+		// Assignments, declarations, sends, incdec, go, defer, empty:
+		// straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchBody lowers the clauses of a switch or type switch.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, kind string) {
+	tag := b.cur
+	join := b.newBlock(kind + ".join")
+	b.consumeLabel(label, join, nil)
+	saveBreak := b.breakTo
+	b.breakTo = join
+	// Build case entry blocks first so fallthrough can target the
+	// next clause.
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	entries := make([]*Block, 0, len(body.List))
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock(kind + ".case")
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		entries = append(entries, blk)
+		b.edge(tag, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(tag, join)
+	}
+	for i, cc := range clauses {
+		b.cur = entries[i]
+		var next *Block
+		if i+1 < len(entries) {
+			next = entries[i+1]
+		}
+		b.stmtListWithFallthrough(cc.Body, next)
+		b.edge(b.cur, join)
+	}
+	b.breakTo = saveBreak
+	b.cur = join
+}
+
+// stmtListWithFallthrough lowers a case body; a trailing fallthrough
+// edges into the next clause's entry block.
+func (b *builder) stmtListWithFallthrough(list []ast.Stmt, next *Block) {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			b.cur.Nodes = append(b.cur.Nodes, br)
+			b.edge(b.cur, next)
+			b.seal("dead")
+			return
+		}
+		b.stmt(s)
+	}
+}
+
+// inLoop runs fn with break/continue bound to the loop's targets.
+func (b *builder) inLoop(loop ast.Stmt, breakTo, continueTo *Block, fn func()) {
+	saveBreak, saveCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = breakTo, continueTo
+	b.loops = append(b.loops, loop)
+	fn()
+	b.loops = b.loops[:len(b.loops)-1]
+	b.breakTo, b.continueTo = saveBreak, saveCont
+}
+
+// consumeLabel attaches break/continue targets to the label naming the
+// construct being lowered, if any. The LabeledStmt case sets
+// pendingLabel immediately before dispatching to the construct; stmt()
+// captures and clears it, so only the directly labeled construct binds.
+func (b *builder) consumeLabel(label string, breakTo, continueTo *Block) {
+	if label == "" {
+		return
+	}
+	if lt := b.labels[label]; lt != nil {
+		lt.breakTo = breakTo
+		lt.continueTo = continueTo
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	var target *Block
+	switch s.Tok.String() {
+	case "break":
+		target = b.breakTo
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil {
+				target = lt.breakTo
+			}
+		}
+	case "continue":
+		target = b.continueTo
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil {
+				target = lt.continueTo
+			}
+		}
+	case "goto":
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.entry != nil {
+				target = lt.entry
+			} else {
+				// Forward goto: resolve after the body is lowered.
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+				b.seal("dead")
+				return
+			}
+		}
+	case "fallthrough":
+		// Handled by stmtListWithFallthrough; a stray fallthrough
+		// (invalid Go) is ignored.
+		return
+	}
+	b.edge(b.cur, target)
+	b.seal("dead")
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic.
+// Shadowed panic identifiers are rare enough to ignore at this layer;
+// analyses needing precision can consult types.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// String renders the graph structure for tests and debugging.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses src (a file fragment without package clause), finds
+// the first function declaration, and builds its CFG.
+func buildFor(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// one returns the single block of the given kind, failing otherwise.
+func one(t *testing.T, g *CFG, kind string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			if found != nil {
+				t.Fatalf("multiple %q blocks:\n%s", kind, g)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		t.Fatalf("no %q block:\n%s", kind, g)
+	}
+	return found
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildFor(t, `
+func f(x int) int {
+	if x > 0 {
+		return 1
+	} else {
+		x++
+	}
+	return x
+}`)
+	then := one(t, g, "if.then")
+	els := one(t, g, "if.else")
+	join := one(t, g, "if.join")
+	if !hasEdge(g.Entry, then) || !hasEdge(g.Entry, els) {
+		t.Fatalf("cond block must branch to then and else:\n%s", g)
+	}
+	if !hasEdge(then, g.Exit) {
+		t.Fatalf("then block returns, must edge to exit:\n%s", g)
+	}
+	if hasEdge(then, join) {
+		t.Fatalf("then block returned; must not fall through to join:\n%s", g)
+	}
+	if !hasEdge(els, join) {
+		t.Fatalf("else block must fall through to join:\n%s", g)
+	}
+	if !hasEdge(join, g.Exit) {
+		t.Fatalf("join returns, must edge to exit:\n%s", g)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := buildFor(t, `
+func f(x int) {
+	if x > 0 {
+		x--
+	}
+	_ = x
+}`)
+	then := one(t, g, "if.then")
+	join := one(t, g, "if.join")
+	if !hasEdge(g.Entry, then) || !hasEdge(g.Entry, join) {
+		t.Fatalf("cond must branch to then and (skipping) join:\n%s", g)
+	}
+	if !hasEdge(then, join) {
+		t.Fatalf("then must reach join:\n%s", g)
+	}
+}
+
+func TestCFGBoundedFor(t *testing.T) {
+	g := buildFor(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}`)
+	head := one(t, g, "for.head")
+	body := one(t, g, "for.body")
+	post := one(t, g, "for.post")
+	join := one(t, g, "for.join")
+	if !hasEdge(head, body) || !hasEdge(head, join) {
+		t.Fatalf("conditional head must branch to body and join:\n%s", g)
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Fatalf("body must route through post back to head:\n%s", g)
+	}
+	if len(body.Loops) != 1 {
+		t.Fatalf("body must record its enclosing loop, got %d", len(body.Loops))
+	}
+}
+
+func TestCFGInfiniteFor(t *testing.T) {
+	g := buildFor(t, `
+func f() {
+	for {
+		_ = 1
+	}
+}`)
+	head := one(t, g, "for.head")
+	join := one(t, g, "for.join")
+	if hasEdge(head, join) {
+		t.Fatalf("for{} head must not reach join:\n%s", g)
+	}
+	if len(join.Preds) != 0 {
+		t.Fatalf("for{} join must be unreachable:\n%s", g)
+	}
+}
+
+func TestCFGForBreak(t *testing.T) {
+	g := buildFor(t, `
+func f(ch chan int) {
+	for {
+		if <-ch == 0 {
+			break
+		}
+	}
+}`)
+	join := one(t, g, "for.join")
+	if len(join.Preds) == 0 {
+		t.Fatalf("break must make the loop join reachable:\n%s", g)
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := buildFor(t, `
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	head := one(t, g, "range.head")
+	body := one(t, g, "range.body")
+	join := one(t, g, "range.join")
+	if !hasEdge(head, body) || !hasEdge(head, join) {
+		t.Fatalf("range head must branch to body and join:\n%s", g)
+	}
+	if !hasEdge(body, head) {
+		t.Fatalf("range body must loop back to head:\n%s", g)
+	}
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head must carry the RangeStmt node, got %d nodes", len(head.Nodes))
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("range head node is %T, want *ast.RangeStmt", head.Nodes[0])
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildFor(t, `
+func f(a, b chan int) {
+	for {
+		select {
+		case <-a:
+			return
+		case v := <-b:
+			_ = v
+		}
+	}
+}`)
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 select.case blocks, got %d:\n%s", len(cases), g)
+	}
+	join := one(t, g, "select.join")
+	// First case returns, second falls through to the select join.
+	if !hasEdge(cases[0], g.Exit) {
+		t.Fatalf("case 1 returns, must edge to exit:\n%s", g)
+	}
+	if !hasEdge(cases[1], join) {
+		t.Fatalf("case 2 must fall through to the select join:\n%s", g)
+	}
+	// The comm statements live in the case blocks so dataflow sees the
+	// receives.
+	if len(cases[1].Nodes) == 0 {
+		t.Fatalf("case block must carry its comm statement:\n%s", g)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFor(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x--
+	default:
+		x = 0
+	}
+	return x
+}`)
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("want 3 switch.case blocks, got %d:\n%s", len(cases), g)
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Fatalf("fallthrough must edge case 1 into case 2:\n%s", g)
+	}
+	join := one(t, g, "switch.join")
+	// A switch with a default does not skip from the tag to the join.
+	if hasEdge(g.Entry, join) {
+		t.Fatalf("switch with default must not edge tag->join:\n%s", g)
+	}
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	g := buildFor(t, `
+func f() {
+	defer done()
+	work()
+}`)
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("defer and call must stay in the entry block, got %d nodes:\n%s", len(g.Entry.Nodes), g)
+	}
+	if _, ok := g.Entry.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Fatalf("first node is %T, want *ast.DeferStmt", g.Entry.Nodes[0])
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildFor(t, `
+func f(x int) {
+	if x < 0 {
+		panic("neg")
+	}
+	_ = x
+}`)
+	then := one(t, g, "if.then")
+	if !hasEdge(then, g.Exit) {
+		t.Fatalf("panic must edge to exit:\n%s", g)
+	}
+	join := one(t, g, "if.join")
+	if hasEdge(then, join) {
+		t.Fatalf("panic block must not fall through:\n%s", g)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFor(t, `
+func f(ch chan int) {
+outer:
+	for {
+		for {
+			if <-ch == 0 {
+				break outer
+			}
+		}
+	}
+}`)
+	// The labeled break must reach the OUTER loop's join, which then
+	// falls to exit; without the label it would only reach the inner
+	// join, which is swallowed by the outer loop.
+	joins := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "for.join" && len(b.Preds) > 0 {
+			joins++
+			if !reaches(b, g.Exit, map[*Block]bool{}) {
+				t.Fatalf("reachable join must reach exit:\n%s", g)
+			}
+		}
+	}
+	if joins != 1 {
+		t.Fatalf("exactly the outer join must be reachable, got %d:\n%s", joins, g)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildFor(t, `
+func f(x int) {
+	if x > 0 {
+		goto done
+	}
+	x++
+done:
+	_ = x
+}`)
+	var lbl *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.done" {
+			lbl = b
+		}
+	}
+	if lbl == nil {
+		t.Fatalf("no label block:\n%s", g)
+	}
+	if len(lbl.Preds) < 2 {
+		t.Fatalf("label block must be reachable from the goto and the fallthrough, got %d preds:\n%s", len(lbl.Preds), g)
+	}
+}
+
+func reaches(from, to *Block, seen map[*Block]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for _, s := range from.Succs {
+		if reaches(s, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestForwardMust exercises the dataflow engine: a fact generated on
+// only one branch must not survive a Must meet but must survive May.
+func TestForwardMustMay(t *testing.T) {
+	g := buildFor(t, `
+func f(x int) {
+	if x > 0 {
+		gen()
+	}
+	use()
+}`)
+	transfer := func(b *Block, in Facts) Facts {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "gen" {
+					in["fact"] = true
+				}
+			}
+		}
+		return in
+	}
+	join := one(t, g, "if.join")
+	must := g.Forward(Must, Facts{}, transfer)
+	if must[join]["fact"] {
+		t.Fatalf("Must: fact generated on one branch must not reach the join")
+	}
+	may := g.Forward(May, Facts{}, transfer)
+	if !may[join]["fact"] {
+		t.Fatalf("May: fact generated on one branch must reach the join")
+	}
+	// A fact present on every path must survive Must.
+	always := g.Forward(Must, Facts{"init": true}, transfer)
+	if !always[join]["init"] {
+		t.Fatalf("Must: entry fact must survive to the join")
+	}
+}
+
+// TestForwardLoopFixpoint: a fact killed inside a loop body must not
+// hold at the loop head under Must (the back edge removes it).
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := buildFor(t, `
+func f(n int) {
+	gen()
+	for i := 0; i < n; i++ {
+		kill()
+	}
+	use()
+}`)
+	transfer := func(b *Block, in Facts) Facts {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "gen":
+						in["fact"] = true
+					case "kill":
+						delete(in, "fact")
+					}
+				}
+			}
+		}
+		return in
+	}
+	in := g.Forward(Must, Facts{}, transfer)
+	head := one(t, g, "for.head")
+	join := one(t, g, "for.join")
+	if in[head]["fact"] {
+		t.Fatalf("fact killed in the loop body must not must-hold at the head")
+	}
+	if in[join]["fact"] {
+		t.Fatalf("fact killed in the loop body must not must-hold after the loop")
+	}
+}

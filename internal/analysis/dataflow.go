@@ -1,0 +1,125 @@
+package analysis
+
+// A small forward-dataflow fixpoint engine over the CFG: analyzers
+// describe facts as string tokens, supply a per-block transfer
+// function (gen/kill over the block's nodes), and pick the meet — May
+// (union: "holds on some path") or Must (intersection: "holds on
+// every path"). The engine iterates a worklist to fixpoint and hands
+// back each block's entry facts; analyzers that need facts at a
+// particular node re-run the transfer incrementally inside the block,
+// which keeps the engine oblivious to node granularity.
+
+// Facts is a set of dataflow facts. nil is ⊤ (unknown / not yet
+// computed) for Must analyses and ∅ for May analyses; the engine
+// normalizes before transfer so user code always sees a real map.
+type Facts map[string]bool
+
+// Clone copies a fact set (nil-safe).
+func (f Facts) Clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Equal reports whether two fact sets hold the same facts.
+func (f Facts) Equal(g Facts) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k := range f {
+		if !g[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// FlowMode selects the meet operator.
+type FlowMode int
+
+const (
+	// May joins paths with union: a fact holds if it holds on at
+	// least one path into the block.
+	May FlowMode = iota
+	// Must joins paths with intersection: a fact holds only if it
+	// holds on every path into the block.
+	Must
+)
+
+// Forward runs a forward dataflow analysis to fixpoint and returns the
+// entry facts of every reachable block. transfer receives the block
+// and its entry facts (a private copy it may mutate) and returns the
+// block's exit facts; it must be monotone for termination, which plain
+// gen/kill transfers are. Blocks unreachable from Entry keep nil
+// entry facts.
+func (g *CFG) Forward(mode FlowMode, entry Facts, transfer func(b *Block, in Facts) Facts) map[*Block]Facts {
+	in := make(map[*Block]Facts, len(g.Blocks))
+	out := make(map[*Block]Facts, len(g.Blocks))
+	in[g.Entry] = entry.Clone()
+
+	// Round-robin over blocks in index order until stable; the graphs
+	// are tiny (one function body), so a simple sweep beats worklist
+	// bookkeeping.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			var newIn Facts
+			if b == g.Entry {
+				newIn = entry.Clone()
+			} else {
+				newIn = meet(mode, b, out)
+				if newIn == nil {
+					continue // unreachable so far
+				}
+			}
+			prevIn, seen := in[b]
+			if seen && newIn.Equal(prevIn) && out[b] != nil {
+				continue
+			}
+			in[b] = newIn
+			newOut := transfer(b, newIn.Clone())
+			if newOut == nil {
+				newOut = Facts{}
+			}
+			if !newOut.Equal(out[b]) || out[b] == nil {
+				out[b] = newOut
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// meet folds the predecessors' exit facts. Predecessors not yet
+// computed are ⊤ for Must (skipped) and ∅ for May (skipped too, since
+// union with ∅ is identity); a block with no computed predecessor at
+// all yields nil, signalling "not yet reachable".
+func meet(mode FlowMode, b *Block, out map[*Block]Facts) Facts {
+	var acc Facts
+	for _, p := range b.Preds {
+		po, ok := out[p]
+		if !ok {
+			continue
+		}
+		if acc == nil {
+			acc = po.Clone()
+			continue
+		}
+		if mode == May {
+			for k := range po {
+				acc[k] = true
+			}
+		} else {
+			for k := range acc {
+				if !po[k] {
+					delete(acc, k)
+				}
+			}
+		}
+	}
+	return acc
+}

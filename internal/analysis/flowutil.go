@@ -1,0 +1,167 @@
+package analysis
+
+// Helpers shared by the flow-sensitive analyzers (goroexit, deadline,
+// sentinelcheck, lockflow, and the CFG form of lockcheck): expression
+// rendering for fact tokens and diagnostics, mutex-call
+// classification, and a facts-at-node replay over a solved CFG.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectNoFuncLit walks the subtree of n like ast.Inspect but does
+// not descend into nested function literals: a closure's body executes
+// on its own schedule (go, defer, callback) and is analyzed as a
+// separate CFG, so its statements must not leak gen/kill effects into
+// the enclosing block. It also respects rangeBodyOf: a range head
+// block carries the whole *ast.RangeStmt, but the loop body is lowered
+// into its own blocks and must not be double-visited through the head.
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	skip := rangeBodyOf(n)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == skip {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// rangeBodyOf returns the body to skip when n is a RangeStmt serving
+// as a loop-head node, else nil.
+func rangeBodyOf(n ast.Node) ast.Node {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		return rs.Body
+	}
+	return nil
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders simple expressions (identifiers, selector chains)
+// exactly — the forms mutex receivers and go targets take — and
+// collapses anything more exotic. Used for fact tokens, so two
+// syntactically identical receivers share a token.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expr"
+	}
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex operation.
+type mutexOp int
+
+const (
+	opNone mutexOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// mutexCall reports the receiver expression (rendered) and operation
+// when call is mu.Lock/RLock/Unlock/RUnlock on a sync mutex.
+func mutexCall(pass *Pass, call *ast.CallExpr) (string, mutexOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op mutexOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return "", opNone
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", opNone
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if !isSyncMutex(t) {
+		return "", opNone
+	}
+	return exprString(sel.X), op
+}
+
+// visitFacts solves a forward dataflow problem whose block transfer is
+// the fold of nodeTransfer over the block's nodes, then replays every
+// reachable block calling visit with the facts in force immediately
+// BEFORE each node. nodeTransfer mutates the fact set in place.
+func visitFacts(g *CFG, mode FlowMode, entry Facts, nodeTransfer func(n ast.Node, f Facts), visit func(n ast.Node, f Facts)) {
+	block := func(b *Block, in Facts) Facts {
+		for _, n := range b.Nodes {
+			nodeTransfer(n, in)
+		}
+		return in
+	}
+	in := g.Forward(mode, entry, block)
+	for _, b := range g.Blocks {
+		f := in[b]
+		if f == nil && b != g.Entry {
+			continue // unreachable
+		}
+		f = f.Clone()
+		for _, n := range b.Nodes {
+			visit(n, f)
+			nodeTransfer(n, f)
+		}
+	}
+}
+
+// findImport locates a package in the transitive import graph.
+func findImport(pkg *types.Package, path string) *types.Package {
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if p.Path() == path {
+			return p
+		}
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if r := walk(imp); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

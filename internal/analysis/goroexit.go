@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroExit proves goroutine termination in deterministic and server
+// (//swat:server) packages: the scatter-gather and pooling layers spawn
+// goroutines per request, and one leaked reader per request is an
+// unbounded resource drain at cluster scale (DESIGN §2.14).
+//
+// A `go` statement passes when its body provably terminates under one
+// of these signals, checked per CFG loop:
+//
+//   - the body defers a (*sync.WaitGroup).Done — the exit is tracked
+//     and a Wait observes it, so a hang is caught dynamically;
+//   - every loop is bounded: a three-clause counter for-loop, or a
+//     range over a non-channel operand;
+//   - a range over a channel — the sender's close terminates it;
+//   - an unbounded for-loop that both receives from a channel (directly
+//     or via a select clause) and has a CFG edge escaping the loop —
+//     the done-channel / ctx.Done idiom.
+//
+// Calls inside the body are assumed to terminate (the analysis is
+// intraprocedural); an unresolvable go target — a function value, a
+// method from another package — is itself a finding, because nothing
+// about its termination can be proven here.
+var GoroExit = &Analyzer{
+	Name: "goroexit",
+	Doc: "every go statement in deterministic/server packages needs a provable termination " +
+		"signal on all CFG paths: closable-channel range, done-channel select, deferred wg.Done, or a bounded loop",
+	Run: runGoroExit,
+}
+
+func runGoroExit(pass *Pass) error {
+	if !pass.Deterministic() && !pass.Server() {
+		return nil
+	}
+	// Index this package's function declarations by object so
+	// `go s.method()` and `go helper()` resolve to bodies.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, gs, decls)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	switch fun := unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		var obj types.Object
+		switch fe := fun.(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fe]
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[fe.Sel]
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				body = fd.Body
+			}
+		}
+		if body == nil {
+			pass.Reportf(gs.Pos(),
+				"goroutine target %s is not a function declared in this package; termination cannot be proven — inline the body or //lint:allow goroexit with a reason",
+				exprString(gs.Call.Fun))
+			return
+		}
+	}
+	if reason := goroutineTerminates(pass, body); reason != "" {
+		pass.Reportf(gs.Pos(),
+			"goroutine has no provable termination signal: %s; range over a closable channel, select on a done channel with an exit edge, bound the loop, defer wg.Done, or //lint:allow goroexit with a reason",
+			reason)
+	}
+}
+
+// goroutineTerminates returns "" when the body passes, else a
+// description of the first offending loop.
+func goroutineTerminates(pass *Pass, body *ast.BlockStmt) string {
+	if hasDeferredWGDone(pass, body) {
+		return ""
+	}
+	g := BuildCFG(body)
+	// Group blocks by enclosing loop. Map iteration order does not
+	// matter: any failing loop produces the same single diagnostic
+	// position (the loop's own Pos feeds the message, and the first
+	// failure wins deterministically because we scan loops in source
+	// order below).
+	loopBlocks := map[ast.Stmt][]*Block{}
+	var loops []ast.Stmt
+	for _, b := range g.Blocks {
+		for _, l := range b.Loops {
+			if loopBlocks[l] == nil {
+				loops = append(loops, l)
+			}
+			loopBlocks[l] = append(loopBlocks[l], b)
+		}
+	}
+	// Source order for deterministic reporting.
+	for i := range loops {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j].Pos() < loops[i].Pos() {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	for _, l := range loops {
+		if !loopTerminates(pass, l, loopBlocks[l]) {
+			return fmt.Sprintf("the loop at %s neither ranges over a channel, is bounded by a counter, nor receives from a channel with an escape edge",
+				pass.Fset.Position(l.Pos()))
+		}
+	}
+	return ""
+}
+
+// hasDeferredWGDone reports a `defer wg.Done()` (receiver typed
+// sync.WaitGroup) anywhere in the body outside nested closures.
+func hasDeferredWGDone(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ds.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopTerminates classifies one loop of the goroutine body.
+func loopTerminates(pass *Pass, l ast.Stmt, blocks []*Block) bool {
+	switch l := l.(type) {
+	case *ast.RangeStmt:
+		// Range over a channel terminates when the sender closes it;
+		// over anything else (slice, map, int, func) it is bounded by
+		// the operand.
+		return true
+	case *ast.ForStmt:
+		if l.Cond != nil && l.Post != nil {
+			return true // counter loop, bounded by its condition
+		}
+	}
+	// Unbounded for (`for {}` or `for cond {}` spinning on state): the
+	// loop must block on a channel receive — directly or via a select
+	// clause — AND have an edge escaping the loop's block set, so the
+	// signal can actually exit it.
+	inLoop := map[*Block]bool{}
+	for _, b := range blocks {
+		inLoop[b] = true
+	}
+	hasRecv, escapes := false, false
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			if !inLoop[s] {
+				escapes = true
+			}
+		}
+		for _, n := range b.Nodes {
+			inspectNoFuncLit(n, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					hasRecv = true
+				}
+				return true
+			})
+		}
+	}
+	return hasRecv && escapes
+}

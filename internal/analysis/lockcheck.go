@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
@@ -19,13 +18,19 @@ import (
 // from the same package (the guarded state). For every function in the
 // package, any selection that reaches the guarded state through an
 // outer-struct-typed expression — a promoted field or method, or the
-// embedded field itself — must be lexically preceded in the same body
-// by a mu.Lock/mu.RLock call. Exemptions, for helpers that run with
-// the lock already held: a name ending in "Locked", or the
-// //swat:locked directive in the doc comment. Methods declared
-// directly on the guarded state type are lock-held context by
-// construction (only lock-holding code can reach a state receiver) and
-// are not checked.
+// embedded field itself — must happen where the mutex is MUST-held:
+// a Lock/RLock dominates the access on every CFG path, with no
+// intervening Unlock/RUnlock on any of them. (The original swatlint
+// checked lexical order only; the CFG form catches the
+// branch-that-released case: Lock; if c { Unlock }; read.) A deferred
+// unlock does not end the held region mid-path — it runs at return.
+// Closures inherit the facts at their definition point, except `go`
+// closures, which start unlocked (they run after the spawner may have
+// released). Exemptions, for helpers that run with the lock already
+// held: a name ending in "Locked", or the //swat:locked directive in
+// the doc comment. Methods declared directly on the guarded state type
+// are lock-held context by construction (only lock-holding code can
+// reach a state receiver) and are not checked.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
 	Doc: "require mu.Lock/RLock before any access to mutex-guarded embedded state " +
@@ -56,7 +61,7 @@ func runLockCheck(pass *Pass) error {
 			if recvNamed(pass, fd) != nil && isGuardedState(recvNamed(pass, fd), guarded) {
 				continue // methods on the state itself run under the caller's lock
 			}
-			checkLockOrder(pass, fd, guarded)
+			checkLockHeld(pass, fd.Name.Name, fd.Body, Facts{}, guarded)
 		}
 	}
 	return nil
@@ -134,56 +139,66 @@ func isGuardedState(n *types.Named, guarded []guardedStruct) bool {
 	return false
 }
 
-// checkLockOrder flags guarded-state accesses not lexically preceded by
-// a mutex acquisition within the function body.
-func checkLockOrder(pass *Pass, fd *ast.FuncDecl, guarded []guardedStruct) {
-	firstLock := token.Pos(-1)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// checkLockHeld flags guarded-state accesses at program points where
+// the mutex is not must-held, via a Must dataflow over the body's CFG:
+// Lock/RLock gens the "locked" fact, Unlock/RUnlock kills it, and a
+// deferred unlock is ignored (the lock stays held until return).
+func checkLockHeld(pass *Pass, name string, body *ast.BlockStmt, entry Facts, guarded []guardedStruct) {
+	g := BuildCFG(body)
+	transfer := func(n ast.Node, f Facts) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // deferred unlock releases at return, not here
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
-			return true
-		}
-		if recv := pass.TypesInfo.TypeOf(sel.X); recv != nil {
-			t := recv
-			if p, ok := t.(*types.Pointer); ok {
-				t = p.Elem()
+		inspectNoFuncLit(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				switch _, op := mutexCall(pass, call); op {
+				case opLock, opRLock:
+					f["locked"] = true
+				case opUnlock, opRUnlock:
+					delete(f, "locked")
+				}
 			}
-			if isSyncMutex(t) && (firstLock == token.Pos(-1) || call.Pos() < firstLock) {
-				firstLock = call.Pos()
+			return true
+		})
+	}
+	visit := func(n ast.Node, f Facts) {
+		// A closure inherits the held-state at its definition — except a
+		// go closure, which executes after the spawner may have unlocked.
+		var goFun ast.Expr
+		if gs, ok := n.(*ast.GoStmt); ok {
+			goFun = unparen(gs.Call.Fun)
+		}
+		skip := rangeBodyOf(n)
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == skip {
+				return false
 			}
-		}
-		return true
-	})
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		g, target := guardedAccess(pass, sel, guarded)
-		if g == nil {
-			return true
-		}
-		if firstLock == token.Pos(-1) {
+			if fl, ok := m.(*ast.FuncLit); ok && m != n {
+				inner := f.Clone()
+				if m == goFun {
+					inner = Facts{}
+				}
+				checkLockHeld(pass, name, fl.Body, inner, guarded)
+				return false
+			}
+			if f["locked"] {
+				return true
+			}
+			sel, ok := m.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			gs, target := guardedAccess(pass, sel, guarded)
+			if gs == nil {
+				return true
+			}
 			pass.Reportf(sel.Sel.Pos(),
-				"%s accesses %s.%s (guarded by mu) without acquiring the lock; add mu.Lock/RLock, suffix the name with Locked, or mark it //swat:locked",
-				fd.Name.Name, g.outer.Obj().Name(), target)
+				"%s accesses %s.%s (guarded by mu) on a path where the lock is not held; acquire mu.Lock/RLock first, suffix the name with Locked, or mark it //swat:locked",
+				name, gs.outer.Obj().Name(), target)
 			return false
-		}
-		if sel.Sel.Pos() < firstLock {
-			pass.Reportf(sel.Sel.Pos(),
-				"%s accesses %s.%s (guarded by mu) before the first mu.Lock/RLock in the function",
-				fd.Name.Name, g.outer.Obj().Name(), target)
-			return false
-		}
-		return true
-	})
+		})
+	}
+	visitFacts(g, Must, entry, transfer, visit)
 }
 
 // guardedAccess reports whether sel reaches guarded state through an

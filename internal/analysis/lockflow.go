@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockFlow is the per-path exit-balance half of the lock discipline
+// (lockcheck owns the acquisition half): a function that acquires a
+// sync.Mutex/RWMutex must release it on every CFG path to return. The
+// failure it targets is the early-return leak —
+//
+//	mu.Lock()
+//	if err != nil {
+//		return err // lock still held
+//	}
+//	mu.Unlock()
+//
+// — which deadlocks the next caller instead of failing at the buggy
+// site. Facts are "W:<recv>"/"R:<recv>" tokens gen'd at Lock/RLock and
+// killed at the matching Unlock/RUnlock. A deferred unlock —
+// `defer mu.Unlock()` or a deferred closure containing one — kills
+// immediately: the release is guaranteed at exit, which is all exit
+// balance asks. The meet is May ("held on SOME path into this exit"),
+// so one leaky branch among ten clean ones is still a finding. Paths
+// ending in panic are exempt — the process is going down, and a
+// deliberately-held lock stops other goroutines from observing torn
+// state during the crash.
+var LockFlow = &Analyzer{
+	Name: "lockflow",
+	Doc: "a mutex acquired in a function must be released on every CFG path to return; " +
+		"deferred unlocks (including in deferred closures) count as releases",
+	Run: runLockFlow,
+}
+
+func runLockFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(pass, fd.Name.Name, fd.Body)
+			// Closures acquire and must balance independently of the
+			// enclosing function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockBalance(pass, fd.Name.Name+" (closure)", fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkLockBalance(pass *Pass, name string, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	acquiredAt := map[string]token.Pos{}
+	transfer := func(n ast.Node, f Facts) {
+		_, isDefer := n.(*ast.DeferStmt)
+		walk := inspectNoFuncLit
+		if isDefer {
+			// Descend into deferred closures too: a conditional unlock
+			// wrapped in `defer func() { ... }()` still releases at
+			// exit on the paths where it fires.
+			walk = func(n ast.Node, fn func(ast.Node) bool) { ast.Inspect(n, fn) }
+		}
+		walk(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, op := mutexCall(pass, call)
+			switch op {
+			case opLock:
+				if !isDefer {
+					f["W:"+recv] = true
+					acquiredAt["W:"+recv] = call.Pos()
+				}
+			case opRLock:
+				if !isDefer {
+					f["R:"+recv] = true
+					acquiredAt["R:"+recv] = call.Pos()
+				}
+			case opUnlock, opRUnlock:
+				// Either unlock kind releases both tokens: kind-matched
+				// kills would flag the infeasible crossed path in
+				// "RLock on one arm, Lock on the other" patterns, and
+				// mismatched-kind unlocks crash at runtime anyway.
+				delete(f, "W:"+recv)
+				delete(f, "R:"+recv)
+			}
+			return true
+		})
+	}
+	in := g.Forward(May, Facts{}, func(b *Block, f Facts) Facts {
+		for _, n := range b.Nodes {
+			transfer(n, f)
+		}
+		return f
+	})
+	for _, b := range g.Blocks {
+		if b == g.Exit || (in[b] == nil && b != g.Entry) {
+			continue
+		}
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		// Replay to end-of-block facts: exit edges always leave from the
+		// end of a block (return/panic seal it; the body's fallthrough
+		// end is the last node).
+		f := in[b].Clone()
+		for _, n := range b.Nodes {
+			transfer(n, f)
+		}
+		if len(f) == 0 {
+			continue
+		}
+		pos := body.Rbrace
+		if len(b.Nodes) > 0 {
+			last := b.Nodes[len(b.Nodes)-1]
+			if es, ok := last.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+				continue // crash path: held lock is deliberate
+			}
+			if ret, ok := last.(*ast.ReturnStmt); ok {
+				pos = ret.Pos()
+			}
+		}
+		held := make([]string, 0, len(f))
+		for tok := range f {
+			held = append(held, tok)
+		}
+		sort.Strings(held)
+		for _, tok := range held {
+			kind := "Lock"
+			if tok[0] == 'R' {
+				kind = "RLock"
+			}
+			pass.Reportf(pos,
+				"%s can return with %s.%s still held (acquired at %s); unlock on every path or defer the unlock",
+				name, tok[2:], kind, pass.Fset.Position(acquiredAt[tok]))
+		}
+	}
+	return
+}

@@ -15,6 +15,19 @@ func TestLockCheckFixture(t *testing.T) { RunFixture(t, "lockcheck", Suite()...)
 
 func TestDetMapFixture(t *testing.T) { RunFixture(t, "detmap", Suite()...) }
 
+// The four flow-sensitive analyzers (PR 9). The goroexit fixture's
+// passing half doubles as the false-positive corpus: worker-pool,
+// pipeline, done-channel, and bounded-loop idioms that must stay
+// silent.
+
+func TestGoroExitFixture(t *testing.T) { RunFixture(t, "goroexit", Suite()...) }
+
+func TestDeadlineFixture(t *testing.T) { RunFixture(t, "deadline", Suite()...) }
+
+func TestSentinelCheckFixture(t *testing.T) { RunFixture(t, "sentinelcheck", Suite()...) }
+
+func TestLockFlowFixture(t *testing.T) { RunFixture(t, "lockflow", Suite()...) }
+
 // TestAllowFixture proves the //lint:allow escape hatch: suppression
 // with a reason, and diagnostics for reason-less, unused, and
 // malformed directives.

@@ -1,0 +1,114 @@
+// Package deadlinefix exercises deadline: blocking net.Conn I/O in a
+// server package must be dominated by a deadline on every CFG path.
+//
+//swat:server
+package deadlinefix
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// BareRead blocks forever if the peer dies silently.
+func BareRead(c net.Conn, b []byte) {
+	c.Read(b) // want `read on net\.Conn is not dominated by SetReadDeadline/SetDeadline on every path`
+}
+
+// BareWrite can also park on a full send buffer.
+func BareWrite(c net.Conn, b []byte) {
+	c.Write(b) // want `write on net\.Conn is not dominated by SetWriteDeadline/SetDeadline on every path`
+}
+
+// Bounded sets the deadline first.
+func Bounded(c net.Conn, b []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	c.Read(b)
+}
+
+// BothBounded: SetDeadline covers reads and writes at once.
+func BothBounded(c net.Conn, b []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Read(b)
+	c.Write(b)
+}
+
+// OneArmOnly bounds the read on a single branch: the Must meet drops
+// the fact at the join.
+func OneArmOnly(c net.Conn, b []byte, fast bool) {
+	if fast {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	c.Read(b) // want `read on net\.Conn is not dominated by SetReadDeadline/SetDeadline on every path`
+}
+
+// Cleared re-arms then explicitly clears with the zero time: the read
+// after the clear is unbounded again.
+func Cleared(c net.Conn, b []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Read(b)
+	c.SetDeadline(time.Time{})
+	c.Read(b) // want `read on net\.Conn is not dominated by SetReadDeadline/SetDeadline on every path`
+}
+
+// HelperRead: conn-threading helpers (io.ReadFull, frame codecs) are
+// I/O on the conn too.
+func HelperRead(c net.Conn, b []byte) {
+	io.ReadFull(c, b) // want `read on net\.Conn is not dominated by SetReadDeadline/SetDeadline on every path`
+}
+
+// HelperBounded is the same helper under a deadline.
+func HelperBounded(c net.Conn, b []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	io.ReadFull(c, b)
+}
+
+// writeFrame stands in for the wire codec helpers: raw conn I/O whose
+// bounding is the caller's job, declared via the directive.
+//
+//swat:deadline-held
+func writeFrame(c net.Conn, b []byte) {
+	c.Write(b)
+}
+
+// HelperWrite flags the lower-case helper by name + conn argument.
+func HelperWrite(c net.Conn, b []byte) {
+	writeFrame(c, b) // want `write on net\.Conn is not dominated by SetWriteDeadline/SetDeadline on every path`
+}
+
+// HelperWriteBounded arms first; the same helper call passes.
+func HelperWriteBounded(c net.Conn, b []byte) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	writeFrame(c, b)
+}
+
+// CallerBounded documents the contract instead: the caller armed the
+// deadline before calling.
+//
+//swat:deadline-held
+func CallerBounded(c net.Conn, b []byte) {
+	c.Read(b)
+	c.Write(b)
+}
+
+// ClosureInherits: the deadline is connection state, so a closure
+// defined after arming inherits it.
+func ClosureInherits(c net.Conn, b []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	read := func() { c.Read(b) }
+	read()
+}
+
+// LoopRead re-arms per iteration — the pooled-conn reuse discipline.
+func LoopRead(c net.Conn, b []byte, n int) {
+	for i := 0; i < n; i++ {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		c.Read(b)
+	}
+}
+
+// AllowedIdle documents a deliberate unbounded wait.
+func AllowedIdle(c net.Conn, b []byte) {
+	//lint:allow deadline fixture: idle-wait read is bounded by conn close
+	c.Read(b)
+}

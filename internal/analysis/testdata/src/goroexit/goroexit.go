@@ -1,0 +1,168 @@
+// Package goroleak exercises goroexit: every `go` statement in a
+// server package needs a provable termination signal. The passing
+// cases double as the false-positive corpus — worker-pool and pipeline
+// idioms the analyzer must accept unchanged.
+//
+//swat:server
+package goroleak
+
+import "sync"
+
+func work()       {}
+func step(int)    {}
+func process(int) {}
+
+// SpinLeak is the canonical leak: an unbounded loop with no channel
+// receive and no tracked exit.
+func SpinLeak() {
+	go func() { // want `goroutine has no provable termination signal`
+		for {
+			work()
+		}
+	}()
+}
+
+// PollLeak spins on state: `for cond` has an escape edge but no
+// receive, so nothing external can provably stop it.
+func PollLeak(running *bool) {
+	go func() { // want `goroutine has no provable termination signal`
+		for *running {
+			work()
+		}
+	}()
+}
+
+// spin is the named-function variant of the leak.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// NamedLeak resolves the go target to its in-package declaration.
+func NamedLeak() {
+	go spin() // want `goroutine has no provable termination signal`
+}
+
+// OpaqueTarget spawns a function value: nothing about its body is
+// visible, which is itself the finding.
+func OpaqueTarget(fn func()) {
+	go fn() // want `goroutine target fn is not a function declared in this package`
+}
+
+// AllowedLeak documents an accepted infinite loop.
+func AllowedLeak() {
+	//lint:allow goroexit fixture: intentional detached spinner
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// --- false-positive corpus: these must produce no diagnostics ---
+
+// WorkerPool is the wg.Done + range-over-jobs idiom.
+func WorkerPool(jobs chan int, wg *sync.WaitGroup) {
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				process(j)
+			}
+		}()
+	}
+}
+
+// Pipeline ranges over the upstream channel and closes downstream:
+// close(in) terminates the stage.
+func Pipeline(in, out chan int) {
+	go func() {
+		defer close(out)
+		for v := range in {
+			out <- v + 1
+		}
+	}()
+}
+
+// DoneSelect is the done-channel idiom: the select receives and the
+// return edge escapes the loop.
+func DoneSelect(in chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-in:
+				process(v)
+			}
+		}
+	}()
+}
+
+// DoneDefault polls with a non-blocking escape hatch.
+func DoneDefault(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Bounded runs a counter loop and exits.
+func Bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			step(i)
+		}
+	}()
+}
+
+// CondReceive mixes a state condition with a blocking receive and an
+// ok-check return.
+func CondReceive(ch chan int, stop *bool) {
+	go func() {
+		for !*stop {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			process(v)
+		}
+	}()
+}
+
+// runner's method body is resolved through the receiver.
+type runner struct {
+	in   chan int
+	done chan struct{}
+}
+
+func (r *runner) run() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case v := <-r.in:
+			process(v)
+		}
+	}
+}
+
+// NamedMethod spawns a method with a provable exit.
+func NamedMethod(r *runner) {
+	go r.run()
+}
+
+// NoLoop terminates trivially: straight-line bodies pass.
+func NoLoop(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

@@ -30,12 +30,12 @@ func (b *Box) Good() int {
 
 // Bad reads promoted state without any acquisition.
 func (b *Box) Bad() int {
-	return b.n // want `Bad accesses Box\.n \(guarded by mu\) without acquiring the lock`
+	return b.n // want `Bad accesses Box\.n \(guarded by mu\) on a path where the lock is not held`
 }
 
 // Early touches state before the first Lock.
 func (b *Box) Early() int {
-	v := b.n // want `Early accesses Box\.n \(guarded by mu\) before the first mu\.Lock`
+	v := b.n // want `Early accesses Box\.n \(guarded by mu\) on a path where the lock is not held`
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return v + b.n
@@ -44,12 +44,79 @@ func (b *Box) Early() int {
 // StateMethod reaches a state-declared method through the outer struct
 // without locking — the recompile-shaped bug.
 func StateMethod(b *Box) {
-	b.grow() // want `StateMethod accesses Box\.grow \(guarded by mu\) without acquiring the lock`
+	b.grow() // want `StateMethod accesses Box\.grow \(guarded by mu\) on a path where the lock is not held`
 }
 
 // EmbeddedField grabs the embedded state wholesale.
 func EmbeddedField(b *Box) *boxState {
-	return &b.boxState // want `EmbeddedField accesses Box\.boxState \(guarded by mu\) without acquiring the lock`
+	return &b.boxState // want `EmbeddedField accesses Box\.boxState \(guarded by mu\) on a path where the lock is not held`
+}
+
+// BranchRelease is the case the lexical checker could not see: one
+// branch unlocks, then the merged path reads guarded state.
+func (b *Box) BranchRelease(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+	}
+	v := b.n // want `BranchRelease accesses Box\.n \(guarded by mu\) on a path where the lock is not held`
+	if !cond {
+		b.mu.Unlock()
+	}
+	// The path-insensitive CFG also contains the (infeasible)
+	// skip-both-branches path, which lockflow reports: correlated
+	// conditional unlocks are exactly the shape that rots into a real
+	// leak under maintenance.
+	return v // want `BranchRelease can return with b\.mu\.Lock still held`
+}
+
+// DeferredUnlock holds through the whole body: the deferred release
+// happens at return, so the read after it is fine.
+func (b *Box) DeferredUnlock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > 0 {
+		return b.n * 2
+	}
+	return b.n
+}
+
+// LockedOnBothArms acquires on every path before the access; the Must
+// meet keeps the fact through the join.
+func (b *Box) LockedOnBothArms(cond bool) int {
+	if cond {
+		b.mu.RLock()
+	} else {
+		b.mu.Lock()
+	}
+	v := b.n
+	if cond {
+		b.mu.RUnlock()
+	} else {
+		b.mu.Unlock()
+	}
+	return v
+}
+
+// GoClosure spawns a goroutine while holding the lock: the closure
+// runs later, when the spawner has released, so its access is flagged
+// even though the definition point is lock-held.
+func (b *Box) GoClosure(done chan struct{}) {
+	b.mu.Lock()
+	go func() {
+		_ = b.n // want `GoClosure accesses Box\.n \(guarded by mu\) on a path where the lock is not held`
+		close(done)
+	}()
+	b.mu.Unlock()
+}
+
+// SyncClosure defines (and synchronously calls) a closure under the
+// lock: it inherits the held state.
+func (b *Box) SyncClosure() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	read := func() int { return b.n }
+	return read()
 }
 
 // readLocked is exempt by name suffix: it documents a lock-held

@@ -1,0 +1,93 @@
+// Package lockbal exercises lockflow: a mutex acquired in a function
+// is released on every CFG path to return. S is deliberately NOT the
+// guarded-struct shape (no embedded state), so lockcheck stays silent
+// and the exit-balance findings stand alone.
+package lockbal
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// EarlyReturnLeak is the target bug: the error path returns while
+// still holding the lock.
+func (s *S) EarlyReturnLeak(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		return -1 // want `EarlyReturnLeak can return with s\.mu\.Lock still held`
+	}
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+// DeferBalanced is the canonical fix.
+func (s *S) DeferBalanced() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// BranchBalanced unlocks on each path explicitly.
+func (s *S) BranchBalanced(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return -1
+	}
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+// ReadLeak leaks the read side at the fallthrough end of the body.
+func (s *S) ReadLeak(skip bool) {
+	s.rw.RLock()
+	if skip {
+		s.rw.RUnlock()
+	}
+} // want `ReadLeak can return with s\.rw\.RLock still held`
+
+// DeferredClosure releases via a conditional unlock inside a deferred
+// closure — the ownership-handoff idiom; the defer counts as the
+// release.
+func (s *S) DeferredClosure() int {
+	s.mu.Lock()
+	locked := true
+	defer func() {
+		if locked {
+			s.mu.Unlock()
+		}
+	}()
+	v := s.n
+	return v
+}
+
+// PanicPath crashes while holding the lock on purpose: the process is
+// going down and torn state must stay hidden.
+func (s *S) PanicPath() {
+	s.mu.Lock()
+	if s.n < 0 {
+		panic("negative")
+	}
+	s.mu.Unlock()
+}
+
+// ClosureLeak: closures balance independently of the enclosing
+// function.
+func (s *S) ClosureLeak() func() {
+	return func() {
+		s.mu.Lock()
+	} // want `ClosureLeak \(closure\) can return with s\.mu\.Lock still held`
+}
+
+// Handoff intentionally returns holding the lock; the contract is
+// recorded in-line.
+func (s *S) Handoff() {
+	s.mu.Lock()
+	//lint:allow lockflow fixture: lock ownership transfers to the caller
+	return
+}

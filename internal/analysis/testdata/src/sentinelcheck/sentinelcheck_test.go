@@ -1,0 +1,14 @@
+// Test files get the syntactic discard check: in a server package any
+// all-blank assignment needs a recorded justification.
+package sentinelfix
+
+import "testing"
+
+var sink []byte
+
+func TestGuard(t *testing.T) {
+	sink = make([]byte, 8)
+	//lint:allow sentinelcheck fixture: guard reference keeps sink live for the alloc counter
+	_ = sink
+	_ = len(sink) // want `test discards a value with a blank assignment`
+}

@@ -21,4 +21,5 @@
 // exist only to arm socket deadlines.
 //
 //swat:deterministic
+//swat:server
 package cluster

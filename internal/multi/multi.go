@@ -14,6 +14,8 @@
 // guarded by its own lock), so batched ingest and the pairwise
 // correlation scan scale with cores. All Monitor methods are safe for
 // concurrent use.
+//
+//swat:server
 package multi
 
 import (

@@ -7,6 +7,7 @@
 // counts are directly comparable.
 //
 //swat:deterministic
+//swat:server
 package netsim
 
 import (

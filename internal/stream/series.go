@@ -2,6 +2,7 @@ package stream
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -27,7 +28,7 @@ func ReadCSV(r io.Reader, column int) ([]float64, error) {
 	row := 0
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -143,7 +143,7 @@ func readBinFrame(r io.Reader, buf []byte) (body, newBuf []byte, err error) {
 	}
 	body = buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, buf, err

@@ -46,14 +46,23 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "wire: server: " + e.Msg }
 
+// HandshakeTimeout bounds the v2 hello/helloAck exchange in
+// DialBinary. A server that accepted the TCP connection but stalled
+// before acking would otherwise park the dial — and any pool Get
+// queued behind it — forever.
+const HandshakeTimeout = 10 * time.Second
+
 // DialBinary connects to a server and negotiates protocol v2. Servers
 // predating v2 close the connection on the magic, which surfaces here
-// as a handshake error rather than silent misbehavior.
+// as a handshake error rather than silent misbehavior. The handshake
+// runs under HandshakeTimeout; the deadline is cleared once the ack
+// arrives.
 func DialBinary(addr string) (*BinClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
+	conn.SetDeadline(time.Now().Add(HandshakeTimeout))
 	c := &BinClient{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
 	c.wbuf = append(c.wbuf, binMagic[:]...)
 	c.wbuf = appendHelloFrame(c.wbuf)
@@ -74,6 +83,10 @@ func DialBinary(addr string) (*BinClient, error) {
 	if len(body) == 7 && body[0] == bfHelloAck && body[1] == binVersion {
 		c.policy = IngestPolicy(body[2])
 		c.queueCap = int(binary.BigEndian.Uint32(body[3:]))
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("wire: v2 handshake: %w", err)
+		}
 		return c, nil
 	}
 	defer conn.Close()
@@ -201,9 +214,12 @@ func (c *BinClient) FetchStreamSummary(name string) (*core.Summary, error) {
 
 // roundTripBin writes wbuf (flushing any buffered data frames ahead of
 // it) and reads one response frame, surfacing server error frames as
-// errors.
+// errors. Callers bound the round trip: BinPool.Do and the cluster
+// gathers arm SetDeadline around every call, and standalone users own
+// the deadline policy for their connection.
 //
 //swat:noalloc
+//swat:deadline-held
 func (c *BinClient) roundTripBin() ([]byte, error) {
 	if _, err := c.bw.Write(c.wbuf); err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"github.com/streamsum/swat/internal/core"
 	"github.com/streamsum/swat/internal/query"
@@ -16,6 +17,20 @@ type Client struct {
 	// rbuf is the reusable frame-body read buffer, grown to its
 	// high-water mark across round-trips.
 	rbuf []byte
+
+	// Timeout bounds each round trip (request write + response read);
+	// 0 means 30 seconds. Without it a hung server parks Feed or Query
+	// forever — the connection is healthy at the TCP level, so nothing
+	// else ever fails.
+	Timeout time.Duration
+}
+
+// timeout returns the effective per-round-trip bound.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
 }
 
 // Dial connects to a server.
@@ -30,8 +45,12 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and decodes one response.
+// roundTrip sends one request and decodes one response. The deadline
+// is cleared afterwards so a notify-reader goroutine sharing the
+// connection (Subscribe) keeps its unbounded waits.
 func (c *Client) roundTrip(req *Message) (*Message, error) {
+	c.conn.SetDeadline(time.Now().Add(c.timeout()))
+	defer c.conn.SetDeadline(time.Time{})
 	if err := WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}

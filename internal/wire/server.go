@@ -53,6 +53,11 @@ type Server struct {
 	// performs before cutting connections. 0 means 2 seconds.
 	ShutdownTimeout time.Duration
 
+	// WriteTimeout bounds every reply, error, and notify write so a
+	// stalled or dead peer cannot wedge a handler goroutine against a
+	// full send buffer. 0 means 30 seconds. Set before Listen.
+	WriteTimeout time.Duration
+
 	// IngestQueue bounds the binary data plane's pending batches; 0
 	// means 256. Set before Listen.
 	IngestQueue int
@@ -301,8 +306,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.lnMu.Unlock()
 	}()
 	var first [4]byte
+	//lint:allow deadline the first-byte wait IS the idle connection; Close/dropConn bounds it
 	if _, err := io.ReadFull(conn, first[:]); err != nil {
-		if err != io.EOF {
+		if !errors.Is(err, io.EOF) {
 			s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
 		}
 		return
@@ -319,26 +325,29 @@ func (s *Server) handle(conn net.Conn) {
 // reused across the connection's lifetime (satellite of the v2 work:
 // v1 compat mode no longer pays a make per frame).
 func (s *Server) handleV1(conn net.Conn, firstLen uint32) {
+	//lint:allow deadline the wait for each request is the idle connection; Close bounds it
 	req, buf, err := readFrameBody(conn, firstLen, nil)
 	for {
 		if err != nil {
-			if err != io.EOF {
+			if !errors.Is(err, io.EOF) {
 				s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
 		resp := s.dispatch(conn, req)
-		if werr := s.writeResponse(conn, resp); werr != nil {
+		if werr := s.respond(conn, resp); werr != nil {
 			s.Logf("wire: %v: %v", conn.RemoteAddr(), werr)
 			return
 		}
+		//lint:allow deadline the wait for the next request is the idle connection; Close bounds it
 		req, buf, err = ReadFrameBuf(conn, buf)
 	}
 }
 
-// writeResponse pushes a frame, coordinating with asynchronous notify
-// frames targeted at the same connection.
-func (s *Server) writeResponse(conn net.Conn, resp *Message) error {
+// respond pushes a reply frame under the server's write deadline,
+// coordinating with asynchronous notify frames targeted at the same
+// connection.
+func (s *Server) respond(conn net.Conn, resp *Message) error {
 	s.subscribers.mu.Lock()
 	sub := s.subscribers.byID[conn]
 	s.subscribers.mu.Unlock()
@@ -346,7 +355,16 @@ func (s *Server) writeResponse(conn net.Conn, resp *Message) error {
 		sub.mu.Lock()
 		defer sub.mu.Unlock()
 	}
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 	return WriteFrame(conn, resp)
+}
+
+// writeTimeout returns the effective reply-write bound.
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return 30 * time.Second
 }
 
 // dispatch executes one request against the tree.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"github.com/streamsum/swat/internal/codec"
 )
@@ -57,7 +58,7 @@ func (s *Server) handleBinary(conn net.Conn) {
 		return
 	}
 	bc.wbuf = appendHelloAckFrame(bc.wbuf[:0], s.Policy, cap(s.ingest.ch))
-	if _, err := conn.Write(bc.wbuf); err != nil {
+	if err := s.binWrite(bc); err != nil {
 		s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -65,7 +66,7 @@ func (s *Server) handleBinary(conn net.Conn) {
 		body, rbuf, err := readBinFrame(bc.br, bc.rbuf)
 		bc.rbuf = rbuf
 		if err != nil {
-			if err != io.EOF {
+			if !errors.Is(err, io.EOF) {
 				s.Logf("wire: %v: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -95,8 +96,7 @@ func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
 		return s.handleQueryBatch(bc, body[1:])
 	case bfStats:
 		bc.wbuf = appendStatsResFrame(bc.wbuf[:0], s.statsV2())
-		_, err := bc.conn.Write(bc.wbuf)
-		return err
+		return s.binWrite(bc)
 	case bfSumReq:
 		if len(body) != 1 {
 			return errFrameTruncated
@@ -112,8 +112,7 @@ func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
 			return nil
 		}
 		bc.wbuf = codec.Finish(bc.wbuf, 0)
-		_, err := bc.conn.Write(bc.wbuf)
-		return err
+		return s.binWrite(bc)
 	case bfSData:
 		return s.handleStreamData(bc, body[1:])
 	case bfSQuery:
@@ -125,8 +124,7 @@ func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
 			return errFrameTruncated
 		}
 		bc.wbuf = appendU64Frame(bc.wbuf[:0], bfPong, binary.BigEndian.Uint64(body[1:]))
-		_, err := bc.conn.Write(bc.wbuf)
-		return err
+		return s.binWrite(bc)
 	default:
 		return errFrameType
 	}
@@ -175,8 +173,7 @@ func (s *Server) handleQueryBatch(bc *binConn, payload []byte) error {
 		return nil
 	}
 	bc.wbuf = appendAnswerFrame(bc.wbuf[:0], dst)
-	_, err := bc.conn.Write(bc.wbuf)
-	return err
+	return s.binWrite(bc)
 }
 
 // statsV2 assembles the v2 stats frame payload: tree counters plus the
@@ -199,7 +196,15 @@ func (s *Server) statsV2() StatsV2 {
 // binError pushes an error frame, best-effort.
 func (s *Server) binError(bc *binConn, err error) {
 	bc.wbuf = appendErrorFrame(bc.wbuf[:0], err.Error())
-	if _, werr := bc.conn.Write(bc.wbuf); werr != nil {
+	if werr := s.binWrite(bc); werr != nil {
 		s.Logf("wire: %v: %v", bc.conn.RemoteAddr(), werr)
 	}
+}
+
+// binWrite sends the reply frame assembled in bc.wbuf under the
+// server's write deadline.
+func (s *Server) binWrite(bc *binConn) error {
+	bc.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+	_, err := bc.conn.Write(bc.wbuf)
+	return err
 }

@@ -147,8 +147,7 @@ func (s *Server) handleStreamQuery(bc *binConn, payload []byte) error {
 		return nil
 	}
 	bc.wbuf = appendStreamAnswerFrame(bc.wbuf[:0], val, bound, h.tree.Arrivals())
-	_, werr := bc.conn.Write(bc.wbuf)
-	return werr
+	return s.binWrite(bc)
 }
 
 // handleStreamSummary replies to an ssum frame with the named stream's
@@ -174,6 +173,5 @@ func (s *Server) handleStreamSummary(bc *binConn, payload []byte) error {
 		return nil
 	}
 	bc.wbuf = codec.Finish(bc.wbuf, 0)
-	_, werr := bc.conn.Write(bc.wbuf)
-	return werr
+	return s.binWrite(bc)
 }

@@ -91,6 +91,7 @@ func (s *Server) notifySubscribers() {
 	state.mu.Unlock()
 	for _, sub := range conns {
 		sub.mu.Lock()
+		sub.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		for id, ws := range sub.subs {
 			v, err := s.tree.InnerProduct(ws.q.Ages, ws.q.Weights)
 			if err != nil {
@@ -198,6 +199,7 @@ func (c *Client) Subscribe(q query.Query, minChange float64) (int, <-chan Notifi
 		return 0, nil, fmt.Errorf("wire: unexpected response %q", resp.Type)
 	}
 	ch := make(chan Notification, 16)
+	//lint:allow goroexit the reader exits when the connection closes: ReadFrameBuf fails and the loop returns
 	go func() {
 		defer close(ch)
 		// The subscription loop owns the connection's read side from
@@ -205,6 +207,7 @@ func (c *Client) Subscribe(q query.Query, minChange float64) (int, <-chan Notifi
 		buf := c.rbuf
 		c.rbuf = nil
 		for {
+			//lint:allow deadline the wait for the next notify is unbounded by design; conn close ends it
 			m, next, rerr := ReadFrameBuf(c.conn, buf)
 			if rerr != nil {
 				return

@@ -14,11 +14,14 @@
 // internal/netsim: cmd/swatd serves a stream and cmd/swatquery queries
 // it; examples/netcluster wires several processes' worth of components
 // together in one binary.
+//
+//swat:server
 package wire
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -108,7 +111,7 @@ func ReadFrame(r io.Reader) (*Message, error) {
 func ReadFrameBuf(r io.Reader, buf []byte) (*Message, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, buf, io.EOF
 		}
 		return nil, buf, fmt.Errorf("wire: read header: %w", err)
