@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race race-merge race-cluster verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-cluster bench-cluster-smoke bench-smoke fuzz-smoke
+.PHONY: build test test-short vet lint race race-merge race-cluster race-migrate verify cover bench bench-hotpath bench-query bench-wire bench-merge bench-cluster bench-cluster-smoke bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,18 @@ race-merge:
 race-cluster:
 	$(GO) test -race -count=1 ./internal/wire ./internal/cluster
 
-verify: build vet lint test race race-merge race-cluster bench-smoke bench-cluster-smoke fuzz-smoke
+# The live-resharding proofs under the race detector: the netsim
+# migration scenarios (scripted source crashes, transfers cut at
+# arbitrary offsets, partitions mid-cutover) plus the socket-level
+# Rebalance and chunked-transfer suites. Every run asserts honest
+# bounds at every step, gap-free monotone transfer ledgers, and
+# byte-identical post-migration state against a golden run.
+race-migrate:
+	$(GO) test -race -count=1 -run 'TestMigrate' ./internal/netsim/scenario
+	$(GO) test -race -count=1 -run 'TestRebalance|TestMig|TestEpoch' ./internal/cluster ./internal/wire
+	$(GO) test -race -count=1 -run 'TestTransfer|TestResetToSummary' ./internal/core
+
+verify: build vet lint test race race-merge race-cluster race-migrate bench-smoke bench-cluster-smoke fuzz-smoke
 
 # Short coverage-guided fuzzing on every fuzz target (v1 and v2 frame
 # decoding, dispatch, batched-update equivalence, snapshot decoding,
@@ -65,6 +76,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzServerDispatch$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBinaryFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeMigFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUpdateBatchEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMergeEquivalence$$' -fuzztime $(FUZZTIME)

@@ -61,6 +61,19 @@ type result struct {
 	PerNode        []nodeLoad `json:"per_node,omitempty"`
 	PointAllMillis float64    `json:"pointall_ms,omitempty"`
 	RollUpMillis   float64    `json:"rollup_ms,omitempty"`
+	// RingEpoch is the client's placement version; Migration is present
+	// while a Rebalance is in flight on the sampled client.
+	RingEpoch uint64          `json:"ring_epoch,omitempty"`
+	Migration *migrationState `json:"migration,omitempty"`
+}
+
+// migrationState is the in-flight Rebalance snapshot, when any.
+type migrationState struct {
+	FromEpoch     uint64 `json:"from_epoch"`
+	ToEpoch       uint64 `json:"to_epoch"`
+	MovedStreams  int    `json:"moved_streams"`
+	TotalMoves    int    `json:"total_moves"`
+	CurrentStream string `json:"current_stream,omitempty"`
 }
 
 // nodeLoad is one node's share of the sharded ingest.
@@ -68,6 +81,9 @@ type nodeLoad struct {
 	Addr           string  `json:"addr"`
 	EnqueuedValues uint64  `json:"enqueued_values"`
 	Share          float64 `json:"share"`
+	// RingEpoch is the fence epoch the node reports; a node behind the
+	// client's epoch has not yet learned of the latest reshard.
+	RingEpoch uint64 `json:"ring_epoch"`
 }
 
 // percentile returns the p-th percentile of sorted durations, in
@@ -86,8 +102,10 @@ type connStats struct {
 	retries      uint64
 	lats         []time.Duration
 	err          error
-	// Cluster worker 0 only: post-run gather round trips.
+	// Cluster worker 0 only: post-run gather round trips and the
+	// client's placement snapshot.
 	pointAllMS, rollUpMS float64
+	clStats              *cluster.Stats
 }
 
 // runV2 streams binary batches on one connection until deadline,
@@ -192,6 +210,8 @@ func runCluster(cfg cluster.Config, worker, streams, batch int, seed int64, dead
 			return cs
 		}
 		cs.rollUpMS = float64(time.Since(start)) / float64(time.Millisecond)
+		st := c.Stats()
+		cs.clStats = &st
 	}
 	return cs
 }
@@ -313,6 +333,9 @@ func main() {
 				if st, err := c.Stats(); err == nil {
 					nl.EnqueuedValues = st.EnqueuedValues
 				}
+				if e, err := c.RingEpoch(); err == nil {
+					nl.RingEpoch = e
+				}
 				c.Close()
 			}
 			total += nl.EnqueuedValues
@@ -321,6 +344,16 @@ func main() {
 		for i := range res.PerNode {
 			if total > 0 {
 				res.PerNode[i].Share = float64(res.PerNode[i].EnqueuedValues) / float64(total)
+			}
+		}
+		if st := all[0].clStats; st != nil {
+			res.RingEpoch = st.Epoch
+			if st.Migrating {
+				res.Migration = &migrationState{
+					FromEpoch: st.FromEpoch, ToEpoch: st.ToEpoch,
+					MovedStreams: st.MovedStreams, TotalMoves: st.TotalMoves,
+					CurrentStream: st.CurrentStream,
+				}
 			}
 		}
 	}
@@ -351,9 +384,13 @@ func main() {
 	}
 	fmt.Printf("swatload %s: %d conns, %d values/msg, %.1fs\n", res.Proto, res.Conns, res.Batch, res.Seconds)
 	if res.Nodes > 0 {
-		fmt.Printf("  %d nodes, %d named streams\n", res.Nodes, res.Streams)
+		fmt.Printf("  %d nodes, %d named streams, ring epoch %d\n", res.Nodes, res.Streams, res.RingEpoch)
+		if m := res.Migration; m != nil {
+			fmt.Printf("  migration in flight: epoch %d -> %d, %d/%d streams moved (current %q)\n",
+				m.FromEpoch, m.ToEpoch, m.MovedStreams, m.TotalMoves, m.CurrentStream)
+		}
 		for _, nl := range res.PerNode {
-			fmt.Printf("    %s: %d values (%.0f%% of the fleet)\n", nl.Addr, nl.EnqueuedValues, nl.Share*100)
+			fmt.Printf("    %s: %d values (%.0f%% of the fleet), epoch %d\n", nl.Addr, nl.EnqueuedValues, nl.Share*100, nl.RingEpoch)
 		}
 		fmt.Printf("  scatter-gather: PointAll %.1fms, RollUp %.1fms over %d streams\n", res.PointAllMillis, res.RollUpMillis, *nstreams)
 	}

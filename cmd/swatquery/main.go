@@ -9,12 +9,16 @@
 //	swatquery feed -value 17.5
 //	swatquery summary -out cpu.swsm
 //	swatquery merge -with 10.0.0.2:7467,10.0.0.3:7467 -lo 0 -hi 1 -age 5
+//	swatquery epoch
+//	swatquery epoch -set 3
 //
 // The subcommand selects the operation; flags after it configure it.
-// summary and merge speak wire protocol v2 (the others use v1): summary
-// fetches the server tree's mergeable summary, and merge rolls up the
-// summaries of several servers locally — the distributed-roll-up flow of
-// internal/core/merge.go driven from the command line.
+// summary, merge, and epoch speak wire protocol v2 (the others use v1):
+// summary fetches the server tree's mergeable summary, merge rolls up
+// the summaries of several servers locally — the distributed-roll-up
+// flow of internal/core/merge.go driven from the command line — and
+// epoch reads (or, with -set, fences forward) the server's ring epoch,
+// the placement version live resharding cuts over on.
 package main
 
 import (
@@ -39,7 +43,10 @@ func usage() {
   merge -with A[,B...] [-lo X -hi Y] [-age N]
                                          merge servers' summaries locally;
                                          -lo/-hi declare the value range
-                                         needed to bound skewed merges`)
+                                         needed to bound skewed merges
+  epoch [-set N]                         read the server's ring epoch, or
+                                         fence it forward to N (v2);
+                                         epochs only ever advance`)
 	os.Exit(2)
 }
 
@@ -71,6 +78,12 @@ func main() {
 			fatal(fmt.Errorf("merge needs -with"))
 		}
 		runMerge(append([]string{*addr}, strings.Split(*with, ",")...), *lo, *hi, *age)
+		return
+	case "epoch":
+		fs := flag.NewFlagSet("epoch", flag.ExitOnError)
+		set := fs.Uint64("set", 0, "fence the server's ring epoch forward to this value")
+		parse(fs, args)
+		runEpoch(*addr, *set)
 		return
 	}
 
@@ -185,6 +198,31 @@ func runSummary(addr, out string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(frame), out)
+}
+
+// runEpoch reads the server's ring epoch, optionally fencing it
+// forward first. A -set below the current epoch is a no-op on the
+// server (epochs never regress); the printed value is always the
+// server's authoritative answer.
+func runEpoch(addr string, set uint64) {
+	c, err := wire.DialBinary(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	if set > 0 {
+		e, err := c.SetRingEpoch(set)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch=%d\n", e)
+		return
+	}
+	e, err := c.RingEpoch()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("epoch=%d\n", e)
 }
 
 func runMerge(addrs []string, lo, hi float64, age int) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/streamsum/swat/internal/core"
@@ -79,21 +80,39 @@ type node struct {
 	v1c  *wire.Client
 }
 
+// placement is one consistent view of the fleet: the ring and the node
+// handles it routes to, swapped as a unit. Readers load it once per
+// operation so a concurrent Rebalance can never hand them a new ring
+// over old pools (or vice versa); node objects are shared between
+// consecutive placements for retained members, so held feed connections
+// and pool statistics survive a reshard.
+type placement struct {
+	ring  *Ring
+	nodes map[string]*node
+	order []string // sorted node addresses, for deterministic walks
+}
+
 // Client shards streams across the fleet. Create with New, release
 // with Close.
 type Client struct {
 	cfg   Config
-	ring  *Ring
 	opts  core.Options
 	mopts core.MergeOptions
-	nodes map[string]*node
-	order []string // sorted node addresses, for deterministic walks
+
+	// pl is the current placement; Rebalance swaps it atomically at
+	// cutover.
+	pl atomic.Pointer[placement]
 
 	// regMu guards the stream registry: every stream ever ingested and
 	// how many values were handed to the wire for it (the roll-up
 	// stand-in target for shards that stop answering).
 	regMu sync.Mutex
 	sent  map[string]int64
+
+	// migMu serializes Rebalance calls; progress under it is published
+	// through mig for Stats.
+	migMu sync.Mutex
+	mig   atomic.Pointer[migProgress]
 }
 
 // New validates the config and builds the ring and pools. No
@@ -117,39 +136,50 @@ func New(cfg Config) (*Client, error) {
 	}
 	c := &Client{
 		cfg:   cfg,
-		ring:  ring,
 		opts:  opts,
 		mopts: mopts,
-		nodes: make(map[string]*node, len(all)),
 		sent:  make(map[string]int64),
 	}
 	v1set := make(map[string]bool, len(cfg.V1Nodes))
 	for _, a := range cfg.V1Nodes {
 		v1set[a] = true
 	}
+	p := &placement{ring: ring, nodes: make(map[string]*node, len(all))}
 	for _, a := range ring.Nodes() {
 		n := &node{addr: a, v1: v1set[a]}
 		if !n.v1 {
-			// Per-pool jitter seeds derive from the ring seed and the
-			// address, so a fleet of clients sharing one config still
-			// desynchronizes its retry storms deterministically.
-			n.pool = &wire.BinPool{
-				Addr:    a,
-				MaxIdle: cfg.ConnsPerNode,
-				Seed:    int64(fnv1aString(seedBasis(seed), a) | 1),
-			}
+			n.pool = c.newPool(a)
 		}
-		c.nodes[a] = n
-		c.order = append(c.order, a)
+		p.nodes[a] = n
+		p.order = append(p.order, a)
 	}
+	c.pl.Store(p)
 	return c, nil
 }
 
-// Ring exposes the placement ring (e.g. for tests and tooling).
-func (c *Client) Ring() *Ring { return c.ring }
+// newPool builds one node's connection pool. Per-pool jitter seeds
+// derive from the ring seed and the address, so a fleet of clients
+// sharing one config still desynchronizes its retry storms
+// deterministically.
+func (c *Client) newPool(addr string) *wire.BinPool {
+	seed := c.cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &wire.BinPool{
+		Addr:    addr,
+		MaxIdle: c.cfg.ConnsPerNode,
+		Seed:    int64(fnv1aString(seedBasis(seed), addr) | 1),
+	}
+}
+
+// Ring exposes the current placement ring (e.g. for tests and
+// tooling). A concurrent Rebalance may swap it; callers needing one
+// consistent view across several lookups hold the returned ring.
+func (c *Client) Ring() *Ring { return c.pl.Load().ring }
 
 // Owner returns the node address a stream is placed on.
-func (c *Client) Owner(stream string) string { return c.ring.Owner(stream) }
+func (c *Client) Owner(stream string) string { return c.pl.Load().ring.Owner(stream) }
 
 // Streams returns every stream this client has ingested, sorted.
 func (c *Client) Streams() []string {
@@ -209,6 +239,7 @@ func (c *Client) ObserveBatch(batches []Batch) error {
 	if len(batches) == 0 {
 		return nil
 	}
+	p := c.pl.Load()
 	buckets := make(map[*node][]Batch)
 	for _, b := range batches {
 		if b.Stream == "" {
@@ -217,7 +248,7 @@ func (c *Client) ObserveBatch(batches []Batch) error {
 		if len(b.Values) == 0 {
 			continue
 		}
-		n := c.nodes[c.ring.Owner(b.Stream)]
+		n := p.nodes[p.ring.Owner(b.Stream)]
 		buckets[n] = append(buckets[n], b)
 	}
 	errs := make([]error, 0, len(buckets))
@@ -225,8 +256,8 @@ func (c *Client) ObserveBatch(batches []Batch) error {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	for _, addr := range c.order {
-		n := c.nodes[addr]
+	for _, addr := range p.order {
+		n := p.nodes[addr]
 		bs := buckets[n]
 		if len(bs) == 0 {
 			continue
@@ -234,7 +265,7 @@ func (c *Client) ObserveBatch(batches []Batch) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := c.sendTo(n, bs); err != nil {
+			if err := c.sendTo(p, n, bs); err != nil {
 				mu.Lock()
 				errs = append(errs, err)
 				mu.Unlock()
@@ -250,8 +281,10 @@ func (c *Client) ObserveStream(stream string, vs []float64) error {
 	return c.ObserveBatch([]Batch{{Stream: stream, Values: vs}})
 }
 
-// sendTo writes one node's bucket on its held connection.
-func (c *Client) sendTo(n *node, batches []Batch) error {
+// sendTo writes one node's bucket on its held connection, stamped with
+// the placement's ring epoch so the server can refuse the batch if the
+// fleet has moved on to a newer ring.
+func (c *Client) sendTo(p *placement, n *node, batches []Batch) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.v1 {
@@ -264,6 +297,7 @@ func (c *Client) sendTo(n *node, batches []Batch) error {
 		}
 		n.feed = feed
 	}
+	n.feed.SetEpoch(p.ring.Epoch())
 	for i, b := range batches {
 		if err := n.feed.FeedStream(b.Stream, b.Values); err != nil {
 			n.pool.Discard(n.feed)
@@ -313,13 +347,14 @@ func (c *Client) recordSent(stream string, nvals int64) {
 // prior batch has been read by its server (under the block policy,
 // also enqueued). v1 nodes are synchronous by construction.
 func (c *Client) Sync() error {
+	p := c.pl.Load()
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		errs []error
 	)
-	for _, addr := range c.order {
-		n := c.nodes[addr]
+	for _, addr := range p.order {
+		n := p.nodes[addr]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -347,9 +382,10 @@ func (c *Client) Sync() error {
 // Close releases every connection and pool. The client must not be
 // used afterwards.
 func (c *Client) Close() error {
+	p := c.pl.Load()
 	var errs []error
-	for _, addr := range c.order {
-		n := c.nodes[addr]
+	for _, addr := range p.order {
+		n := p.nodes[addr]
 		n.mu.Lock()
 		if n.feed != nil {
 			if err := n.feed.Close(); err != nil {
@@ -381,9 +417,10 @@ type PoolStats struct {
 
 // Pools snapshots every v2 node pool's stats, sorted by address.
 func (c *Client) Pools() []PoolStats {
-	out := make([]PoolStats, 0, len(c.order))
-	for _, addr := range c.order {
-		n := c.nodes[addr]
+	p := c.pl.Load()
+	out := make([]PoolStats, 0, len(p.order))
+	for _, addr := range p.order {
+		n := p.nodes[addr]
 		if n.pool == nil {
 			continue
 		}

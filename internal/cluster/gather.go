@@ -63,12 +63,14 @@ func (c *Client) degradedAnswer(stream string, cause error) PointAnswer {
 // half-width bound rather than failing; a reachable owner that refuses
 // (cold tree, unknown stream) surfaces its error.
 func (c *Client) Point(stream string, age int) PointAnswer {
-	n := c.nodes[c.ring.Owner(stream)]
+	p := c.pl.Load()
+	n := p.nodes[p.ring.Owner(stream)]
 	if n.v1 {
 		return c.pointV1(n, stream, age)
 	}
 	var out PointAnswer
 	err := n.pool.Do(func(bc *wire.BinClient) error {
+		bc.SetEpoch(p.ring.Epoch())
 		bc.SetDeadline(deadline(c.timeout()))
 		defer bc.SetDeadline(time.Time{})
 		var e error
@@ -123,9 +125,10 @@ func (c *Client) PointAll(age int) ([]PointAnswer, error) {
 	if len(streams) == 0 {
 		return nil, nil
 	}
+	p := c.pl.Load()
 	byOwner := make(map[*node][]int)
 	for i, s := range streams {
-		n := c.nodes[c.ring.Owner(s)]
+		n := p.nodes[p.ring.Owner(s)]
 		byOwner[n] = append(byOwner[n], i)
 	}
 	out := make([]PointAnswer, len(streams))
@@ -134,8 +137,8 @@ func (c *Client) PointAll(age int) ([]PointAnswer, error) {
 		mu       sync.Mutex
 		answered int
 	)
-	for _, addr := range c.order {
-		n := c.nodes[addr]
+	for _, addr := range p.order {
+		n := p.nodes[addr]
 		idxs := byOwner[n]
 		if len(idxs) == 0 {
 			continue
@@ -143,7 +146,7 @@ func (c *Client) PointAll(age int) ([]PointAnswer, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if c.pointNode(n, streams, idxs, age, out) {
+			if c.pointNode(p, n, streams, idxs, age, out) {
 				mu.Lock()
 				answered++
 				mu.Unlock()
@@ -161,7 +164,7 @@ func (c *Client) PointAll(age int) ([]PointAnswer, error) {
 // the node answered. Per-stream remote refusals (cold tree) keep the
 // node answered on both the v1 and v2 paths; a transport failure
 // degrades the remaining streams and counts the node as unanswered.
-func (c *Client) pointNode(n *node, streams []string, idxs []int, age int, out []PointAnswer) bool {
+func (c *Client) pointNode(p *placement, n *node, streams []string, idxs []int, age int, out []PointAnswer) bool {
 	if n.v1 {
 		for _, i := range idxs {
 			out[i] = c.pointV1(n, streams[i], age)
@@ -169,6 +172,7 @@ func (c *Client) pointNode(n *node, streams []string, idxs []int, age int, out [
 		return answeredAll(out, idxs)
 	}
 	err := n.pool.Do(func(bc *wire.BinClient) error {
+		bc.SetEpoch(p.ring.Epoch())
 		bc.SetDeadline(deadline(c.timeout()))
 		defer bc.SetDeadline(time.Time{})
 		for k, i := range idxs {
@@ -259,10 +263,11 @@ func (c *Client) RollUp() (*RollUp, error) {
 	if len(streams) == 0 {
 		return nil, errors.New("cluster: no streams registered")
 	}
+	p := c.pl.Load()
 	byOwner := make(map[*node][]string)
 	v2Owners := 0
 	for _, s := range streams {
-		n := c.nodes[c.ring.Owner(s)]
+		n := p.nodes[p.ring.Owner(s)]
 		if _, seen := byOwner[n]; !seen && !n.v1 {
 			v2Owners++
 		}
@@ -274,8 +279,8 @@ func (c *Client) RollUp() (*RollUp, error) {
 		mu      sync.Mutex
 		nodesOK int
 	)
-	for _, addr := range c.order {
-		n := c.nodes[addr]
+	for _, addr := range p.order {
+		n := p.nodes[addr]
 		names := byOwner[n]
 		if len(names) == 0 || n.v1 {
 			continue // v1 nodes cannot export summaries; stand-ins below
@@ -283,7 +288,7 @@ func (c *Client) RollUp() (*RollUp, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if c.fetchNode(n, names, results) {
+			if c.fetchNode(p, n, names, results) {
 				mu.Lock()
 				nodesOK++
 				mu.Unlock()
@@ -379,8 +384,9 @@ func (c *Client) RollUp() (*RollUp, error) {
 // sending each to the folding loop as it lands. Reports whether the
 // node answered (at least reachably; per-stream refusals and a partial
 // delivery don't count against it).
-func (c *Client) fetchNode(n *node, names []string, results chan<- fetched) bool {
+func (c *Client) fetchNode(p *placement, n *node, names []string, results chan<- fetched) bool {
 	err := n.pool.Do(func(bc *wire.BinClient) error {
+		bc.SetEpoch(p.ring.Epoch())
 		bc.SetDeadline(deadline(c.timeout()))
 		defer bc.SetDeadline(time.Time{})
 		for k, s := range names {

@@ -30,19 +30,38 @@ type ringPoint struct {
 // Ring is an immutable consistent-hash ring. Build one with NewRing;
 // derive changed fleets with WithNode/WithoutNode. Methods are safe
 // for concurrent use.
+//
+// Every ring carries an epoch: a monotonically increasing version of
+// the membership within one derivation lineage. NewRing starts at 1;
+// each WithNode/WithoutNode derivation increments it. The epoch is the
+// fencing token of live resharding (see Rebalance): clients stamp it
+// on stream frames and servers refuse frames from older epochs, so a
+// mixed-placement window is detected instead of double-counted.
 type Ring struct {
 	seed   int64
 	vnodes int
+	epoch  uint64
 	nodes  []string // sorted, unique
 	points []ringPoint
 }
 
-// NewRing builds a ring over the given node addresses. Duplicates are
-// rejected (a duplicated address would silently double that node's
-// share). vnodes <= 0 means DefaultVNodes.
+// NewRing builds a ring over the given node addresses at epoch 1.
+// Duplicates are rejected (a duplicated address would silently double
+// that node's share). vnodes <= 0 means DefaultVNodes.
 func NewRing(seed int64, vnodes int, nodes []string) (*Ring, error) {
+	return NewRingAt(seed, vnodes, nodes, 1)
+}
+
+// NewRingAt builds a ring at an explicit epoch. Use it to reconstruct
+// a ring whose lineage advanced in another process (an operator who
+// knows the fleet is at epoch N builds the matching ring directly).
+// Epoch 0 is reserved as "unversioned" on the wire and rejected here.
+func NewRingAt(seed int64, vnodes int, nodes []string, epoch uint64) (*Ring, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	if epoch == 0 {
+		return nil, errors.New("cluster: ring epoch 0 is reserved for unversioned frames")
 	}
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
@@ -57,7 +76,7 @@ func NewRing(seed int64, vnodes int, nodes []string) (*Ring, error) {
 			return nil, fmt.Errorf("cluster: duplicate node %q", n)
 		}
 	}
-	r := &Ring{seed: seed, vnodes: vnodes, nodes: sorted}
+	r := &Ring{seed: seed, vnodes: vnodes, epoch: epoch, nodes: sorted}
 	r.rebuild()
 	return r, nil
 }
@@ -104,6 +123,15 @@ func (r *Ring) Nodes() []string {
 // Len returns the member count.
 func (r *Ring) Len() int { return len(r.nodes) }
 
+// Epoch returns the ring's membership version.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Seed returns the placement seed shared by every ring in a lineage.
+func (r *Ring) Seed() int64 { return r.seed }
+
+// VNodes returns the virtual-point count per node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
 // Owner maps a stream key to the node that owns it.
 func (r *Ring) Owner(key string) string {
 	h := fmix64(fnv1aString(seedBasis(r.seed), key))
@@ -114,14 +142,14 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].node
 }
 
-// WithNode derives the ring with one more member. The receiver is
-// unchanged.
+// WithNode derives the ring with one more member at epoch+1. The
+// receiver is unchanged.
 func (r *Ring) WithNode(node string) (*Ring, error) {
-	return NewRing(r.seed, r.vnodes, append(r.Nodes(), node))
+	return NewRingAt(r.seed, r.vnodes, append(r.Nodes(), node), r.epoch+1)
 }
 
-// WithoutNode derives the ring with one member removed. The receiver
-// is unchanged.
+// WithoutNode derives the ring with one member removed at epoch+1.
+// The receiver is unchanged.
 func (r *Ring) WithoutNode(node string) (*Ring, error) {
 	kept := make([]string, 0, len(r.nodes))
 	for _, n := range r.nodes {
@@ -132,7 +160,7 @@ func (r *Ring) WithoutNode(node string) (*Ring, error) {
 	if len(kept) == len(r.nodes) {
 		return nil, fmt.Errorf("cluster: node %q not in ring", node)
 	}
-	return NewRing(r.seed, r.vnodes, kept)
+	return NewRingAt(r.seed, r.vnodes, kept, r.epoch+1)
 }
 
 // FNV-1a, seeded by folding the seed's bytes in before the payload.

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -171,6 +172,82 @@ func TestRingLoadEvenness(t *testing.T) {
 				t.Errorf("fleet of %d: node %q holds %.2f× the even share (counts %v)", n, node, share, counts)
 			}
 		}
+	}
+}
+
+// TestRingEpochLineage property-tests the versioning invariants that
+// live resharding fences on: NewRing starts at epoch 1, epoch 0 is
+// unconstructible (reserved as "unversioned" on the wire), and every
+// WithNode/WithoutNode derivation increments the epoch by exactly one
+// while leaving the receiver untouched — a random walk of membership
+// changes yields a strictly increasing epoch sequence.
+func TestRingEpochLineage(t *testing.T) {
+	if _, err := NewRingAt(1, 0, []string{"a:1"}, 0); err == nil {
+		t.Fatal("epoch 0 accepted; it is reserved for unversioned frames")
+	}
+	r, err := NewRing(3, 16, []string{"n0:1", "n1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("NewRing epoch = %d, want 1", r.Epoch())
+	}
+	rng := rand.New(rand.NewSource(17))
+	next := 2
+	for step := 0; step < 40; step++ {
+		before := r.Epoch()
+		var derived *Ring
+		if r.Len() > 1 && rng.Intn(2) == 0 {
+			derived, err = r.WithoutNode(r.Nodes()[rng.Intn(r.Len())])
+		} else {
+			derived, err = r.WithNode(fmt.Sprintf("extra-%d:1", step))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Epoch() != before {
+			t.Fatalf("step %d: derivation mutated the receiver's epoch (%d -> %d)", step, before, r.Epoch())
+		}
+		if got := derived.Epoch(); got != before+1 {
+			t.Fatalf("step %d: derived epoch = %d, want strict increment %d", step, got, before+1)
+		}
+		if got := derived.Epoch(); got != uint64(next) {
+			t.Fatalf("step %d: epoch sequence broke: %d, want %d", step, got, next)
+		}
+		next++
+		r = derived
+	}
+}
+
+// TestRingEqualEpochBitIdentical pins the coordinator-free equality
+// property the epoch protocol leans on: two rings constructed from the
+// same (seed, vnodes, node set, epoch) — whether built directly or
+// reached by derivation — are identical in every field, virtual points
+// included, so any two clients that agree on the lineage agree on the
+// whole placement.
+func TestRingEqualEpochBitIdentical(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	r1, err := NewRingAt(9, 32, nodes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRingAt(9, 32, []string{"c:1", "a:1", "b:1"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("equal-epoch rings from permuted inputs differ")
+	}
+	base, err := NewRingAt(9, 32, []string{"a:1", "b:1", "c:1", "d:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := base.WithoutNode("d:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(derived, r1) {
+		t.Fatal("derived ring differs from the directly built ring at the same epoch")
 	}
 }
 

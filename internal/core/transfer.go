@@ -1,0 +1,192 @@
+package core
+
+// Chunked, resumable summary transfer: the core half of live summary
+// handoff between nodes (see internal/cluster.Rebalance). A transfer
+// snapshots one tree's canonical summary encoding and serves it in
+// arbitrary-sized chunks; an assembly accumulates chunks strictly in
+// order on the receiving side and decodes once complete.
+//
+// The resume token is the assembly's contiguous byte count (Have), and
+// the CRC32C of the whole encoding is the resume fence: a transfer may
+// only resume into an assembly opened for the same (total, crc) pair.
+// If the source re-snapshots and the bytes changed, the CRC changes,
+// the fence trips, and the receiver restarts from zero instead of
+// splicing two different encodings together. Because the canonical
+// encoding is deterministic (AppendSummary), equal CRCs over equal
+// lengths mean the byte ranges already applied are identical to the
+// ones a fresh transfer would carry, so resuming never re-sends — and
+// never needs to re-send — completed chunks.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/streamsum/swat/internal/codec"
+)
+
+// MaxTransferSize bounds the summary encoding one assembly will agree
+// to accumulate. A summary's size is proportional to the tree geometry
+// (ring + coefficient planes), far below this; the cap exists so a
+// hostile or corrupt header can't make the receiver pre-commit an
+// unbounded buffer.
+const MaxTransferSize = 64 << 20
+
+var (
+	// ErrTransferFence reports a resume attempt whose (total, crc)
+	// identity does not match the assembly's — the source snapshot
+	// changed and the transfer must restart from offset zero.
+	ErrTransferFence = errors.New("core: transfer identity mismatch, restart from zero")
+	// ErrTransferGap reports a chunk landing past the contiguous
+	// prefix; assemblies accept bytes strictly in order.
+	ErrTransferGap = errors.New("core: transfer chunk past contiguous prefix")
+)
+
+// SummaryTransfer is an immutable snapshot of one tree's canonical
+// summary encoding, ready to serve in chunks. Safe for concurrent use.
+type SummaryTransfer struct {
+	data []byte
+	crc  uint32
+}
+
+// NewSummaryTransfer snapshots the tree's summary encoding.
+func NewSummaryTransfer(t *Tree) *SummaryTransfer {
+	data := t.AppendSummary(nil)
+	return &SummaryTransfer{data: data, crc: codec.Checksum(data)}
+}
+
+// TransferFromBytes wraps an already-encoded summary (as produced by
+// AppendSummary) without re-encoding. The bytes are retained.
+func TransferFromBytes(data []byte) *SummaryTransfer {
+	return &SummaryTransfer{data: data, crc: codec.Checksum(data)}
+}
+
+// Len returns the total encoded size in bytes.
+func (tr *SummaryTransfer) Len() int64 { return int64(len(tr.data)) }
+
+// CRC returns the CRC32C of the whole encoding — the transfer's
+// identity for resume fencing.
+func (tr *SummaryTransfer) CRC() uint32 { return tr.crc }
+
+// Chunk returns the bytes at [off, off+max), clipped to the encoding's
+// end. The slice aliases the snapshot; callers must not modify it. An
+// offset at or past the end returns an empty chunk; a negative offset
+// or non-positive max is an error.
+func (tr *SummaryTransfer) Chunk(off int64, max int) ([]byte, error) {
+	if off < 0 || max <= 0 {
+		return nil, fmt.Errorf("core: transfer chunk request off=%d max=%d", off, max)
+	}
+	if off >= int64(len(tr.data)) {
+		return nil, nil
+	}
+	end := off + int64(max)
+	if end > int64(len(tr.data)) {
+		end = int64(len(tr.data))
+	}
+	return tr.data[off:end], nil
+}
+
+// SummaryAssembly accumulates one transfer's chunks on the receiving
+// side. Not safe for concurrent use; the owner serializes access.
+type SummaryAssembly struct {
+	buf   []byte
+	total int64
+	crc   uint32
+}
+
+// NewSummaryAssembly opens an assembly for a transfer of the given
+// identity. The total is validated against MaxTransferSize before any
+// allocation, and the buffer grows with the contiguous prefix rather
+// than pre-committing the declared size, so hostile headers cost
+// nothing.
+func NewSummaryAssembly(total int64, crc uint32) (*SummaryAssembly, error) {
+	if total <= 0 || total > MaxTransferSize {
+		return nil, fmt.Errorf("core: transfer size %d out of range (0, %d]", total, MaxTransferSize)
+	}
+	return &SummaryAssembly{total: total, crc: crc}, nil
+}
+
+// Total returns the declared encoding size.
+func (a *SummaryAssembly) Total() int64 { return a.total }
+
+// CRC returns the declared whole-encoding CRC32C.
+func (a *SummaryAssembly) CRC() uint32 { return a.crc }
+
+// Have returns the contiguous byte count received so far — the resume
+// token a source consults to avoid re-sending completed chunks.
+func (a *SummaryAssembly) Have() int64 { return int64(len(a.buf)) }
+
+// Matches reports whether the assembly was opened for a transfer of
+// the given identity.
+func (a *SummaryAssembly) Matches(total int64, crc uint32) bool {
+	return a.total == total && a.crc == crc
+}
+
+// Append lands one chunk at the given offset. Chunks must extend the
+// contiguous prefix: an offset past Have is ErrTransferGap. Chunks
+// that lie entirely within the prefix are idempotent no-ops (a retry
+// of an already-applied write), and a chunk straddling the prefix
+// boundary applies only its new suffix, so duplicated deliveries
+// cannot corrupt the buffer. Overflow past the declared total is an
+// error.
+func (a *SummaryAssembly) Append(off int64, chunk []byte) error {
+	if off < 0 {
+		return fmt.Errorf("core: transfer append at negative offset %d", off)
+	}
+	have := int64(len(a.buf))
+	if off > have {
+		return ErrTransferGap
+	}
+	end := off + int64(len(chunk))
+	if end > a.total {
+		return fmt.Errorf("core: transfer append to %d overflows declared size %d", end, a.total)
+	}
+	if end <= have {
+		return nil // fully duplicated delivery
+	}
+	a.buf = append(a.buf, chunk[have-off:]...)
+	return nil
+}
+
+// Complete returns true once every declared byte has arrived.
+func (a *SummaryAssembly) Complete() bool { return int64(len(a.buf)) == a.total }
+
+// Transfer converts a completed assembly into a servable transfer for
+// the next hop — the relay step of driver-mediated handoff, where the
+// migration driver pulls from the old owner and pushes to the new one.
+// The bytes are verified against the declared CRC first, so a driver
+// never forwards a corrupted encoding.
+func (a *SummaryAssembly) Transfer() (*SummaryTransfer, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("core: transfer incomplete: %d of %d bytes", len(a.buf), a.total)
+	}
+	if got := codec.Checksum(a.buf); got != a.crc {
+		return nil, fmt.Errorf("core: transfer checksum mismatch: got %#x want %#x", got, a.crc)
+	}
+	return &SummaryTransfer{data: a.buf, crc: a.crc}, nil
+}
+
+// Summary verifies the assembled bytes against the declared identity
+// and decodes them. Only valid once Complete.
+func (a *SummaryAssembly) Summary() (*Summary, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("core: transfer incomplete: %d of %d bytes", len(a.buf), a.total)
+	}
+	if got := codec.Checksum(a.buf); got != a.crc {
+		return nil, fmt.Errorf("core: transfer checksum mismatch: got %#x want %#x", got, a.crc)
+	}
+	return DecodeSummary(a.buf)
+}
+
+// ResetToSummary replaces the tree's state with the state a summary
+// describes, in place: the Tree pointer stays valid, so caches holding
+// it (a wire server's stream handles) observe the new state without
+// re-resolution. This is the install step of summary handoff — the new
+// owner adopts the migrated stream's exact history.
+func (t *Tree) ResetToSummary(s *Summary) error {
+	st, err := stateFromSummary(s)
+	if err != nil {
+		return err
+	}
+	t.install(st)
+	return nil
+}

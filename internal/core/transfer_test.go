@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/streamsum/swat/internal/stream"
+)
+
+// Tests for chunked, resumable summary transfer: the byte-level half
+// of live summary handoff. The properties pinned here are the ones the
+// migration driver leans on — cuts at every byte offset resume without
+// re-sending or corrupting anything, the CRC fence refuses cross-
+// snapshot splices, and an installed tree is byte-identical to its
+// source.
+
+// transferTree builds a warm tree whose summary spans several chunks at
+// small chunk sizes.
+func transferTree(t testing.TB) *Tree {
+	t.Helper()
+	return feedTree(t, Options{WindowSize: 128, Coefficients: 8}, stream.Uniform(11), 300)
+}
+
+// TestTransferRoundTrip moves a summary in every chunk size from 1 byte
+// to past the whole encoding and installs it; the installed tree's
+// canonical encoding must equal the source's exactly.
+func TestTransferRoundTrip(t *testing.T) {
+	tr := transferTree(t)
+	xfer := NewSummaryTransfer(tr)
+	want := tr.AppendSummary(nil)
+	if xfer.Len() != int64(len(want)) {
+		t.Fatalf("transfer length %d, encoding length %d", xfer.Len(), len(want))
+	}
+	for _, chunk := range []int{1, 7, 64, int(xfer.Len()), int(xfer.Len()) + 100} {
+		asm, err := NewSummaryAssembly(xfer.Len(), xfer.CRC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !asm.Complete() {
+			data, err := xfer.Chunk(asm.Have(), chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := asm.Append(asm.Have(), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := asm.Summary()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		dst, err := New(Options{WindowSize: 128, Coefficients: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.ResetToSummary(sum); err != nil {
+			t.Fatal(err)
+		}
+		if got := dst.AppendSummary(nil); !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: installed tree's encoding differs from the source's", chunk)
+		}
+		if dst.Arrivals() != tr.Arrivals() {
+			t.Fatalf("chunk %d: installed arrivals %d, want %d", chunk, dst.Arrivals(), tr.Arrivals())
+		}
+	}
+}
+
+// TestTransferResumeAtEveryOffset cuts the transfer after every
+// possible contiguous prefix and resumes it into the same assembly:
+// the resume must start exactly at Have (no byte re-sent), and the
+// result must decode identically.
+func TestTransferResumeAtEveryOffset(t *testing.T) {
+	tr := transferTree(t)
+	xfer := NewSummaryTransfer(tr)
+	n := xfer.Len()
+	// Step through cut points (every offset would be O(n²) over a
+	// multi-KB encoding; a stride plus the edges covers the boundary
+	// arithmetic).
+	cuts := []int64{0, 1, 2, n / 2, n - 2, n - 1, n}
+	for off := int64(3); off < n; off += 97 {
+		cuts = append(cuts, off)
+	}
+	for _, cut := range cuts {
+		asm, err := NewSummaryAssembly(n, xfer.CRC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First leg: deliver exactly `cut` bytes, then "lose" the
+		// connection.
+		for asm.Have() < cut {
+			data, err := xfer.Chunk(asm.Have(), int(cut-asm.Have()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := asm.Append(asm.Have(), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if asm.Have() != cut {
+			t.Fatalf("cut %d: prefix %d", cut, asm.Have())
+		}
+		// Resume leg: continue from the resume token.
+		for !asm.Complete() {
+			data, err := xfer.Chunk(asm.Have(), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := asm.Append(asm.Have(), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := asm.Summary(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+	}
+}
+
+// TestTransferAppendDiscipline pins the assembly's ordering rules:
+// gaps refuse, duplicates are no-ops, straddles apply only the new
+// suffix, overflow past the declared total refuses.
+func TestTransferAppendDiscipline(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	xfer := TransferFromBytes(payload)
+	asm, err := NewSummaryAssembly(xfer.Len(), xfer.CRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Append(4, payload[4:8]); !errors.Is(err, ErrTransferGap) {
+		t.Fatalf("gap append: %v, want ErrTransferGap", err)
+	}
+	if err := asm.Append(0, payload[:8]); err != nil {
+		t.Fatal(err)
+	}
+	// Fully duplicated delivery: a no-op.
+	if err := asm.Append(0, payload[:4]); err != nil || asm.Have() != 8 {
+		t.Fatalf("duplicate append: err=%v have=%d", err, asm.Have())
+	}
+	// Straddling delivery: only the suffix past Have applies.
+	if err := asm.Append(4, payload[4:12]); err != nil || asm.Have() != 12 {
+		t.Fatalf("straddling append: err=%v have=%d", err, asm.Have())
+	}
+	// Overflow past the declared total.
+	if err := asm.Append(12, append([]byte(nil), payload[12:]...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Append(16, []byte("x")); err == nil {
+		t.Fatal("overflow append accepted")
+	}
+	sum := asm.Have()
+	if sum != 16 || !asm.Complete() {
+		t.Fatalf("have=%d complete=%v", sum, asm.Complete())
+	}
+	// A duplicated byte stream must have produced the original bytes.
+	reborn, err := asm.Transfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reborn.Chunk(0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled bytes differ: %q err=%v", got, err)
+	}
+}
+
+// TestTransferHostileHeaders pins the cheap refusal of bad identities:
+// out-of-range totals never allocate an assembly, corrupt bytes never
+// survive the CRC, and incomplete assemblies refuse to decode.
+func TestTransferHostileHeaders(t *testing.T) {
+	for _, total := range []int64{0, -1, MaxTransferSize + 1} {
+		if _, err := NewSummaryAssembly(total, 0); err == nil {
+			t.Errorf("total %d accepted", total)
+		}
+	}
+	payload := []byte("0123456789abcdef")
+	xfer := TransferFromBytes(payload)
+	if !(&SummaryAssembly{total: xfer.Len(), crc: xfer.CRC()}).Matches(xfer.Len(), xfer.CRC()) {
+		t.Fatal("matching identity refused")
+	}
+	asm, err := NewSummaryAssembly(xfer.Len(), xfer.CRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.Matches(xfer.Len(), xfer.CRC()+1) || asm.Matches(xfer.Len()+1, xfer.CRC()) {
+		t.Fatal("mismatched identity accepted")
+	}
+	if _, err := asm.Summary(); err == nil {
+		t.Fatal("incomplete assembly decoded")
+	}
+	if _, err := asm.Transfer(); err == nil {
+		t.Fatal("incomplete assembly converted to a transfer")
+	}
+	// Corrupt one byte relative to the declared CRC: completion is
+	// reached but both decode paths must refuse.
+	bad := append([]byte(nil), payload...)
+	bad[3] ^= 0x40
+	if err := asm.Append(0, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Summary(); err == nil {
+		t.Fatal("corrupt assembly decoded")
+	}
+	if _, err := asm.Transfer(); err == nil {
+		t.Fatal("corrupt assembly converted to a transfer")
+	}
+	// Chunk request validation.
+	if _, err := xfer.Chunk(-1, 4); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := xfer.Chunk(0, 0); err == nil {
+		t.Fatal("non-positive max accepted")
+	}
+	if data, err := xfer.Chunk(xfer.Len(), 4); err != nil || len(data) != 0 {
+		t.Fatalf("past-end chunk: %q err=%v, want empty", data, err)
+	}
+}
+
+// TestResetToSummaryKeepsTreePointer pins the install-in-place
+// property the wire server's stream-handle caches rely on: the Tree
+// pointer answers from the new state without re-resolution.
+func TestResetToSummaryKeepsTreePointer(t *testing.T) {
+	src := transferTree(t)
+	sum := src.Export()
+	dst, err := New(Options{WindowSize: 128, Coefficients: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Update(1)
+	alias := dst // the cached pointer a server would hold
+	if err := dst.ResetToSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	if alias.Arrivals() != src.Arrivals() {
+		t.Fatalf("aliased tree sees %d arrivals, want %d", alias.Arrivals(), src.Arrivals())
+	}
+	wantV, wantB, err := src.BoundedPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV, gotB, err := alias.BoundedPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV != wantV || gotB != wantB {
+		t.Fatalf("aliased tree answers (%v ± %v), want (%v ± %v)", gotV, gotB, wantV, wantB)
+	}
+}

@@ -59,6 +59,39 @@ func (m *Monitor) MergeFrom(src *Monitor, o core.MergeOptions) error {
 	return nil
 }
 
+// InstallSummary replaces the named stream's state with the state the
+// summary describes — the install step of summary handoff during live
+// resharding (see internal/cluster.Rebalance). Unlike MergeSummary
+// nothing is folded: afterwards the stream is exactly the tree the
+// summary was exported from. An unregistered name is registered first.
+// Durable monitors refuse, for the same reason merges do: the WAL
+// replays raw arrivals and cannot reproduce an installed state.
+func (m *Monitor) InstallSummary(name string, s *core.Summary) error {
+	if err := m.mergeable(); err != nil {
+		return err
+	}
+	idx, err := m.indexOf(name)
+	if err != nil {
+		if err = m.Add(name); err != nil {
+			return fmt.Errorf("multi: install into %q: %w", name, err)
+		}
+		if idx, err = m.indexOf(name); err != nil {
+			return err
+		}
+	}
+	m.reg.RLock()
+	tree := m.trees[idx]
+	m.reg.RUnlock()
+	sh := m.shardOf(idx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := tree.ResetToSummary(s); err != nil {
+		return fmt.Errorf("multi: install into %q: %w", name, err)
+	}
+	m.arrived[idx] = tree.Arrivals()
+	return nil
+}
+
 // mergeable rejects merging into closed or durable monitors.
 func (m *Monitor) mergeable() error {
 	m.reg.RLock()

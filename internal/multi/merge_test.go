@@ -203,3 +203,56 @@ func TestMergeClosedMonitorRejected(t *testing.T) {
 		t.Fatal("merge into closed monitor accepted")
 	}
 }
+
+// TestInstallSummaryReplacesStreamState pins the handoff install step:
+// the stream afterwards is exactly the exported tree (replace, not
+// merge), unknown names register on the way in, the arrival ledger
+// follows the installed state, and durable monitors refuse.
+func TestInstallSummaryReplacesStreamState(t *testing.T) {
+	opts := Options{WindowSize: 64, Coefficients: 4}
+	src := mustMonitor(t, opts)
+	defer src.Close()
+	dst := mustMonitor(t, opts)
+	defer dst.Close()
+	feedStream(t, src, "cpu", 21, 96)
+	// Pre-existing divergent state on the destination must be replaced
+	// wholesale, not folded in.
+	feedStream(t, dst, "cpu", 22, 10)
+
+	srcTree, err := src.Tree("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.InstallSummary("cpu", srcTree.Export()); err != nil {
+		t.Fatal(err)
+	}
+	dstTree, err := dst.Tree("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dstTree.AppendSummary(nil), srcTree.AppendSummary(nil); !bytes.Equal(got, want) {
+		t.Fatal("installed stream differs from the exported tree")
+	}
+	// An unregistered name registers on install.
+	if err := dst.InstallSummary("mem", srcTree.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Tree("mem"); err != nil {
+		t.Fatalf("installed stream not registered: %v", err)
+	}
+	// The arrival ledger follows, so a later MergeFrom doesn't judge
+	// the installed stream as lagging.
+	if err := dst.ObserveBatch("cpu", []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dstTree.Arrivals(); got != srcTree.Arrivals()+1 {
+		t.Fatalf("arrivals after install+1: %d, want %d", got, srcTree.Arrivals()+1)
+	}
+
+	durable := mustMonitor(t, Options{WindowSize: 64, Coefficients: 4, DataDir: t.TempDir()})
+	defer durable.Close()
+	if err := durable.InstallSummary("cpu", srcTree.Export()); err == nil ||
+		!strings.Contains(err.Error(), "durable") {
+		t.Fatalf("durable install: %v, want refusal", err)
+	}
+}

@@ -37,15 +37,15 @@ func TestStreamCodecDoesNotAllocate(t *testing.T) {
 			return err
 		}
 
-		frame = appendStreamDataFrame(frame[:0], name, vals)
+		frame = appendStreamDataFrame(frame[:0], name, 1, vals)
 		var err error
-		_, decVals, err = decodeStreamDataFrame(frame[codec.HeaderLen+1:], decVals[:0])
+		_, _, decVals, err = decodeStreamDataFrame(frame[codec.HeaderLen+1:], decVals[:0])
 		if err != nil || len(decVals) != len(vals) {
 			return errFrameLength
 		}
 
-		frame = appendStreamQueryFrame(frame[:0], name, 3)
-		if _, _, err := decodeStreamQueryFrame(frame[codec.HeaderLen+1:]); err != nil {
+		frame = appendStreamQueryFrame(frame[:0], name, 1, 3)
+		if _, _, _, err := decodeStreamQueryFrame(frame[codec.HeaderLen+1:]); err != nil {
 			return err
 		}
 
@@ -54,7 +54,7 @@ func TestStreamCodecDoesNotAllocate(t *testing.T) {
 			return err
 		}
 
-		frame = appendStreamSumFrame(frame[:0], name)
+		frame = appendStreamSumFrame(frame[:0], name, 1)
 		return nil
 	}
 	for i := 0; i < 3; i++ {
@@ -146,11 +146,11 @@ func TestStreamHandlersDoNotAllocate(t *testing.T) {
 	for i := range vals {
 		vals[i] = float64(i)
 	}
-	dataBody, _, err := codec.Next(appendStreamDataFrame(nil, "alpha", vals), MaxFrame)
+	dataBody, _, err := codec.Next(appendStreamDataFrame(nil, "alpha", 0, vals), MaxFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
-	queryBody, _, err := codec.Next(appendStreamQueryFrame(nil, "alpha", 0), MaxFrame)
+	queryBody, _, err := codec.Next(appendStreamQueryFrame(nil, "alpha", 0, 0), MaxFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,5 +185,43 @@ func TestStreamHandlersDoNotAllocate(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("stream handlers allocate %v times per cycle, want 0", allocs)
+	}
+}
+
+// TestEpochPathDoesNotAllocate pins the ring-epoch hot path every
+// stream-addressed frame crosses: appendEpoch stamping the client
+// frame, splitEpoch parsing it back, and the server's epochAdopt /
+// epochCheck adopt-forward rule.
+func TestEpochPathDoesNotAllocate(t *testing.T) {
+	srv, err := NewServer(core.Options{WindowSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	run := func() error {
+		buf = appendEpoch(buf[:0], 7)
+		e, rest, err := splitEpoch(buf)
+		if err != nil || e != 7 || len(rest) != 0 {
+			return errFrameLength
+		}
+		srv.epochAdopt(e)
+		return srv.epochCheck(e)
+	}
+	for i := 0; i < 3; i++ {
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var fail error
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := run(); err != nil {
+			fail = err
+		}
+	})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if allocs != 0 {
+		t.Errorf("epoch path allocates %v times per cycle, want 0", allocs)
 	}
 }

@@ -36,10 +36,19 @@ package wire
 //	error     s→c  utf8 message
 //	sumReq    c→s  (empty)
 //	sumRes    s→c  one summary codec frame (core.AppendSummary encoding)
-//	sdata     c→s  u16 nameLen | name | u32 count | count×f64
-//	squery    c→s  u16 nameLen | name | u32 age
+//	sdata     c→s  u64 epoch | u16 nameLen | name | u32 count | count×f64
+//	squery    c→s  u64 epoch | u16 nameLen | name | u32 age
 //	sanswer   s→c  f64 value | f64 bound | u64 arrivals
-//	ssum      c→s  u16 nameLen | name   (reply: sumRes for that stream)
+//	ssum      c→s  u64 epoch | u16 nameLen | name  (reply: sumRes)
+//	epoch     c→s  u8 op (0 get, 1 set) | u64 epoch
+//	epochRes  s→c  u64 epoch   (the server's epoch after the op)
+//	migRead   c→s  u16 nameLen | name | u64 offset | u32 crc | u32 max
+//	migChunk  s→c  u64 offset | u64 total | u32 crc | u32 n | n bytes
+//	migWrite  c→s  u16 nameLen | name | u64 offset | u64 total |
+//	               u32 crc | u32 n | n bytes
+//	migStat   c→s  u16 nameLen | name
+//	migCommit c→s  u16 nameLen | name | u64 total | u32 crc | u64 epoch
+//	migState  s→c  u64 have | u64 total | u32 crc | u8 committed
 //
 // Data frames are one-way: the client streams them without per-frame
 // acknowledgements (the 10× win over v1's request/response data plane)
@@ -96,6 +105,19 @@ const (
 	bfSQuery  = 0x0E
 	bfSAnswer = 0x0F
 	bfSSum    = 0x10
+	// Live-resharding control plane (see migrate.go): epoch get/set is
+	// the v2 control frame a node learns its ring version through;
+	// migRead/migChunk export a stream's summary from its old owner in
+	// resumable chunks, migWrite/migStat/migCommit land it on the new
+	// owner, all fenced by the transfer's whole-encoding CRC32C.
+	bfEpoch     = 0x11
+	bfEpochRes  = 0x12
+	bfMigRead   = 0x13
+	bfMigChunk  = 0x14
+	bfMigWrite  = 0x15
+	bfMigStat   = 0x16
+	bfMigCommit = 0x17
+	bfMigState  = 0x18
 )
 
 const (
@@ -345,9 +367,15 @@ type StatsV2 struct {
 	EnqueuedValues uint64
 	ShedValues     uint64
 	IngestErrors   uint64
+	// Epoch is the server's ring epoch (0 until a versioned client or
+	// an operator sets one); EpochRefusals counts stream frames refused
+	// for carrying an older epoch — nonzero means some client routed on
+	// a stale placement and was fenced.
+	Epoch         uint64
+	EpochRefusals uint64
 }
 
-const statsResLen = 1 + 8 + 4 + 4 + 1 + 1 + 4 + 4 + 8 + 8 + 8
+const statsResLen = 1 + 8 + 4 + 4 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8
 
 // appendStatsResFrame appends one statsRes frame.
 //
@@ -369,6 +397,8 @@ func appendStatsResFrame(dst []byte, st StatsV2) []byte {
 	binary.BigEndian.PutUint64(b[27:], st.EnqueuedValues)
 	binary.BigEndian.PutUint64(b[35:], st.ShedValues)
 	binary.BigEndian.PutUint64(b[43:], st.IngestErrors)
+	binary.BigEndian.PutUint64(b[51:], st.Epoch)
+	binary.BigEndian.PutUint64(b[59:], st.EpochRefusals)
 	dst = append(dst, b[:]...)
 	return codec.Finish(dst, start)
 }
@@ -389,6 +419,8 @@ func decodeStatsResFrame(payload []byte) (StatsV2, error) {
 		EnqueuedValues: binary.BigEndian.Uint64(payload[26:]),
 		ShedValues:     binary.BigEndian.Uint64(payload[34:]),
 		IngestErrors:   binary.BigEndian.Uint64(payload[42:]),
+		Epoch:          binary.BigEndian.Uint64(payload[50:]),
+		EpochRefusals:  binary.BigEndian.Uint64(payload[58:]),
 	}, nil
 }
 

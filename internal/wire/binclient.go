@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +30,10 @@ type BinClient struct {
 
 	// next is the running value index the next FeedBatch will claim.
 	next uint64
+
+	// epoch stamps every stream-addressed frame with the client's ring
+	// version (see SetEpoch and migrate.go); 0 sends unversioned.
+	epoch uint64
 
 	// policy and queueCap are the server's negotiated backpressure
 	// parameters from the hello ack.
@@ -58,11 +63,25 @@ const HandshakeTimeout = 10 * time.Second
 // runs under HandshakeTimeout; the deadline is cleared once the ack
 // arrives.
 func DialBinary(addr string) (*BinClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialBinaryContext(context.Background(), addr)
+}
+
+// DialBinaryContext is DialBinary under a context: the TCP connect
+// respects ctx cancellation, and the handshake deadline is the earlier
+// of HandshakeTimeout and the context deadline. This is what lets a
+// Rebalance cap total time lost to a dead node — without it a connect
+// to a black-holed address can park for the OS's SYN-retry budget.
+func DialBinaryContext(ctx context.Context, addr string) (*BinClient, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	conn.SetDeadline(time.Now().Add(HandshakeTimeout))
+	hdl := time.Now().Add(HandshakeTimeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(hdl) {
+		hdl = cd
+	}
+	conn.SetDeadline(hdl)
 	c := &BinClient{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
 	c.wbuf = append(c.wbuf, binMagic[:]...)
 	c.wbuf = appendHelloFrame(c.wbuf)
@@ -172,7 +191,7 @@ func (c *BinClient) FeedStream(name string, vs []float64) error {
 	if len(vs) == 0 {
 		return nil
 	}
-	c.wbuf = appendStreamDataFrame(c.wbuf[:0], name, vs)
+	c.wbuf = appendStreamDataFrame(c.wbuf[:0], name, c.epoch, vs)
 	_, err := c.bw.Write(c.wbuf)
 	return err
 }
@@ -184,7 +203,7 @@ func (c *BinClient) StreamPoint(name string, age int) (val, bound float64, arriv
 	if len(name) == 0 || len(name) > maxStreamName {
 		return 0, 0, 0, errStreamName
 	}
-	c.wbuf = appendStreamQueryFrame(c.wbuf[:0], name, age)
+	c.wbuf = appendStreamQueryFrame(c.wbuf[:0], name, c.epoch, age)
 	body, err := c.roundTripBin()
 	if err != nil {
 		return 0, 0, 0, err
@@ -201,7 +220,7 @@ func (c *BinClient) FetchStreamSummary(name string) (*core.Summary, error) {
 	if len(name) == 0 || len(name) > maxStreamName {
 		return nil, errStreamName
 	}
-	c.wbuf = appendStreamSumFrame(c.wbuf[:0], name)
+	c.wbuf = appendStreamSumFrame(c.wbuf[:0], name, c.epoch)
 	body, err := c.roundTripBin()
 	if err != nil {
 		return nil, err

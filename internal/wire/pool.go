@@ -12,6 +12,7 @@ package wire
 // desynchronizes its retry storms.
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -123,6 +124,15 @@ func (p *BinPool) backoffFor(attempt int) time.Duration {
 // fresh dial with up to MaxAttempts tries under backoff. The caller
 // must return it with Put (healthy) or Discard (poisoned).
 func (p *BinPool) Get() (*BinClient, error) {
+	return p.GetCtx(context.Background())
+}
+
+// GetCtx is Get with the total dial time — connects, handshakes, and
+// the backoff sleeps between attempts — capped by the context's
+// deadline. A Rebalance probing a dead new owner uses this to fail the
+// migration fast instead of parking in the full retry schedule; a
+// cancellation between attempts surfaces as the context's error.
+func (p *BinPool) GetCtx(ctx context.Context) (*BinClient, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -139,9 +149,14 @@ func (p *BinPool) Get() (*BinClient, error) {
 	for attempt := 0; attempt < p.maxAttempts(); attempt++ {
 		if attempt > 0 {
 			p.retries.Add(1)
-			time.Sleep(p.backoffFor(attempt - 1))
+			if err := sleepCtx(ctx, p.backoffFor(attempt-1)); err != nil {
+				if lastErr != nil {
+					return nil, errors.Join(lastErr, err)
+				}
+				return nil, err
+			}
 		}
-		c, err := DialBinary(p.Addr)
+		c, err := DialBinaryContext(ctx, p.Addr)
 		if err == nil {
 			p.dials.Add(1)
 			return c, nil
@@ -153,8 +168,27 @@ func (p *BinPool) Get() (*BinClient, error) {
 			// cannot help.
 			break
 		}
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	return nil, lastErr
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Put returns a healthy client for reuse. Buffered data frames are
@@ -198,13 +232,27 @@ func (p *BinPool) Discard(c *BinClient) {
 // Do is for reads (queries, summaries, stats); one-way ingest manages
 // its own at-most-once accounting.
 func (p *BinPool) Do(fn func(*BinClient) error) error {
+	return p.DoCtx(context.Background(), fn)
+}
+
+// DoCtx is Do with every dial and backoff sleep capped by the
+// context's deadline (see GetCtx). fn itself is not interrupted —
+// callers that need bounded round trips arm SetDeadline on the client
+// as usual — but a dead server can no longer stretch the attempt
+// schedule past the context.
+func (p *BinPool) DoCtx(ctx context.Context, fn func(*BinClient) error) error {
 	var lastErr error
 	for attempt := 0; attempt < p.maxAttempts(); attempt++ {
 		if attempt > 0 {
 			p.retries.Add(1)
-			time.Sleep(p.backoffFor(attempt - 1))
+			if err := sleepCtx(ctx, p.backoffFor(attempt-1)); err != nil {
+				if lastErr != nil {
+					return errors.Join(lastErr, err)
+				}
+				return err
+			}
 		}
-		c, err := p.Get()
+		c, err := p.GetCtx(ctx)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/streamsum/swat/internal/core"
@@ -37,6 +38,17 @@ type Server struct {
 	streamMu   sync.Mutex
 	monitor    *multi.Monitor
 	streamRefs map[string]streamHandle
+
+	// Live-resharding state (see migrate.go). epoch is the ring version
+	// this node believes current: stream frames from older epochs are
+	// refused (counted in epochRefusals) so a stale placement cannot
+	// double-count values across owners. mig holds per-stream inbound
+	// summary transfers; it lives on the server, not the connection, so
+	// an interrupted transfer resumes across reconnects.
+	epoch         atomic.Uint64
+	epochRefusals atomic.Uint64
+	migMu         sync.Mutex
+	mig           map[string]*migEntry
 
 	lnMu  sync.Mutex
 	ln    net.Listener

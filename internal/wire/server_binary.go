@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/streamsum/swat/internal/codec"
+	"github.com/streamsum/swat/internal/core"
 )
 
 // binConn is one v2 connection's reusable state: frame read/write
@@ -36,6 +37,14 @@ type binConn struct {
 	sname   []byte
 	shandle streamHandle
 	scached bool
+
+	// Export-side summary-transfer snapshot (see migrate.go): the
+	// stream being served to a migration driver, pinned so successive
+	// migRead chunks come from one consistent encoding. Per connection,
+	// not per server — a reconnecting driver re-snapshots, and the CRC
+	// fence decides whether its resume offset is still valid.
+	expName []byte
+	exp     *core.SummaryTransfer
 }
 
 // handleBinary serves one v2 connection after its magic has been
@@ -125,6 +134,16 @@ func (s *Server) dispatchBinary(bc *binConn, body []byte) error {
 		}
 		bc.wbuf = appendU64Frame(bc.wbuf[:0], bfPong, binary.BigEndian.Uint64(body[1:]))
 		return s.binWrite(bc)
+	case bfEpoch:
+		return s.handleEpoch(bc, body[1:])
+	case bfMigRead:
+		return s.handleMigRead(bc, body[1:])
+	case bfMigWrite:
+		return s.handleMigWrite(bc, body[1:])
+	case bfMigStat:
+		return s.handleMigStat(bc, body[1:])
+	case bfMigCommit:
+		return s.handleMigCommit(bc, body[1:])
 	default:
 		return errFrameType
 	}
@@ -190,6 +209,8 @@ func (s *Server) statsV2() StatsV2 {
 		EnqueuedValues: s.ingest.enqueued.Load(),
 		ShedValues:     s.ingest.shed.Load(),
 		IngestErrors:   s.ingest.errs.Load(),
+		Epoch:          s.epoch.Load(),
+		EpochRefusals:  s.epochRefusals.Load(),
 	}
 }
 

@@ -109,8 +109,16 @@ func (bc *binConn) resolveStream(s *Server, name []byte, autoAdd bool) (streamHa
 //swat:noalloc
 func (s *Server) handleStreamData(bc *binConn, payload []byte) error {
 	b := s.ingest.get()
-	name, vals, err := decodeStreamDataFrame(payload, b.vals[:0])
+	name, epoch, vals, err := decodeStreamDataFrame(payload, b.vals[:0])
 	if err != nil {
+		s.ingest.put(b)
+		return err
+	}
+	// Stale-epoch data is fatal to the connection, like a sequence
+	// break: the path is one-way, so there is no reply slot to refuse
+	// in, and applying even one batch routed by an old ring would
+	// double-count it against the stream's new owner.
+	if err := s.epochCheck(epoch); err != nil {
 		s.ingest.put(b)
 		return err
 	}
@@ -132,9 +140,13 @@ func (s *Server) handleStreamData(bc *binConn, payload []byte) error {
 //
 //swat:noalloc
 func (s *Server) handleStreamQuery(bc *binConn, payload []byte) error {
-	name, age, err := decodeStreamQueryFrame(payload)
+	name, epoch, age, err := decodeStreamQueryFrame(payload)
 	if err != nil {
 		return err
+	}
+	if err := s.epochCheck(epoch); err != nil {
+		s.binError(bc, err)
+		return nil
 	}
 	h, err := bc.resolveStream(s, name, false)
 	if err != nil {
@@ -153,12 +165,20 @@ func (s *Server) handleStreamQuery(bc *binConn, payload []byte) error {
 // handleStreamSummary replies to an ssum frame with the named stream's
 // canonical summary in an ordinary sumRes frame.
 func (s *Server) handleStreamSummary(bc *binConn, payload []byte) error {
+	epoch, payload, err := splitEpoch(payload)
+	if err != nil {
+		return err
+	}
 	name, rest, err := splitStreamName(payload)
 	if err != nil {
 		return err
 	}
 	if len(rest) != 0 {
 		return errFrameLength
+	}
+	if err := s.epochCheck(epoch); err != nil {
+		s.binError(bc, err)
+		return nil
 	}
 	h, err := bc.resolveStream(s, name, false)
 	if err != nil {

@@ -16,17 +16,20 @@ import (
 // encode → frame-split → decode reproduces names and payloads exactly.
 func TestStreamFrameRoundTrips(t *testing.T) {
 	vals := []float64{1.5, -2.25, 0, 3e9}
-	frame := appendStreamDataFrame(nil, "cpu.load", vals)
+	frame := appendStreamDataFrame(nil, "cpu.load", 3, vals)
 	body := frame[codec.HeaderLen:]
 	if body[0] != bfSData {
 		t.Fatalf("data frame type = %#x, want bfSData", body[0])
 	}
-	name, got, err := decodeStreamDataFrame(body[1:], nil)
+	name, epoch, got, err := decodeStreamDataFrame(body[1:], nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(name) != "cpu.load" {
 		t.Errorf("name = %q", name)
+	}
+	if epoch != 3 {
+		t.Errorf("epoch = %d, want 3", epoch)
 	}
 	if len(got) != len(vals) {
 		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
@@ -37,13 +40,13 @@ func TestStreamFrameRoundTrips(t *testing.T) {
 		}
 	}
 
-	q := appendStreamQueryFrame(nil, "cpu.load", 7)
-	qname, age, err := decodeStreamQueryFrame(q[codec.HeaderLen+1:])
+	q := appendStreamQueryFrame(nil, "cpu.load", 9, 7)
+	qname, qepoch, age, err := decodeStreamQueryFrame(q[codec.HeaderLen+1:])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(qname) != "cpu.load" || age != 7 {
-		t.Errorf("query decoded as (%q, %d)", qname, age)
+	if string(qname) != "cpu.load" || qepoch != 9 || age != 7 {
+		t.Errorf("query decoded as (%q, %d, %d)", qname, qepoch, age)
 	}
 
 	a := appendStreamAnswerFrame(nil, 3.5, 0.25, 42)
@@ -57,18 +60,18 @@ func TestStreamFrameRoundTrips(t *testing.T) {
 }
 
 func TestStreamFrameDecodeErrors(t *testing.T) {
-	if _, _, err := decodeStreamDataFrame([]byte{0xFF}, nil); err == nil {
-		t.Error("truncated name length accepted")
+	if _, _, _, err := decodeStreamDataFrame([]byte{0xFF}, nil); err == nil {
+		t.Error("truncated epoch accepted")
 	}
-	if _, _, err := decodeStreamDataFrame([]byte{0, 4, 'a'}, nil); err == nil {
+	if _, _, _, err := decodeStreamDataFrame(append(make([]byte, 8), 0, 4, 'a'), nil); err == nil {
 		t.Error("name longer than payload accepted")
 	}
 	// A 12-byte tail is not a whole float64.
-	bad := appendStreamDataFrame(nil, "s", []float64{1})[codec.HeaderLen+1:]
-	if _, _, err := decodeStreamDataFrame(bad[:len(bad)-4], nil); err == nil {
+	bad := appendStreamDataFrame(nil, "s", 0, []float64{1})[codec.HeaderLen+1:]
+	if _, _, _, err := decodeStreamDataFrame(bad[:len(bad)-4], nil); err == nil {
 		t.Error("ragged value payload accepted")
 	}
-	if _, _, err := decodeStreamQueryFrame([]byte{0, 1, 's'}); err == nil {
+	if _, _, _, err := decodeStreamQueryFrame(append(make([]byte, 8), 0, 1, 's')); err == nil {
 		t.Error("query without an age accepted")
 	}
 	if _, _, _, err := decodeStreamAnswerFrame(make([]byte, 23)); err == nil {

@@ -5,7 +5,16 @@ package wire
 // streams; these frames name the stream they target, so one connection
 // can interleave traffic for any number of streams a consistent-hash
 // ring placed on this node (see internal/cluster). Layout mirrors the
-// single-tree frames with a length-prefixed UTF-8 name first.
+// single-tree frames with a ring epoch and a length-prefixed UTF-8
+// name first.
+//
+// The u64 epoch after the type byte is the sender's ring version (see
+// cluster.Ring.Epoch): placement fencing for live resharding. Epoch 0
+// means "unversioned" and is always accepted; otherwise the server
+// compares against its own epoch and refuses frames from older rings,
+// so a client routing on a stale placement is detected instead of
+// having its values double-counted across two owners (see migrate.go
+// for the server-side rules).
 
 import (
 	"encoding/binary"
@@ -26,11 +35,33 @@ var (
 )
 
 // streamBatchLimit is the largest number of float64s one sdata frame
-// can carry for a name of the given length under MaxFrame.
+// can carry for a name of the given length under MaxFrame (type byte,
+// epoch, name prefix, count).
 //
 //swat:noalloc
 func streamBatchLimit(name string) int {
-	return (MaxFrame - 1 - 2 - len(name) - 4) / 8
+	return (MaxFrame - 1 - 8 - 2 - len(name) - 4) / 8
+}
+
+// appendEpoch appends the u64 ring epoch that leads every
+// stream-addressed frame payload.
+//
+//swat:noalloc
+func appendEpoch(dst []byte, epoch uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], epoch)
+	return append(dst, b[:]...)
+}
+
+// splitEpoch parses the leading u64 ring epoch off a stream frame
+// payload.
+//
+//swat:noalloc
+func splitEpoch(payload []byte) (epoch uint64, rest []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, errFrameTruncated
+	}
+	return binary.BigEndian.Uint64(payload), payload[8:], nil
 }
 
 // appendStreamName appends the u16 length-prefixed name.
@@ -68,10 +99,11 @@ func splitStreamName(payload []byte) (name, rest []byte, err error) {
 // with Ping (FIFO per connection still holds).
 //
 //swat:noalloc
-func appendStreamDataFrame(dst []byte, name string, vs []float64) []byte {
+func appendStreamDataFrame(dst []byte, name string, epoch uint64, vs []float64) []byte {
 	start := len(dst)
 	dst = codec.Begin(dst)
 	dst = append(dst, bfSData)
+	dst = appendEpoch(dst, epoch)
 	dst = appendStreamName(dst, name)
 	var b [8]byte
 	binary.BigEndian.PutUint32(b[:4], uint32(len(vs)))
@@ -88,17 +120,21 @@ func appendStreamDataFrame(dst []byte, name string, vs []float64) []byte {
 // payload.
 //
 //swat:noalloc
-func decodeStreamDataFrame(payload []byte, dst []float64) (name []byte, vals []float64, err error) {
+func decodeStreamDataFrame(payload []byte, dst []float64) (name []byte, epoch uint64, vals []float64, err error) {
+	epoch, payload, err = splitEpoch(payload)
+	if err != nil {
+		return nil, 0, dst, err
+	}
 	name, rest, err := splitStreamName(payload)
 	if err != nil {
-		return nil, dst, err
+		return nil, 0, dst, err
 	}
 	if len(rest) < 4 {
-		return nil, dst, errFrameTruncated
+		return nil, 0, dst, errFrameTruncated
 	}
 	count := int(binary.BigEndian.Uint32(rest))
 	if count == 0 || 4+8*count != len(rest) {
-		return nil, dst, errFrameLength
+		return nil, 0, dst, errFrameLength
 	}
 	if cap(dst) < count {
 		dst = make([]float64, count)
@@ -107,17 +143,18 @@ func decodeStreamDataFrame(payload []byte, dst []float64) (name []byte, vals []f
 	for i := range vals {
 		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[4+8*i:]))
 	}
-	return name, vals, nil
+	return name, epoch, vals, nil
 }
 
 // appendStreamQueryFrame appends one squery frame: a bounded point
 // query at the given age against the named stream.
 //
 //swat:noalloc
-func appendStreamQueryFrame(dst []byte, name string, age int) []byte {
+func appendStreamQueryFrame(dst []byte, name string, epoch uint64, age int) []byte {
 	start := len(dst)
 	dst = codec.Begin(dst)
 	dst = append(dst, bfSQuery)
+	dst = appendEpoch(dst, epoch)
 	dst = appendStreamName(dst, name)
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], uint32(age))
@@ -129,15 +166,19 @@ func appendStreamQueryFrame(dst []byte, name string, age int) []byte {
 // name aliases payload.
 //
 //swat:noalloc
-func decodeStreamQueryFrame(payload []byte) (name []byte, age int, err error) {
+func decodeStreamQueryFrame(payload []byte) (name []byte, epoch uint64, age int, err error) {
+	epoch, payload, err = splitEpoch(payload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	name, rest, err := splitStreamName(payload)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if len(rest) != 4 {
-		return nil, 0, errFrameLength
+		return nil, 0, 0, errFrameLength
 	}
-	return name, int(int32(binary.BigEndian.Uint32(rest))), nil
+	return name, epoch, int(int32(binary.BigEndian.Uint32(rest))), nil
 }
 
 // appendStreamAnswerFrame appends one sanswer frame: the bounded point
@@ -174,10 +215,11 @@ func decodeStreamAnswerFrame(payload []byte) (val, bound float64, arrivals int64
 // stream's summary; the server replies with an ordinary sumRes frame.
 //
 //swat:noalloc
-func appendStreamSumFrame(dst []byte, name string) []byte {
+func appendStreamSumFrame(dst []byte, name string, epoch uint64) []byte {
 	start := len(dst)
 	dst = codec.Begin(dst)
 	dst = append(dst, bfSSum)
+	dst = appendEpoch(dst, epoch)
 	dst = appendStreamName(dst, name)
 	return codec.Finish(dst, start)
 }
